@@ -1,0 +1,252 @@
+//! Analytical models of the shared-bus multiprocessor, used to
+//! cross-validate the discrete-event simulator.
+//!
+//! The Section 4.1 system is a **closed queueing network**: `N` customers
+//! (the agents) cycle between an infinite-server "think" station (mean
+//! time `Z`, the interrequest time) and a single FCFS-equivalent server
+//! (the bus, deterministic service `s = 1` plus arbitration overhead
+//! `a = 0.5` that is hidden whenever the queue is non-empty). Three
+//! results are exact and two are principled approximations:
+//!
+//! | quantity | status |
+//! |----------|--------|
+//! | uncontended waiting time `W₀ = a + s` | exact |
+//! | saturated waiting time `W_sat = N·s − Z` | exact |
+//! | saturated utilization `U = 1` (for offered load > 1) | exact |
+//! | utilization below saturation `U ≈ λ_offered` | asymptotically exact |
+//! | mid-range `W` via mean value analysis | approximation (MVA assumes a product-form network; the deterministic bus is not product-form, so expect ~10–13% error at the knee of the curve) |
+//!
+//! The mean waiting time is the same for every work-conserving protocol
+//! (the conservation law the paper's footnote 4 invokes), so one model
+//! covers RR, FCFS and the assured access protocols alike. The
+//! `analysis_validation` integration test drives the simulator across the
+//! load range and asserts agreement within documented tolerances.
+//!
+//! # Examples
+//!
+//! ```
+//! use busarb_analysis::BusModel;
+//!
+//! # fn main() -> Result<(), busarb_types::Error> {
+//! let model = BusModel::paper(10, 5.0)?; // 10 agents, total offered load 5
+//! // Deep saturation: the closed form applies.
+//! assert!((model.saturated_wait() - 9.0).abs() < 1e-12);
+//! assert!((model.mva().mean_wait - 9.0).abs() < 0.2);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use busarb_types::Error;
+use busarb_workload::load;
+
+/// The closed-network model of one homogeneous bus system.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct BusModel {
+    /// Number of agents.
+    pub agents: u32,
+    /// Mean think (interrequest) time `Z`.
+    pub think_time: f64,
+    /// Bus service time `s` (the unit of time in the paper).
+    pub service_time: f64,
+    /// Arbitration overhead `a`, hidden under service when the queue is
+    /// non-empty.
+    pub arbitration_overhead: f64,
+}
+
+/// The output of a mean-value-analysis evaluation.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct MvaSolution {
+    /// Predicted mean waiting time (request → completion), including the
+    /// arbitration overhead visible at low contention.
+    pub mean_wait: f64,
+    /// Predicted bus utilization.
+    pub utilization: f64,
+    /// Predicted system throughput (requests per unit time).
+    pub throughput: f64,
+    /// Predicted mean number of requests at the bus (queued + in
+    /// service).
+    pub queue_length: f64,
+}
+
+impl BusModel {
+    /// Builds the paper's model: service time 1, arbitration overhead
+    /// 0.5, think time derived from the total offered load.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidAgentCount`] for zero agents and
+    /// [`Error::InvalidLoad`] if the per-agent load is outside `(0, 1]`.
+    pub fn paper(agents: u32, total_load: f64) -> Result<Self, Error> {
+        let share = load::per_agent(total_load, agents)?;
+        Ok(BusModel {
+            agents,
+            think_time: load::mean_interrequest(share)?,
+            service_time: 1.0,
+            arbitration_overhead: 0.5,
+        })
+    }
+
+    /// Total offered load (`N · s / (s + Z)` with `s = 1`).
+    #[must_use]
+    pub fn offered_load(&self) -> f64 {
+        f64::from(self.agents) * self.service_time / (self.service_time + self.think_time)
+    }
+
+    /// Exact waiting time of a request arriving to an otherwise idle
+    /// system: arbitration overhead plus one service.
+    #[must_use]
+    pub fn uncontended_wait(&self) -> f64 {
+        self.arbitration_overhead + self.service_time
+    }
+
+    /// Exact mean waiting time at full saturation: each agent completes
+    /// exactly once per `N·s` bus cycle, so `Z + W = N·s`.
+    ///
+    /// Only meaningful when the offered load keeps the bus saturated
+    /// (total load comfortably above ~1.5–2, per the paper).
+    #[must_use]
+    pub fn saturated_wait(&self) -> f64 {
+        f64::from(self.agents) * self.service_time - self.think_time
+    }
+
+    /// Asymptotic bus utilization: offered load, clipped at 1.
+    #[must_use]
+    pub fn asymptotic_utilization(&self) -> f64 {
+        self.offered_load().min(1.0)
+    }
+
+    /// Exact mean-value analysis of the closed network (exact for
+    /// product-form networks; an approximation for the deterministic
+    /// bus — see the crate docs).
+    ///
+    /// Recursion over the population `n = 1..=N`:
+    ///
+    /// ```text
+    /// R(n) = s · (1 + Q(n−1))          residence at the bus
+    /// X(n) = n / (Z + R(n))            cycle throughput
+    /// Q(n) = X(n) · R(n)               bus queue length (Little)
+    /// ```
+    ///
+    /// The returned `mean_wait` is `R(N)` plus the arbitration overhead
+    /// weighted by the probability the request finds the bus queue empty
+    /// (overhead is fully overlapped otherwise).
+    #[must_use]
+    pub fn mva(&self) -> MvaSolution {
+        let s = self.service_time;
+        let z = self.think_time;
+        let mut q = 0.0;
+        let mut x = 0.0;
+        let mut r = s;
+        for n in 1..=self.agents {
+            r = s * (1.0 + q);
+            x = f64::from(n) / (z + r);
+            q = x * r;
+        }
+        let utilization = (x * s).min(1.0);
+        // Probability an arriving request must pay visible arbitration
+        // overhead ~= probability the bus is idle at arrival.
+        let p_idle = (1.0 - utilization).max(0.0);
+        MvaSolution {
+            mean_wait: r + self.arbitration_overhead * p_idle,
+            utilization,
+            throughput: x,
+            queue_length: q,
+        }
+    }
+
+    /// The model's best prediction across the whole load range: MVA in
+    /// the middle, pinned to the exact limits at the extremes.
+    #[must_use]
+    pub fn predicted_wait(&self) -> f64 {
+        let load = self.offered_load();
+        if load >= 2.0 {
+            self.saturated_wait()
+        } else {
+            self.mva().mean_wait.max(self.uncontended_wait())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_model_shapes() {
+        let m = BusModel::paper(10, 2.0).unwrap();
+        assert_eq!(m.agents, 10);
+        assert!((m.think_time - 4.0).abs() < 1e-12); // load 0.2 -> Z = 4
+        assert!((m.offered_load() - 2.0).abs() < 1e-12);
+        assert_eq!(m.uncontended_wait(), 1.5);
+        assert_eq!(m.saturated_wait(), 6.0);
+    }
+
+    #[test]
+    fn saturated_wait_matches_paper_table_4_2() {
+        // Paper Table 4.2(a): W = 9.00 at load 5.0 and 9.67 at 7.52.
+        let m5 = BusModel::paper(10, 5.0).unwrap();
+        assert!((m5.saturated_wait() - 9.0).abs() < 1e-12);
+        let m752 = BusModel::paper(10, 7.52).unwrap();
+        assert!((m752.saturated_wait() - 9.67).abs() < 0.005);
+        // And the 30-agent section: W = 25.00 at load 5.0.
+        let m30 = BusModel::paper(30, 5.0).unwrap();
+        assert!((m30.saturated_wait() - 25.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn mva_limits() {
+        // Single customer: no queueing at all; R = s, W = s + a.
+        let m = BusModel::paper(1, 0.25).unwrap();
+        let sol = m.mva();
+        assert!((sol.mean_wait - 1.5).abs() < 0.2);
+        assert!(sol.queue_length < 0.3);
+
+        // Deep saturation: MVA converges to the exact bound.
+        let m = BusModel::paper(10, 7.52).unwrap();
+        let sol = m.mva();
+        assert!((sol.utilization - 1.0).abs() < 1e-6);
+        assert!(
+            (sol.mean_wait - m.saturated_wait()).abs() < 0.05,
+            "mva {} vs exact {}",
+            sol.mean_wait,
+            m.saturated_wait()
+        );
+    }
+
+    #[test]
+    fn mva_is_monotone_in_load() {
+        let mut last = 0.0;
+        for load in [0.25, 0.5, 1.0, 1.5, 2.0, 2.5, 5.0] {
+            let w = BusModel::paper(10, load).unwrap().mva().mean_wait;
+            assert!(w >= last, "W must grow with load: {w} after {last}");
+            last = w;
+        }
+    }
+
+    #[test]
+    fn predicted_wait_is_pinned_to_limits() {
+        let low = BusModel::paper(10, 0.01).unwrap();
+        assert!((low.predicted_wait() - 1.5).abs() < 0.05);
+        let high = BusModel::paper(10, 5.0).unwrap();
+        assert_eq!(high.predicted_wait(), 9.0);
+    }
+
+    #[test]
+    fn utilization_tracks_offered_load_below_saturation() {
+        let m = BusModel::paper(30, 0.5).unwrap();
+        assert!((m.mva().utilization - 0.5).abs() < 0.03);
+        assert_eq!(m.asymptotic_utilization(), 0.5);
+        let sat = BusModel::paper(30, 3.0).unwrap();
+        assert_eq!(sat.asymptotic_utilization(), 1.0);
+    }
+
+    #[test]
+    fn validation() {
+        assert!(BusModel::paper(0, 1.0).is_err());
+        assert!(BusModel::paper(10, 20.0).is_err()); // per-agent load > 1
+        assert!(BusModel::paper(10, 0.0).is_err());
+    }
+}

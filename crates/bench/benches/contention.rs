@@ -1,0 +1,131 @@
+//! Wired-OR substrate benches: settle dynamics cost by line width and
+//! competitor count, full-broadcast vs binary-patterned disciplines, and
+//! the signal-level protocol systems. Also reports the measured settle
+//! round distribution against the synchronous bound.
+
+use busarb_bus::signal::{Fcfs2System, Rr1System, SignalProtocol};
+use busarb_bus::{LineDiscipline, ParallelContention};
+use busarb_types::AgentId;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::hint::black_box;
+
+fn competitor_sets(width: u32, sets: usize, per_set: usize, seed: u64) -> Vec<Vec<u64>> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mask = (1u64 << width) - 1;
+    (0..sets)
+        .map(|_| (0..per_set).map(|_| rng.gen::<u64>() & mask).collect())
+        .collect()
+}
+
+fn bench_settle_by_width(c: &mut Criterion) {
+    let mut group = c.benchmark_group("settle_by_width");
+    for width in [4u32, 7, 10, 14] {
+        let sets = competitor_sets(width, 64, 8, u64::from(width));
+        group.throughput(Throughput::Elements(sets.len() as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(width), &width, |b, &width| {
+            let arbiter = ParallelContention::new(width);
+            b.iter(|| {
+                let mut rounds = 0u32;
+                for set in &sets {
+                    rounds += arbiter.resolve(black_box(set)).rounds;
+                }
+                black_box(rounds)
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_disciplines(c: &mut Criterion) {
+    let sets = competitor_sets(7, 64, 10, 99);
+    let mut group = c.benchmark_group("line_discipline");
+    for (name, discipline) in [
+        ("full_broadcast", LineDiscipline::FullBroadcast),
+        ("binary_patterned", LineDiscipline::BinaryPatterned),
+    ] {
+        group.bench_function(name, |b| {
+            let arbiter = ParallelContention::new(7).with_discipline(discipline);
+            b.iter(|| {
+                let mut acc = 0u64;
+                for set in &sets {
+                    acc ^= arbiter.resolve(black_box(set)).winner_value;
+                }
+                black_box(acc)
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_signal_systems(c: &mut Criterion) {
+    let mut group = c.benchmark_group("signal_system_saturated_grant");
+    const GRANTS: usize = 256;
+    group.throughput(Throughput::Elements(GRANTS as u64));
+    group.bench_function("rr1", |b| {
+        b.iter_batched(
+            || {
+                let mut sys = Rr1System::new(32).unwrap();
+                let ids: Vec<AgentId> = AgentId::all(32).collect();
+                sys.on_requests(&ids);
+                sys
+            },
+            |mut sys| {
+                for _ in 0..GRANTS {
+                    let out = sys.arbitrate().unwrap();
+                    sys.on_requests(&[out.winner]);
+                }
+                black_box(sys.last_winner())
+            },
+            criterion::BatchSize::SmallInput,
+        );
+    });
+    group.bench_function("fcfs2", |b| {
+        b.iter_batched(
+            || {
+                let mut sys = Fcfs2System::new(32).unwrap();
+                let ids: Vec<AgentId> = AgentId::all(32).collect();
+                sys.on_requests(&ids);
+                sys
+            },
+            |mut sys| {
+                for _ in 0..GRANTS {
+                    let out = sys.arbitrate().unwrap();
+                    sys.on_requests(&[out.winner]);
+                }
+                black_box(sys.pending())
+            },
+            criterion::BatchSize::SmallInput,
+        );
+    });
+    group.finish();
+}
+
+/// Not a timing bench: prints the measured settle-round distribution so
+/// bench runs double as a bound check (rounds <= width + 1).
+fn report_round_distribution(c: &mut Criterion) {
+    c.bench_function("settle_round_bound_check", |b| {
+        let width = 7;
+        let arbiter = ParallelContention::new(width);
+        let sets = competitor_sets(width, 256, 6, 7);
+        b.iter(|| {
+            let mut max_rounds = 0;
+            for set in &sets {
+                let r = arbiter.resolve(set);
+                assert!(r.rounds <= width + 1);
+                max_rounds = max_rounds.max(r.rounds);
+            }
+            black_box(max_rounds)
+        });
+    });
+}
+
+criterion_group!(
+    contention,
+    bench_settle_by_width,
+    bench_disciplines,
+    bench_signal_systems,
+    report_round_distribution
+);
+criterion_main!(contention);

@@ -1,0 +1,60 @@
+//! Discrete-event engine throughput: simulated bus transactions per
+//! second of wall-clock time, across system sizes and protocols.
+
+use busarb_core::ProtocolKind;
+use busarb_sim::{Simulation, SystemConfig};
+use busarb_stats::BatchMeansConfig;
+use busarb_workload::Scenario;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+const SAMPLES: usize = 200;
+
+fn run_once(kind: ProtocolKind, n: u32, seed: u64) -> f64 {
+    let scenario = Scenario::equal_load(n, 2.0, 1.0).expect("valid scenario");
+    let config = SystemConfig::new(scenario)
+        .with_batches(BatchMeansConfig::quick(SAMPLES))
+        .with_warmup(100)
+        .with_seed(seed);
+    Simulation::new(config)
+        .expect("valid config")
+        .run(kind.build(n).expect("valid size"))
+        .mean_wait
+        .mean
+}
+
+fn bench_engine_by_size(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine_transactions");
+    group.throughput(Throughput::Elements((10 * SAMPLES) as u64));
+    for n in [10u32, 30, 64] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| black_box(run_once(ProtocolKind::RoundRobin, n, 1)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_engine_by_protocol(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine_by_protocol_30_agents");
+    group.throughput(Throughput::Elements((10 * SAMPLES) as u64));
+    for kind in [
+        ProtocolKind::RoundRobin,
+        ProtocolKind::Fcfs1,
+        ProtocolKind::Fcfs2,
+        ProtocolKind::AssuredAccessIdleBatch,
+        ProtocolKind::CentralFcfs,
+        ProtocolKind::Hybrid,
+    ] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(kind.to_string()),
+            &kind,
+            |b, &kind| {
+                b.iter(|| black_box(run_once(kind, 30, 2)));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(engine, bench_engine_by_size, bench_engine_by_protocol);
+criterion_main!(engine);

@@ -1,0 +1,50 @@
+//! Arbitration-decision throughput of every protocol, on a saturated
+//! system — the per-arbitration software cost of each scheduling policy.
+
+use busarb_bench::{drive_saturated, saturated_arbiter};
+use busarb_core::ProtocolKind;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+const GRANTS_PER_ITER: usize = 1024;
+
+fn bench_protocol_decisions(c: &mut Criterion) {
+    let mut group = c.benchmark_group("arbitrate_saturated_64_agents");
+    group.throughput(Throughput::Elements(GRANTS_PER_ITER as u64));
+    for &kind in ProtocolKind::all() {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(kind.to_string()),
+            &kind,
+            |b, &kind| {
+                b.iter_batched(
+                    || saturated_arbiter(kind, 64),
+                    |mut arbiter| black_box(drive_saturated(arbiter.as_mut(), GRANTS_PER_ITER)),
+                    criterion::BatchSize::SmallInput,
+                );
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_system_size_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("rr_arbitrate_by_size");
+    group.throughput(Throughput::Elements(GRANTS_PER_ITER as u64));
+    for n in [8u32, 16, 32, 64, 128] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter_batched(
+                || saturated_arbiter(ProtocolKind::RoundRobin, n),
+                |mut arbiter| black_box(drive_saturated(arbiter.as_mut(), GRANTS_PER_ITER)),
+                criterion::BatchSize::SmallInput,
+            );
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    protocols,
+    bench_protocol_decisions,
+    bench_system_size_scaling
+);
+criterion_main!(protocols);

@@ -1,0 +1,60 @@
+//! Shared helpers for the `busarb` criterion benches.
+//!
+//! The benches live in `benches/`:
+//!
+//! * `tables` — one benchmark per paper table/figure, each running the
+//!   representative simulation kernel of that experiment at smoke scale.
+//! * `protocols` — arbitration-decision throughput of every protocol.
+//! * `contention` — wired-OR settle dynamics and signal-level systems.
+//! * `engine` — discrete-event engine throughput.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use busarb_core::{Arbiter, ProtocolKind};
+use busarb_types::{AgentId, Priority, Time};
+
+/// Builds an arbiter of `kind` with all `n` agents already requesting.
+///
+/// # Panics
+///
+/// Panics if `n` is not a valid system size.
+#[must_use]
+pub fn saturated_arbiter(kind: ProtocolKind, n: u32) -> Box<dyn Arbiter> {
+    let mut arbiter = kind.build(n).expect("valid size");
+    for agent in AgentId::all(n) {
+        arbiter.on_request(Time::ZERO, agent, Priority::Ordinary);
+    }
+    arbiter
+}
+
+/// Performs `grants` arbitration decisions on a saturated system,
+/// re-requesting after every grant; returns a checksum of winners so the
+/// optimizer cannot discard the work.
+pub fn drive_saturated(arbiter: &mut dyn Arbiter, grants: usize) -> u64 {
+    let mut checksum = 0u64;
+    for i in 0..grants {
+        let now = Time::from(i as f64);
+        let grant = arbiter.arbitrate(now).expect("saturated system");
+        checksum = checksum
+            .wrapping_mul(31)
+            .wrapping_add(u64::from(grant.agent.get()));
+        arbiter.on_request(now, grant.agent, Priority::Ordinary);
+    }
+    checksum
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn drive_saturated_is_deterministic() {
+        let mut a = saturated_arbiter(ProtocolKind::RoundRobin, 8);
+        let mut b = saturated_arbiter(ProtocolKind::RoundRobin, 8);
+        assert_eq!(
+            drive_saturated(a.as_mut(), 100),
+            drive_saturated(b.as_mut(), 100)
+        );
+    }
+}

@@ -1,0 +1,380 @@
+//! The overall arbitration control: phases, handover, and bus
+//! monitoring.
+//!
+//! Section 2.1 of the paper: *"The overall control of the arbitration,
+//! including starting an arbitration and handing over control to the
+//! winner, is synchronized by the clock in synchronous buses, or occurs
+//! in a self-timed fashion in asynchronous buses."* The paper abstracts
+//! this away; this module models it as an explicit phase machine so that
+//! the substrate also realizes the third advantage the paper claims for
+//! the parallel contention arbiter (§1): *"the state of the arbiter is
+//! available and can be monitored on the bus. This is useful for
+//! software initialization of the system and for diagnosing system
+//! failures."*
+//!
+//! The controller validates every control event against the current
+//! phase — an out-of-order handover or a settle with no arbitration in
+//! flight is a protocol violation, reported as
+//! [`Error::PhaseViolation`] — and exposes a [`MonitorSnapshot`] of
+//! exactly the state a diagnostic device could read off the lines.
+
+use core::fmt;
+
+use busarb_types::{AgentId, Error};
+
+/// The bus control phase, as observable on the control lines.
+#[derive(Clone, Copy, Default, PartialEq, Eq, Hash, Debug)]
+pub enum BusPhase {
+    /// No transfer and no arbitration in progress.
+    #[default]
+    Idle,
+    /// The arbitration lines are settling.
+    Arbitrating,
+    /// The lines have settled; the winner is waiting for the bus.
+    Settled,
+    /// A data transfer is in progress (possibly with an overlapped
+    /// arbitration, tracked separately).
+    Transfer,
+}
+
+impl BusPhase {
+    fn name(self) -> &'static str {
+        match self {
+            BusPhase::Idle => "idle",
+            BusPhase::Arbitrating => "arbitrating",
+            BusPhase::Settled => "settled",
+            BusPhase::Transfer => "transfer",
+        }
+    }
+}
+
+impl fmt::Display for BusPhase {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// What a bus monitor (a diagnostic slave) can read at any instant.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct MonitorSnapshot {
+    /// Current control phase.
+    pub phase: BusPhase,
+    /// The current bus master, if a transfer is in progress.
+    pub master: Option<AgentId>,
+    /// Winner of the most recently settled arbitration (the value the RR
+    /// protocol's winner registers latch).
+    pub last_winner: Option<AgentId>,
+    /// Completed transfers since reset.
+    pub transfers: u64,
+    /// Completed arbitrations since reset.
+    pub arbitrations: u64,
+}
+
+/// The arbitration/handover phase machine.
+///
+/// Overlapped arbitration (the paper's §4.1 timing assumption) is
+/// expressed by starting an arbitration *during* [`BusPhase::Transfer`]:
+/// the controller tracks the in-flight arbitration alongside the
+/// transfer and moves its result into place at handover.
+///
+/// # Examples
+///
+/// ```
+/// use busarb_bus::{ArbitrationController, BusPhase};
+/// use busarb_types::AgentId;
+///
+/// # fn main() -> Result<(), busarb_types::Error> {
+/// let mut ctl = ArbitrationController::new();
+/// ctl.start_arbitration()?;               // a request hit an idle bus
+/// ctl.settle(AgentId::new(3)?)?;          // the lines settled
+/// ctl.handover()?;                        // winner becomes master
+/// assert_eq!(ctl.phase(), BusPhase::Transfer);
+/// ctl.start_arbitration()?;               // overlapped with the transfer
+/// ctl.settle(AgentId::new(1)?)?;
+/// ctl.transfer_complete()?;               // back-to-back handover
+/// ctl.handover()?;
+/// assert_eq!(ctl.snapshot().master, Some(AgentId::new(1)?));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct ArbitrationController {
+    phase: BusPhase,
+    master: Option<AgentId>,
+    /// Winner of an arbitration that has settled but not yet taken over.
+    elected: Option<AgentId>,
+    /// An arbitration running overlapped with the current transfer.
+    overlapped: bool,
+    last_winner: Option<AgentId>,
+    transfers: u64,
+    arbitrations: u64,
+}
+
+impl ArbitrationController {
+    /// Creates an idle controller.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Current phase.
+    #[must_use]
+    pub fn phase(&self) -> BusPhase {
+        self.phase
+    }
+
+    /// Reads the monitorable state.
+    #[must_use]
+    pub fn snapshot(&self) -> MonitorSnapshot {
+        MonitorSnapshot {
+            phase: self.phase,
+            master: self.master,
+            last_winner: self.last_winner,
+            transfers: self.transfers,
+            arbitrations: self.arbitrations,
+        }
+    }
+
+    fn violation(&self, event: &'static str) -> Error {
+        Error::PhaseViolation {
+            phase: self.phase.name(),
+            event,
+        }
+    }
+
+    /// A start-arbitration strobe: legal on an idle bus, or overlapped
+    /// during a transfer when no other arbitration is pending.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::PhaseViolation`] if an arbitration is already in flight
+    /// or settled-and-waiting.
+    pub fn start_arbitration(&mut self) -> Result<(), Error> {
+        match self.phase {
+            BusPhase::Idle => {
+                self.phase = BusPhase::Arbitrating;
+                Ok(())
+            }
+            BusPhase::Transfer if !self.overlapped && self.elected.is_none() => {
+                self.overlapped = true;
+                Ok(())
+            }
+            _ => Err(self.violation("start-arbitration")),
+        }
+    }
+
+    /// The arbitration lines settle on `winner`.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::PhaseViolation`] if no arbitration is in flight.
+    pub fn settle(&mut self, winner: AgentId) -> Result<(), Error> {
+        let in_flight = self.phase == BusPhase::Arbitrating
+            || (self.phase == BusPhase::Transfer && self.overlapped);
+        if !in_flight {
+            return Err(self.violation("settle"));
+        }
+        self.arbitrations += 1;
+        self.last_winner = Some(winner);
+        self.elected = Some(winner);
+        if self.phase == BusPhase::Arbitrating {
+            self.phase = BusPhase::Settled;
+        } else {
+            self.overlapped = false;
+        }
+        Ok(())
+    }
+
+    /// The elected winner takes mastership and its transfer begins.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::PhaseViolation`] unless a winner is elected and the bus
+    /// is free (settled phase, or idle immediately after a transfer
+    /// completed with an elected winner waiting).
+    pub fn handover(&mut self) -> Result<(), Error> {
+        if self.phase != BusPhase::Settled && self.phase != BusPhase::Idle {
+            return Err(self.violation("handover"));
+        }
+        let Some(winner) = self.elected.take() else {
+            return Err(self.violation("handover"));
+        };
+        self.master = Some(winner);
+        self.phase = BusPhase::Transfer;
+        Ok(())
+    }
+
+    /// The current transfer completes; the master releases the bus.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::PhaseViolation`] if no transfer is in progress or an
+    /// overlapped arbitration is still settling (the bus must wait for
+    /// it before anything else can be signalled).
+    pub fn transfer_complete(&mut self) -> Result<(), Error> {
+        if self.phase != BusPhase::Transfer {
+            return Err(self.violation("transfer-complete"));
+        }
+        self.transfers += 1;
+        self.master = None;
+        self.phase = if self.overlapped {
+            // The overlapped arbitration is still settling: the bus idles
+            // until its settle event arrives.
+            self.overlapped = false;
+            BusPhase::Arbitrating
+        } else {
+            BusPhase::Idle
+        };
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn id(n: u32) -> AgentId {
+        AgentId::new(n).unwrap()
+    }
+
+    #[test]
+    fn full_cycle_with_overlap() {
+        let mut ctl = ArbitrationController::new();
+        assert_eq!(ctl.phase(), BusPhase::Idle);
+        ctl.start_arbitration().unwrap();
+        assert_eq!(ctl.phase(), BusPhase::Arbitrating);
+        ctl.settle(id(5)).unwrap();
+        assert_eq!(ctl.phase(), BusPhase::Settled);
+        ctl.handover().unwrap();
+        assert_eq!(ctl.phase(), BusPhase::Transfer);
+        assert_eq!(ctl.snapshot().master, Some(id(5)));
+
+        // Overlapped arbitration during the transfer.
+        ctl.start_arbitration().unwrap();
+        ctl.settle(id(2)).unwrap();
+        ctl.transfer_complete().unwrap();
+        // Elected winner waiting: handover from idle.
+        ctl.handover().unwrap();
+        let snap = ctl.snapshot();
+        assert_eq!(snap.master, Some(id(2)));
+        assert_eq!(snap.transfers, 1);
+        assert_eq!(snap.arbitrations, 2);
+        assert_eq!(snap.last_winner, Some(id(2)));
+    }
+
+    #[test]
+    fn illegal_events_are_phase_violations() {
+        let mut ctl = ArbitrationController::new();
+        // Nothing elected: no handover.
+        assert!(matches!(
+            ctl.handover(),
+            Err(Error::PhaseViolation {
+                event: "handover",
+                ..
+            })
+        ));
+        // No transfer: no completion.
+        assert!(ctl.transfer_complete().is_err());
+        // No arbitration: no settle.
+        assert!(ctl.settle(id(1)).is_err());
+        // Double start.
+        ctl.start_arbitration().unwrap();
+        assert!(ctl.start_arbitration().is_err());
+        // Settle, then settle again without a new start.
+        ctl.settle(id(1)).unwrap();
+        assert!(ctl.settle(id(1)).is_err());
+        // Start while one arbitration is settled-and-waiting.
+        assert!(ctl.start_arbitration().is_err());
+    }
+
+    #[test]
+    fn unsettled_overlap_makes_the_bus_wait() {
+        let mut ctl = ArbitrationController::new();
+        ctl.start_arbitration().unwrap();
+        ctl.settle(id(4)).unwrap();
+        ctl.handover().unwrap();
+        ctl.start_arbitration().unwrap(); // overlapped, not yet settled
+        ctl.transfer_complete().unwrap();
+        // The bus is in Arbitrating, waiting for the in-flight settle.
+        assert_eq!(ctl.phase(), BusPhase::Arbitrating);
+        assert!(ctl.handover().is_err());
+        ctl.settle(id(1)).unwrap();
+        ctl.handover().unwrap();
+        assert_eq!(ctl.snapshot().master, Some(id(1)));
+    }
+
+    #[test]
+    fn drives_a_signal_system_consistently() {
+        use crate::signal::{Rr1System, SignalProtocol};
+        // The controller and a signal-level protocol agree on the event
+        // order for a saturated burst.
+        let mut ctl = ArbitrationController::new();
+        let mut sys = Rr1System::new(4).unwrap();
+        let all: Vec<AgentId> = (1..=4).map(id).collect();
+        sys.on_requests(&all);
+        // First arbitration on the idle bus.
+        ctl.start_arbitration().unwrap();
+        let out = sys.arbitrate().unwrap();
+        ctl.settle(out.winner).unwrap();
+        ctl.handover().unwrap();
+        for _ in 0..3 {
+            // Overlapped arbitration during each transfer.
+            ctl.start_arbitration().unwrap();
+            let out = sys.arbitrate().unwrap();
+            ctl.settle(out.winner).unwrap();
+            ctl.transfer_complete().unwrap();
+            ctl.handover().unwrap();
+            assert_eq!(ctl.snapshot().master, Some(out.winner));
+        }
+        ctl.transfer_complete().unwrap();
+        assert_eq!(ctl.snapshot().transfers, 4);
+        assert_eq!(ctl.snapshot().arbitrations, 4);
+        assert_eq!(ctl.phase(), BusPhase::Idle);
+    }
+
+    #[test]
+    fn random_event_sequences_never_corrupt_state() {
+        // Drive the controller with arbitrary event streams; rejected
+        // events must leave the state untouched, and the invariants
+        // (master set iff Transfer; counters monotone) must always hold.
+        let mut lcg = 0x1234_5678_u64;
+        let mut next = move || {
+            lcg = lcg.wrapping_mul(6364136223846793005).wrapping_add(1);
+            (lcg >> 33) as u32
+        };
+        let mut ctl = ArbitrationController::new();
+        let mut last_transfers = 0;
+        for _ in 0..10_000 {
+            let before = ctl.snapshot();
+            let result = match next() % 4 {
+                0 => ctl.start_arbitration(),
+                1 => ctl.settle(id(next() % 8 + 1)),
+                2 => ctl.handover(),
+                _ => ctl.transfer_complete(),
+            };
+            let after = ctl.snapshot();
+            if result.is_err() {
+                assert_eq!(before, after, "rejected event mutated state");
+            }
+            assert_eq!(
+                after.master.is_some(),
+                after.phase == BusPhase::Transfer,
+                "master/phase inconsistency"
+            );
+            assert!(after.transfers >= last_transfers);
+            last_transfers = after.transfers;
+        }
+    }
+
+    #[test]
+    fn display_and_snapshot_defaults() {
+        assert_eq!(BusPhase::Idle.to_string(), "idle");
+        assert_eq!(BusPhase::Transfer.to_string(), "transfer");
+        let ctl = ArbitrationController::new();
+        let snap = ctl.snapshot();
+        assert_eq!(snap.phase, BusPhase::Idle);
+        assert_eq!(snap.master, None);
+        assert_eq!(snap.last_winner, None);
+        assert_eq!(snap.transfers, 0);
+    }
+}

@@ -1,0 +1,60 @@
+//! Signal-level model of the **parallel contention arbiter** — the
+//! distributed maximum-finding substrate that Vernon & Manber's protocols
+//! (ISCA 1988) are built on.
+//!
+//! The parallel contention arbiter (Computing Devices of Canada, 1966;
+//! Taub, 1984) assigns every agent a unique k-bit arbitration number and
+//! provides k open-collector **wired-OR** bus lines. During an arbitration
+//! every competitor applies its number to the lines and monitors them: if a
+//! line carries 1 where the agent applies 0, the agent withdraws the
+//! lower-order bits of its number (and reapplies them if the line drops).
+//! The lines settle to the **maximum** competing number, and — crucially
+//! for the protocols in this workspace — *every* agent then knows the
+//! winner's identity.
+//!
+//! This crate models that machinery:
+//!
+//! * [`ArbitrationNumber`] / [`NumberLayout`] — composite arbitration
+//!   numbers `[priority | rr bit | counter | static id]` with explicit
+//!   field layouts.
+//! * [`ParallelContention`] — the settle dynamics as synchronous
+//!   propagation rounds, with round counting and optional per-round
+//!   tracing.
+//! * [`LineDiscipline`] — full-broadcast lines vs. Johnson-patent
+//!   binary-patterned lines (single-round resolution, but the winner's
+//!   identity is *not* broadcast — which is why the RR protocol cannot use
+//!   them, paper footnote 2).
+//! * [`signal`] — register-level agent state machines for the protocol
+//!   implementations discussed in Sections 2–3 (RR-1/2/3, FCFS-1/2 and
+//!   both assured access baselines), driven by shared control lines. The
+//!   scheduling-level protocols in `busarb-core` are verified
+//!   decision-for-decision against these.
+//! * [`ArbitrationController`] — the arbitration/handover phase machine
+//!   with a monitorable [`MonitorSnapshot`], realizing the paper's §1
+//!   observation that the arbiter state is visible on the bus for
+//!   initialization and failure diagnosis.
+//!
+//! # Examples
+//!
+//! The paper's Section 2.1 example — agents `1010101` and `0011100`
+//! competing:
+//!
+//! ```
+//! use busarb_bus::ParallelContention;
+//!
+//! let arbiter = ParallelContention::new(7);
+//! let outcome = arbiter.resolve(&[0b1010101, 0b0011100]);
+//! assert_eq!(outcome.winner_value, 0b1010101);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod arbnum;
+mod contention;
+mod controller;
+pub mod signal;
+
+pub use arbnum::{ArbitrationNumber, NumberLayout};
+pub use contention::{LineDiscipline, ParallelContention, Resolution};
+pub use controller::{ArbitrationController, BusPhase, MonitorSnapshot};

@@ -1,0 +1,329 @@
+//! Register-level models of the two assured access protocols (§2.2).
+//!
+//! These complete the signal-level protocol family: like the RR and FCFS
+//! models, they exist so the scheduling-level implementations in
+//! `busarb-core` can be validated decision-for-decision against logic
+//! that manipulates the actual shared lines.
+//!
+//! * [`Aap1System`] — the Fastbus / NuBus / Multibus II *idle-batch*
+//!   rule, driven entirely by the wired-OR **bus-request line**: an agent
+//!   with a new request asserts the line only if it reads low; each batch
+//!   member releases the line at the start of its tenure, and the line
+//!   dropping signals deferred requesters to assert and form the next
+//!   batch.
+//! * [`Aap2System`] — the Futurebus *fairness-release* rule: agents
+//!   compete until served, then set a local **inhibited** flip-flop; a
+//!   release is an arbitration cycle in which no agent asserts the
+//!   request line, which clears every inhibited flag.
+
+use busarb_types::{AgentId, AgentSet, Error};
+
+use crate::signal::{check_new_request, validate_agent_count, SignalOutcome, SignalProtocol};
+use crate::{ArbitrationNumber, NumberLayout, ParallelContention};
+
+/// Signal-level idle-batch assured access (AAP-1).
+///
+/// # Examples
+///
+/// ```
+/// use busarb_bus::signal::{Aap1System, SignalProtocol};
+/// use busarb_types::AgentId;
+///
+/// # fn main() -> Result<(), busarb_types::Error> {
+/// let mut sys = Aap1System::new(4)?;
+/// sys.on_requests(&[AgentId::new(1)?]); // forms a batch alone
+/// sys.on_requests(&[AgentId::new(3)?]); // line is high: defers
+/// assert_eq!(sys.arbitrate().unwrap().winner.get(), 1);
+/// assert_eq!(sys.arbitrate().unwrap().winner.get(), 3);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone, Debug)]
+pub struct Aap1System {
+    n: u32,
+    layout: NumberLayout,
+    contention: ParallelContention,
+    /// Agents currently asserting the wired-OR request line (the batch).
+    asserting: AgentSet,
+    /// Agents holding a request, waiting for the line to drop.
+    deferred: AgentSet,
+}
+
+impl Aap1System {
+    /// Creates a system of `n` agents.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidAgentCount`] if `n` is 0 or exceeds 128.
+    pub fn new(n: u32) -> Result<Self, Error> {
+        validate_agent_count(n)?;
+        let layout = NumberLayout::for_agents(n)?;
+        Ok(Aap1System {
+            n,
+            layout,
+            contention: ParallelContention::new(layout.width()),
+            asserting: AgentSet::new(),
+            deferred: AgentSet::new(),
+        })
+    }
+
+    /// Whether the wired-OR bus-request line currently reads high.
+    #[must_use]
+    pub fn request_line(&self) -> bool {
+        !self.asserting.is_empty()
+    }
+}
+
+impl SignalProtocol for Aap1System {
+    fn name(&self) -> &'static str {
+        "aap-1"
+    }
+
+    fn layout(&self) -> NumberLayout {
+        self.layout
+    }
+
+    fn on_requests(&mut self, ids: &[AgentId]) {
+        for &id in ids {
+            check_new_request(id, self.n, self.asserting.union(self.deferred));
+            if self.request_line() {
+                // A batch is holding the line: wait for it to end.
+                self.deferred.insert(id);
+            } else {
+                self.asserting.insert(id);
+            }
+        }
+    }
+
+    fn arbitrate(&mut self) -> Option<SignalOutcome> {
+        if self.asserting.is_empty() {
+            return None;
+        }
+        let competitors: Vec<u64> = self
+            .asserting
+            .iter()
+            .map(|id| self.layout.compose(ArbitrationNumber::new(id)))
+            .collect();
+        let resolution = self.contention.resolve(&competitors);
+        let winner = self
+            .layout
+            .decode_id(resolution.winner_value)
+            .expect("batch is non-empty");
+        // The winner releases the request line at the start of its
+        // tenure; if it was the last batch member the line drops and the
+        // deferred requesters assert immediately.
+        self.asserting.remove(winner);
+        if self.asserting.is_empty() {
+            core::mem::swap(&mut self.asserting, &mut self.deferred);
+        }
+        Some(SignalOutcome {
+            winner,
+            rounds: resolution.rounds,
+            arbitrations: 1,
+        })
+    }
+
+    fn pending(&self) -> usize {
+        self.asserting.len() + self.deferred.len()
+    }
+}
+
+/// Signal-level fairness-release assured access (AAP-2, Futurebus).
+///
+/// # Examples
+///
+/// ```
+/// use busarb_bus::signal::{Aap2System, SignalProtocol};
+/// use busarb_types::AgentId;
+///
+/// # fn main() -> Result<(), busarb_types::Error> {
+/// let mut sys = Aap2System::new(4)?;
+/// sys.on_requests(&[AgentId::new(2)?, AgentId::new(4)?]);
+/// assert_eq!(sys.arbitrate().unwrap().winner.get(), 4);
+/// // 4 re-requests but is inhibited until the batch ends.
+/// sys.on_requests(&[AgentId::new(4)?]);
+/// assert_eq!(sys.arbitrate().unwrap().winner.get(), 2);
+/// let out = sys.arbitrate().unwrap();
+/// assert_eq!(out.winner.get(), 4);
+/// assert_eq!(out.arbitrations, 2); // fairness-release cycle + arbitration
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone, Debug)]
+pub struct Aap2System {
+    n: u32,
+    layout: NumberLayout,
+    contention: ParallelContention,
+    /// Agents holding an outstanding request.
+    requesting: AgentSet,
+    /// Per-agent inhibited flip-flops (set after service, cleared by a
+    /// fairness-release cycle).
+    inhibited: AgentSet,
+    releases: u64,
+}
+
+impl Aap2System {
+    /// Creates a system of `n` agents.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidAgentCount`] if `n` is 0 or exceeds 128.
+    pub fn new(n: u32) -> Result<Self, Error> {
+        validate_agent_count(n)?;
+        let layout = NumberLayout::for_agents(n)?;
+        Ok(Aap2System {
+            n,
+            layout,
+            contention: ParallelContention::new(layout.width()),
+            requesting: AgentSet::new(),
+            inhibited: AgentSet::new(),
+            releases: 0,
+        })
+    }
+
+    /// Fairness-release cycles performed so far.
+    #[must_use]
+    pub fn releases(&self) -> u64 {
+        self.releases
+    }
+}
+
+impl SignalProtocol for Aap2System {
+    fn name(&self) -> &'static str {
+        "aap-2"
+    }
+
+    fn layout(&self) -> NumberLayout {
+        self.layout
+    }
+
+    fn on_requests(&mut self, ids: &[AgentId]) {
+        for &id in ids {
+            check_new_request(id, self.n, self.requesting);
+            self.requesting.insert(id);
+        }
+    }
+
+    fn arbitrate(&mut self) -> Option<SignalOutcome> {
+        if self.requesting.is_empty() {
+            // Idle bus: a request-line-low cycle clears inhibition for
+            // free.
+            self.inhibited.clear();
+            return None;
+        }
+        let mut arbitrations = 1;
+        let mut eligible = self.requesting.difference(self.inhibited);
+        if eligible.is_empty() {
+            // Every requester is inhibited: this arbitration cycle sees
+            // the request line low — the fairness release. Inhibition
+            // clears and a new arbitration starts.
+            self.inhibited.clear();
+            self.releases += 1;
+            arbitrations = 2;
+            eligible = self.requesting;
+        }
+        let competitors: Vec<u64> = eligible
+            .iter()
+            .map(|id| self.layout.compose(ArbitrationNumber::new(id)))
+            .collect();
+        let resolution = self.contention.resolve(&competitors);
+        let winner = self
+            .layout
+            .decode_id(resolution.winner_value)
+            .expect("eligible set is non-empty");
+        self.requesting.remove(winner);
+        self.inhibited.insert(winner);
+        Some(SignalOutcome {
+            winner,
+            rounds: resolution.rounds,
+            arbitrations,
+        })
+    }
+
+    fn pending(&self) -> usize {
+        self.requesting.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn id(n: u32) -> AgentId {
+        AgentId::new(n).unwrap()
+    }
+
+    fn ids(ns: &[u32]) -> Vec<AgentId> {
+        ns.iter().map(|&n| id(n)).collect()
+    }
+
+    #[test]
+    fn aap1_line_gates_batch_membership() {
+        let mut sys = Aap1System::new(8).unwrap();
+        assert!(!sys.request_line());
+        sys.on_requests(&ids(&[2]));
+        assert!(sys.request_line());
+        sys.on_requests(&ids(&[5, 7])); // defer
+        assert_eq!(sys.arbitrate().unwrap().winner, id(2));
+        // Line dropped at 2's grant; {5, 7} assert and serve in identity
+        // order.
+        assert_eq!(sys.arbitrate().unwrap().winner, id(7));
+        assert_eq!(sys.arbitrate().unwrap().winner, id(5));
+        assert!(sys.arbitrate().is_none());
+    }
+
+    #[test]
+    fn aap2_inhibition_and_release() {
+        let mut sys = Aap2System::new(4).unwrap();
+        sys.on_requests(&ids(&[1, 4]));
+        assert_eq!(sys.arbitrate().unwrap().winner, id(4));
+        sys.on_requests(&ids(&[4])); // inhibited re-request
+        assert_eq!(sys.arbitrate().unwrap().winner, id(1));
+        let out = sys.arbitrate().unwrap();
+        assert_eq!(out.winner, id(4));
+        assert_eq!(out.arbitrations, 2);
+        assert_eq!(sys.releases(), 1);
+    }
+
+    #[test]
+    fn aap2_latecomers_join_running_batch() {
+        let mut sys = Aap2System::new(8).unwrap();
+        sys.on_requests(&ids(&[2, 5]));
+        assert_eq!(sys.arbitrate().unwrap().winner, id(5));
+        sys.on_requests(&ids(&[8])); // unserved this batch: joins
+        assert_eq!(sys.arbitrate().unwrap().winner, id(8));
+        assert_eq!(sys.arbitrate().unwrap().winner, id(2));
+    }
+
+    #[test]
+    fn aap2_idle_clears_inhibition_for_free() {
+        let mut sys = Aap2System::new(4).unwrap();
+        sys.on_requests(&ids(&[3]));
+        sys.arbitrate().unwrap();
+        assert!(sys.arbitrate().is_none());
+        sys.on_requests(&ids(&[3]));
+        assert_eq!(sys.arbitrate().unwrap().arbitrations, 1);
+        assert_eq!(sys.releases(), 0);
+    }
+
+    #[test]
+    fn layouts_use_plain_identity_lines() {
+        assert_eq!(
+            Aap1System::new(30).unwrap().layout().width(),
+            AgentId::lines_required(30)
+        );
+        assert_eq!(
+            Aap2System::new(30).unwrap().layout().width(),
+            AgentId::lines_required(30)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "already has an outstanding request")]
+    fn aap1_rejects_duplicates_even_when_deferred() {
+        let mut sys = Aap1System::new(4).unwrap();
+        sys.on_requests(&ids(&[1]));
+        sys.on_requests(&ids(&[2]));
+        sys.on_requests(&ids(&[2]));
+    }
+}

@@ -1,0 +1,318 @@
+//! RR-1: the round-robin priority bit.
+
+use busarb_types::{AgentId, AgentSet, Error};
+
+use crate::signal::{check_new_request, validate_agent_count, SignalOutcome, SignalProtocol};
+use crate::{ArbitrationNumber, NumberLayout, ParallelContention};
+
+/// The first (and simplest) implementation of the round-robin protocol.
+///
+/// One extra bus line — the **round-robin priority bit** — is treated as
+/// the most significant bit of the arbitration number. Every agent records
+/// the identity of the winner at the end of each arbitration (excluding the
+/// round-robin bit). A competitor asserts the bit iff its static identity
+/// is smaller than the recorded previous winner, so the maximum-finding
+/// lines implement the round-robin scan `j−1, …, 1, N, …, j` after a win
+/// by agent `j`.
+///
+/// Per-agent hardware: a winner register and one comparator (Section 3.1).
+///
+/// # Examples
+///
+/// ```
+/// use busarb_bus::signal::{Rr1System, SignalProtocol};
+/// use busarb_types::AgentId;
+///
+/// # fn main() -> Result<(), busarb_types::Error> {
+/// let mut sys = Rr1System::new(3)?;
+/// sys.on_requests(&[AgentId::new(1)?, AgentId::new(3)?]);
+/// assert_eq!(sys.arbitrate().unwrap().winner.get(), 3);
+/// assert_eq!(sys.arbitrate().unwrap().winner.get(), 1);
+/// assert!(sys.arbitrate().is_none());
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone, Debug)]
+pub struct Rr1System {
+    n: u32,
+    layout: NumberLayout,
+    contention: ParallelContention,
+    requesting: AgentSet,
+    /// The **replicated** winner registers, one per agent. All agents
+    /// observe the same settled lines, so fault-free they are always
+    /// identical — and, unlike the rotating-priority scheme's dynamic
+    /// numbers, a corrupted copy is overwritten by the very next
+    /// arbitration's broadcast winner (the protocol self-heals; see
+    /// [`Rr1System::corrupt_register`]).
+    winner_registers: Vec<u32>,
+}
+
+impl Rr1System {
+    /// Creates a system of `n` agents with empty request lines.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidAgentCount`] if `n` is 0 or exceeds 128.
+    pub fn new(n: u32) -> Result<Self, Error> {
+        validate_agent_count(n)?;
+        let layout = NumberLayout::for_agents(n)?.with_rr_bit();
+        Ok(Rr1System {
+            n,
+            layout,
+            contention: ParallelContention::new(layout.width()),
+            requesting: AgentSet::new(),
+            // Initial register value N+1: every identity is "below" it, so
+            // the first arbitration is a plain maximum among competitors.
+            winner_registers: vec![n + 1; n as usize],
+        })
+    }
+
+    /// Current contents of the replicated winner register (they are
+    /// asserted identical; returns agent 1's copy).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the replicas have diverged, which can only happen in the
+    /// window between [`Rr1System::corrupt_register`] and the next
+    /// arbitration.
+    #[must_use]
+    pub fn last_winner(&self) -> u32 {
+        let first = self.winner_registers[0];
+        assert!(
+            self.winner_registers.iter().all(|&r| r == first),
+            "winner registers have diverged (pending fault)"
+        );
+        first
+    }
+
+    /// One agent's register copy (does not assert convergence).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `agent` exceeds the system size.
+    #[must_use]
+    pub fn register_of(&self, agent: AgentId) -> u32 {
+        self.winner_registers[agent.index()]
+    }
+
+    /// Fault injection: overwrite one agent's winner-register copy with
+    /// an arbitrary value. The paper's robustness argument for static
+    /// identities (§3.1) is that this state is *re-learned from the bus
+    /// at every arbitration*: the corrupted agent may compete with the
+    /// wrong round-robin bit for at most one arbitration, after which its
+    /// register is overwritten by the broadcast winner and the system is
+    /// fully consistent again — in contrast to the rotating-priority
+    /// scheme, where corrupted dynamic numbers persist.
+    pub fn corrupt_register(&mut self, agent: AgentId, value: u32) {
+        self.winner_registers[agent.index()] = value;
+    }
+
+    /// Whether every agent's register copy currently agrees.
+    #[must_use]
+    pub fn registers_converged(&self) -> bool {
+        self.winner_registers.windows(2).all(|w| w[0] == w[1])
+    }
+}
+
+impl SignalProtocol for Rr1System {
+    fn name(&self) -> &'static str {
+        "rr-1"
+    }
+
+    fn layout(&self) -> NumberLayout {
+        self.layout
+    }
+
+    fn on_requests(&mut self, ids: &[AgentId]) {
+        for &id in ids {
+            check_new_request(id, self.n, self.requesting);
+            self.requesting.insert(id);
+        }
+    }
+
+    fn arbitrate(&mut self) -> Option<SignalOutcome> {
+        if self.requesting.is_empty() {
+            return None;
+        }
+        let competitors: Vec<u64> = self
+            .requesting
+            .iter()
+            .map(|id| {
+                // Each competitor consults ITS OWN register copy.
+                let rr = id.get() < self.winner_registers[id.index()];
+                self.layout.compose(ArbitrationNumber::new(id).with_rr(rr))
+            })
+            .collect();
+        let resolution = self.contention.resolve(&competitors);
+        let winner = self
+            .layout
+            .decode_id(resolution.winner_value)
+            .expect("non-empty competition has a winner");
+        // Every agent latches the broadcast winner identity, excluding
+        // the rr bit — this is what re-synchronizes corrupted replicas.
+        self.winner_registers.fill(winner.get());
+        self.requesting.remove(winner);
+        Some(SignalOutcome {
+            winner,
+            rounds: resolution.rounds,
+            arbitrations: 1,
+        })
+    }
+
+    fn pending(&self) -> usize {
+        self.requesting.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn id(n: u32) -> AgentId {
+        AgentId::new(n).unwrap()
+    }
+
+    fn ids(ns: &[u32]) -> Vec<AgentId> {
+        ns.iter().map(|&n| id(n)).collect()
+    }
+
+    #[test]
+    fn saturated_system_serves_true_round_robin() {
+        let mut sys = Rr1System::new(5).unwrap();
+        sys.on_requests(&ids(&[1, 2, 3, 4, 5]));
+        let mut order = Vec::new();
+        for _ in 0..5 {
+            let out = sys.arbitrate().unwrap();
+            order.push(out.winner.get());
+            // Re-request immediately: keeps the system saturated.
+            sys.on_requests(&[out.winner]);
+        }
+        // After 5 wins at saturation, each agent was served exactly once,
+        // scanning downward from the first winner.
+        assert_eq!(order, vec![5, 4, 3, 2, 1]);
+        // Next full cycle repeats the scan.
+        let next: Vec<u32> = (0..5)
+            .map(|_| {
+                let out = sys.arbitrate().unwrap();
+                sys.on_requests(&[out.winner]);
+                out.winner.get()
+            })
+            .collect();
+        assert_eq!(next, vec![5, 4, 3, 2, 1]);
+    }
+
+    #[test]
+    fn wraps_from_low_to_high_identities() {
+        let mut sys = Rr1System::new(4).unwrap();
+        sys.on_requests(&ids(&[2]));
+        assert_eq!(sys.arbitrate().unwrap().winner, id(2));
+        // Winner register is 2; agent 3 requests; 3 is not below 2, but is
+        // the only competitor.
+        sys.on_requests(&ids(&[3]));
+        assert_eq!(sys.arbitrate().unwrap().winner, id(3));
+        // Now 1 (below 3, asserts rr bit) beats 4 (above 3).
+        sys.on_requests(&ids(&[1, 4]));
+        assert_eq!(sys.arbitrate().unwrap().winner, id(1));
+        assert_eq!(sys.arbitrate().unwrap().winner, id(4));
+    }
+
+    #[test]
+    fn rr_bit_gives_low_ids_priority() {
+        let mut sys = Rr1System::new(10).unwrap();
+        sys.on_requests(&ids(&[10]));
+        sys.arbitrate().unwrap(); // winner register = 10
+        sys.on_requests(&ids(&[3, 7]));
+        // Both below 10 -> both assert the rr bit -> higher id wins.
+        assert_eq!(sys.arbitrate().unwrap().winner, id(7));
+        // 3 is below 7 -> asserts rr; nobody else.
+        assert_eq!(sys.arbitrate().unwrap().winner, id(3));
+    }
+
+    #[test]
+    fn layout_uses_one_extra_line() {
+        let sys = Rr1System::new(30).unwrap();
+        assert_eq!(sys.layout().width(), AgentId::lines_required(30) + 1);
+        assert!(sys.layout().has_rr_bit());
+        assert_eq!(sys.name(), "rr-1");
+    }
+
+    #[test]
+    fn empty_arbitration_returns_none() {
+        let mut sys = Rr1System::new(3).unwrap();
+        assert!(sys.arbitrate().is_none());
+        assert_eq!(sys.pending(), 0);
+    }
+
+    #[test]
+    fn corrupted_register_self_heals_in_one_arbitration() {
+        let mut sys = Rr1System::new(6).unwrap();
+        sys.on_requests(&ids(&[4]));
+        sys.arbitrate().unwrap(); // all registers = 4
+        assert!(sys.registers_converged());
+
+        // Corrupt agent 2's copy: it now believes the last winner was 6.
+        sys.corrupt_register(id(2), 6);
+        assert!(!sys.registers_converged());
+        assert_eq!(sys.register_of(id(2)), 6);
+        assert_eq!(sys.register_of(id(1)), 4);
+
+        // The next arbitration may be perturbed (agent 2 asserts the rr
+        // bit using its stale view), but its broadcast winner overwrites
+        // every replica: the system is consistent again.
+        sys.on_requests(&ids(&[2, 5]));
+        let out = sys.arbitrate().unwrap();
+        assert!(sys.registers_converged());
+        assert_eq!(sys.register_of(id(1)), out.winner.get());
+        // And subsequent behavior is exactly normal round-robin.
+        let next = sys.arbitrate().unwrap();
+        assert!(sys.registers_converged());
+        assert_ne!(out.winner, next.winner);
+    }
+
+    #[test]
+    fn corruption_window_is_bounded_to_one_decision() {
+        // Even an adversarial corrupted value perturbs at most the single
+        // next decision: once both systems have re-latched a broadcast
+        // winner and their registers coincide, they agree forever after.
+        let mut faulted = Rr1System::new(5).unwrap();
+        let mut clean = Rr1System::new(5).unwrap();
+        for sys in [&mut faulted, &mut clean] {
+            sys.on_requests(&ids(&[1, 2, 3, 4, 5]));
+            assert_eq!(sys.arbitrate().unwrap().winner, id(5));
+        }
+        faulted.corrupt_register(id(3), 1);
+        // Next arbitration: competitors {1,2,3,4}; agent 3's stale view
+        // (register 1) suppresses its rr bit, so 4 still wins in both
+        // systems here — but the key point is re-convergence, asserted
+        // below regardless of the decision.
+        let wf = faulted.arbitrate().unwrap().winner;
+        let wc = clean.arbitrate().unwrap().winner;
+        assert!(faulted.registers_converged());
+        if wf == wc {
+            // Registers re-latched the same broadcast value: lockstep
+            // from here on.
+            loop {
+                let a = faulted.arbitrate().map(|o| o.winner);
+                let b = clean.arbitrate().map(|o| o.winner);
+                assert_eq!(a, b);
+                if a.is_none() {
+                    break;
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "already has an outstanding request")]
+    fn duplicate_request_panics() {
+        let mut sys = Rr1System::new(3).unwrap();
+        sys.on_requests(&ids(&[2, 2]));
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds system size")]
+    fn oversized_identity_panics() {
+        let mut sys = Rr1System::new(3).unwrap();
+        sys.on_requests(&ids(&[4]));
+    }
+}

@@ -1,0 +1,213 @@
+//! RR-2: the low-request line.
+
+use busarb_types::{AgentId, AgentSet, Error};
+
+use crate::signal::{check_new_request, validate_agent_count, SignalOutcome, SignalProtocol};
+use crate::{ArbitrationNumber, NumberLayout, ParallelContention};
+
+/// The second implementation of the round-robin protocol.
+///
+/// The extra line is renamed the **low-request** line and used for
+/// *inhibition* rather than as an arbitration-number bit: a requesting
+/// agent asserts it iff its identity is lower than the recorded previous
+/// winner. If the line is asserted at the start of an arbitration, only
+/// agents below the previous winner compete; otherwise everyone competes.
+/// The grant sequence is identical to [`Rr1System`](crate::signal::Rr1System);
+/// the arbitration number itself stays k bits wide.
+///
+/// # Examples
+///
+/// ```
+/// use busarb_bus::signal::{Rr2System, SignalProtocol};
+/// use busarb_types::AgentId;
+///
+/// # fn main() -> Result<(), busarb_types::Error> {
+/// let mut sys = Rr2System::new(8)?;
+/// sys.on_requests(&[AgentId::new(2)?, AgentId::new(6)?]);
+/// assert_eq!(sys.arbitrate().unwrap().winner.get(), 6);
+/// assert_eq!(sys.arbitrate().unwrap().winner.get(), 2);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone, Debug)]
+pub struct Rr2System {
+    n: u32,
+    layout: NumberLayout,
+    contention: ParallelContention,
+    requesting: AgentSet,
+    last_winner: u32,
+}
+
+impl Rr2System {
+    /// Creates a system of `n` agents.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidAgentCount`] if `n` is 0 or exceeds 128.
+    pub fn new(n: u32) -> Result<Self, Error> {
+        validate_agent_count(n)?;
+        let layout = NumberLayout::for_agents(n)?;
+        Ok(Rr2System {
+            n,
+            layout,
+            contention: ParallelContention::new(layout.width()),
+            requesting: AgentSet::new(),
+            last_winner: n + 1,
+        })
+    }
+
+    /// Current contents of the (replicated) winner register.
+    #[must_use]
+    pub fn last_winner(&self) -> u32 {
+        self.last_winner
+    }
+
+    /// Whether the low-request line would read asserted right now.
+    #[must_use]
+    pub fn low_request_asserted(&self) -> bool {
+        self.requesting.iter().any(|id| id.get() < self.last_winner)
+    }
+}
+
+impl SignalProtocol for Rr2System {
+    fn name(&self) -> &'static str {
+        "rr-2"
+    }
+
+    fn layout(&self) -> NumberLayout {
+        self.layout
+    }
+
+    fn on_requests(&mut self, ids: &[AgentId]) {
+        for &id in ids {
+            check_new_request(id, self.n, self.requesting);
+            self.requesting.insert(id);
+        }
+    }
+
+    fn arbitrate(&mut self) -> Option<SignalOutcome> {
+        if self.requesting.is_empty() {
+            return None;
+        }
+        let eligible = if self.low_request_asserted() {
+            self.requesting
+                .iter()
+                .filter(|id| id.get() < self.last_winner)
+                .collect::<AgentSet>()
+        } else {
+            self.requesting
+        };
+        let competitors: Vec<u64> = eligible
+            .iter()
+            .map(|id| self.layout.compose(ArbitrationNumber::new(id)))
+            .collect();
+        let resolution = self.contention.resolve(&competitors);
+        let winner = self
+            .layout
+            .decode_id(resolution.winner_value)
+            .expect("eligible set is non-empty");
+        self.last_winner = winner.get();
+        self.requesting.remove(winner);
+        Some(SignalOutcome {
+            winner,
+            rounds: resolution.rounds,
+            arbitrations: 1,
+        })
+    }
+
+    fn pending(&self) -> usize {
+        self.requesting.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn id(n: u32) -> AgentId {
+        AgentId::new(n).unwrap()
+    }
+
+    fn ids(ns: &[u32]) -> Vec<AgentId> {
+        ns.iter().map(|&n| id(n)).collect()
+    }
+
+    #[test]
+    fn saturated_round_robin_order() {
+        let mut sys = Rr2System::new(4).unwrap();
+        sys.on_requests(&ids(&[1, 2, 3, 4]));
+        let mut order = Vec::new();
+        for _ in 0..8 {
+            let out = sys.arbitrate().unwrap();
+            order.push(out.winner.get());
+            sys.on_requests(&[out.winner]);
+        }
+        assert_eq!(order, vec![4, 3, 2, 1, 4, 3, 2, 1]);
+    }
+
+    #[test]
+    fn low_request_line_gates_competition() {
+        let mut sys = Rr2System::new(8).unwrap();
+        sys.on_requests(&ids(&[5]));
+        sys.arbitrate().unwrap(); // winner register = 5
+        sys.on_requests(&ids(&[3, 7]));
+        assert!(sys.low_request_asserted()); // 3 < 5
+                                             // Only agent 3 competes; 7 is inhibited despite higher identity.
+        assert_eq!(sys.arbitrate().unwrap().winner, id(3));
+        // Now winner register = 3; only 7 requests; line not asserted.
+        assert!(!sys.low_request_asserted());
+        assert_eq!(sys.arbitrate().unwrap().winner, id(7));
+    }
+
+    #[test]
+    fn no_extra_number_line() {
+        let sys = Rr2System::new(30).unwrap();
+        assert_eq!(sys.layout().width(), AgentId::lines_required(30));
+        assert!(!sys.layout().has_rr_bit());
+        assert_eq!(sys.name(), "rr-2");
+    }
+
+    #[test]
+    fn matches_rr1_decisions_on_a_random_like_schedule() {
+        use crate::signal::Rr1System;
+        let mut a = Rr1System::new(7).unwrap();
+        let mut b = Rr2System::new(7).unwrap();
+        // A fixed but irregular request schedule.
+        let schedule: &[&[u32]] = &[
+            &[3, 5],
+            &[],
+            &[1, 7, 2],
+            &[6],
+            &[],
+            &[4],
+            &[5],
+            &[3, 7],
+            &[],
+            &[],
+        ];
+        for batch in schedule {
+            let reqs = ids(batch);
+            a.on_requests(&reqs);
+            b.on_requests(&reqs);
+            let wa = a.arbitrate().map(|o| o.winner);
+            let wb = b.arbitrate().map(|o| o.winner);
+            assert_eq!(wa, wb);
+        }
+        // Drain both.
+        loop {
+            let wa = a.arbitrate().map(|o| o.winner);
+            let wb = b.arbitrate().map(|o| o.winner);
+            assert_eq!(wa, wb);
+            if wa.is_none() {
+                break;
+            }
+        }
+    }
+
+    #[test]
+    fn empty_system() {
+        let mut sys = Rr2System::new(2).unwrap();
+        assert!(sys.arbitrate().is_none());
+        assert!(!sys.low_request_asserted());
+    }
+}

@@ -1,0 +1,238 @@
+//! RR-3: round-robin with no extra bus line.
+
+use busarb_types::{AgentId, AgentSet, Error};
+
+use crate::signal::{check_new_request, validate_agent_count, SignalOutcome, SignalProtocol};
+use crate::{ArbitrationNumber, NumberLayout, ParallelContention};
+
+/// The third implementation of the round-robin protocol.
+///
+/// No extra bus line is used. Only agents with identities **below** the
+/// recorded previous winner compete in an arbitration. Because no agent has
+/// identity zero, a winning value of zero reveals that nobody participated;
+/// in that case every agent records `N+1` as the winning value and a new
+/// arbitration starts immediately, now admitting all requesters. The
+/// wraparound therefore costs one extra (empty) arbitration — the paper
+/// notes this implementation is "somewhat less efficient than the first
+/// two" (Section 3.1); the `ablation.rr3` experiment measures exactly how
+/// often the extra arbitration happens.
+///
+/// # Examples
+///
+/// ```
+/// use busarb_bus::signal::{Rr3System, SignalProtocol};
+/// use busarb_types::AgentId;
+///
+/// # fn main() -> Result<(), busarb_types::Error> {
+/// let mut sys = Rr3System::new(4)?;
+/// sys.on_requests(&[AgentId::new(2)?]);
+/// let out = sys.arbitrate().unwrap();
+/// assert_eq!(out.winner.get(), 2);
+/// // The very first arbitration needs no wraparound (register starts at
+/// // N+1, admitting everyone).
+/// assert_eq!(out.arbitrations, 1);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone, Debug)]
+pub struct Rr3System {
+    n: u32,
+    layout: NumberLayout,
+    contention: ParallelContention,
+    requesting: AgentSet,
+    last_winner: u32,
+    empty_arbitrations: u64,
+}
+
+impl Rr3System {
+    /// Creates a system of `n` agents.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidAgentCount`] if `n` is 0 or exceeds 128.
+    pub fn new(n: u32) -> Result<Self, Error> {
+        validate_agent_count(n)?;
+        let layout = NumberLayout::for_agents(n)?;
+        Ok(Rr3System {
+            n,
+            layout,
+            contention: ParallelContention::new(layout.width()),
+            requesting: AgentSet::new(),
+            last_winner: n + 1,
+            empty_arbitrations: 0,
+        })
+    }
+
+    /// Current contents of the (replicated) winner register.
+    #[must_use]
+    pub fn last_winner(&self) -> u32 {
+        self.last_winner
+    }
+
+    /// Total empty (wraparound) arbitrations performed so far — the
+    /// protocol's extra overhead relative to RR-1/RR-2.
+    #[must_use]
+    pub fn empty_arbitrations(&self) -> u64 {
+        self.empty_arbitrations
+    }
+
+    /// Runs one line arbitration among requesters below the register.
+    fn arbitrate_below(&mut self) -> (u64, u32) {
+        let eligible: Vec<u64> = self
+            .requesting
+            .iter()
+            .filter(|id| id.get() < self.last_winner)
+            .map(|id| self.layout.compose(ArbitrationNumber::new(id)))
+            .collect();
+        let r = self.contention.resolve(&eligible);
+        (r.winner_value, r.rounds)
+    }
+}
+
+impl SignalProtocol for Rr3System {
+    fn name(&self) -> &'static str {
+        "rr-3"
+    }
+
+    fn layout(&self) -> NumberLayout {
+        self.layout
+    }
+
+    fn on_requests(&mut self, ids: &[AgentId]) {
+        for &id in ids {
+            check_new_request(id, self.n, self.requesting);
+            self.requesting.insert(id);
+        }
+    }
+
+    fn arbitrate(&mut self) -> Option<SignalOutcome> {
+        if self.requesting.is_empty() {
+            return None;
+        }
+        let (value, rounds) = self.arbitrate_below();
+        let (value, total_rounds, arbitrations) = if value == 0 {
+            // Nobody below the register competed: record N+1 and start a
+            // new arbitration immediately. All requesters are below N+1, so
+            // the second arbitration cannot be empty.
+            self.empty_arbitrations += 1;
+            self.last_winner = self.n + 1;
+            let (v2, r2) = self.arbitrate_below();
+            (v2, rounds + r2, 2)
+        } else {
+            (value, rounds, 1)
+        };
+        let winner = self
+            .layout
+            .decode_id(value)
+            .expect("second arbitration admits all requesters");
+        self.last_winner = winner.get();
+        self.requesting.remove(winner);
+        Some(SignalOutcome {
+            winner,
+            rounds: total_rounds,
+            arbitrations,
+        })
+    }
+
+    fn pending(&self) -> usize {
+        self.requesting.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn id(n: u32) -> AgentId {
+        AgentId::new(n).unwrap()
+    }
+
+    fn ids(ns: &[u32]) -> Vec<AgentId> {
+        ns.iter().map(|&n| id(n)).collect()
+    }
+
+    #[test]
+    fn saturated_round_robin_order_with_wraparound() {
+        let mut sys = Rr3System::new(3).unwrap();
+        sys.on_requests(&ids(&[1, 2, 3]));
+        let mut order = Vec::new();
+        let mut wraps = 0;
+        for _ in 0..7 {
+            let out = sys.arbitrate().unwrap();
+            order.push(out.winner.get());
+            if out.arbitrations == 2 {
+                wraps += 1;
+            }
+            sys.on_requests(&[out.winner]);
+        }
+        assert_eq!(order, vec![3, 2, 1, 3, 2, 1, 3]);
+        // Each arbitration following an agent-1 win starts below register 1,
+        // finds nobody, and wraps.
+        assert_eq!(wraps, 2);
+        assert_eq!(sys.empty_arbitrations(), 2);
+    }
+
+    #[test]
+    fn wraparound_costs_second_arbitration() {
+        let mut sys = Rr3System::new(5).unwrap();
+        sys.on_requests(&ids(&[2]));
+        assert_eq!(sys.arbitrate().unwrap().arbitrations, 1);
+        // Register is 2; agent 4 requests; 4 is not below 2 -> empty
+        // arbitration, register := 6, re-arbitrate.
+        sys.on_requests(&ids(&[4]));
+        let out = sys.arbitrate().unwrap();
+        assert_eq!(out.winner, id(4));
+        assert_eq!(out.arbitrations, 2);
+    }
+
+    #[test]
+    fn matches_rr1_grant_sequence() {
+        use crate::signal::Rr1System;
+        let mut a = Rr1System::new(9).unwrap();
+        let mut b = Rr3System::new(9).unwrap();
+        let schedule: &[&[u32]] = &[
+            &[9, 1],
+            &[4],
+            &[],
+            &[2, 8],
+            &[5, 3],
+            &[],
+            &[7],
+            &[1],
+            &[6],
+            &[],
+            &[],
+            &[],
+        ];
+        for batch in schedule {
+            let reqs = ids(batch);
+            a.on_requests(&reqs);
+            b.on_requests(&reqs);
+            assert_eq!(
+                a.arbitrate().map(|o| o.winner),
+                b.arbitrate().map(|o| o.winner)
+            );
+        }
+        loop {
+            let wa = a.arbitrate().map(|o| o.winner);
+            assert_eq!(wa, b.arbitrate().map(|o| o.winner));
+            if wa.is_none() {
+                break;
+            }
+        }
+    }
+
+    #[test]
+    fn uses_no_extra_lines() {
+        let sys = Rr3System::new(64).unwrap();
+        assert_eq!(sys.layout().width(), AgentId::lines_required(64));
+        assert_eq!(sys.name(), "rr-3");
+    }
+
+    #[test]
+    fn empty_system_returns_none() {
+        let mut sys = Rr3System::new(2).unwrap();
+        assert!(sys.arbitrate().is_none());
+        assert_eq!(sys.empty_arbitrations(), 0);
+    }
+}

@@ -1,0 +1,391 @@
+//! An adaptive arbiter that switches policy from observed request
+//! patterns (paper §5).
+//!
+//! The paper closes by suggesting "an adaptive scheme that uses the
+//! history of request patterns to optimize its behavior". The paper gives
+//! no mechanism, so this module documents its own: the arbiter tracks the
+//! fraction of recent arrivals that *tied* with another arrival in the
+//! same sensing window. A high tie fraction means the FCFS counters are
+//! doing little (ties are resolved by raw identity — unfair), so the
+//! arbiter switches to round-robin selection; when ties become rare it
+//! switches back to FCFS to enjoy the lower waiting-time variance. A 2:1
+//! hysteresis between the two thresholds prevents oscillation.
+
+use core::cmp::Reverse;
+use std::collections::VecDeque;
+
+use busarb_bus::NumberLayout;
+use busarb_types::{AgentId, Error, Priority, Time};
+
+use crate::arbiter::{check_agent, validate_agents, Arbiter, Grant};
+
+/// The policy an [`AdaptiveArbiter`] is currently applying.
+#[derive(Clone, Copy, Default, PartialEq, Eq, Hash, Debug)]
+pub enum AdaptiveMode {
+    /// Order by waiting-time counters (FCFS-2 selection).
+    #[default]
+    Fcfs,
+    /// Order by the round-robin scan (RR selection).
+    RoundRobin,
+}
+
+impl core::fmt::Display for AdaptiveMode {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            AdaptiveMode::Fcfs => f.write_str("fcfs"),
+            AdaptiveMode::RoundRobin => f.write_str("round-robin"),
+        }
+    }
+}
+
+/// Tuning parameters for the [`AdaptiveArbiter`].
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct AdaptiveConfig {
+    /// Switch to round-robin when the recent tie fraction exceeds this.
+    pub tie_threshold: f64,
+    /// Number of recent arrivals considered.
+    pub history: usize,
+    /// Arrivals within this window of the previous one count as tied.
+    pub tie_window: Time,
+}
+
+impl Default for AdaptiveConfig {
+    fn default() -> Self {
+        AdaptiveConfig {
+            tie_threshold: 0.5,
+            history: 64,
+            tie_window: Time::ZERO,
+        }
+    }
+}
+
+impl AdaptiveConfig {
+    fn validate(&self) -> Result<(), Error> {
+        if !(0.0..=1.0).contains(&self.tie_threshold) || self.history == 0 {
+            return Err(Error::InvalidScenario {
+                reason: format!(
+                    "adaptive config needs tie_threshold in [0,1] and history > 0, got {} / {}",
+                    self.tie_threshold, self.history
+                ),
+            });
+        }
+        if self.tie_window < Time::ZERO {
+            return Err(Error::InvalidScenario {
+                reason: "tie window must be non-negative".to_string(),
+            });
+        }
+        Ok(())
+    }
+}
+
+/// One outstanding request.
+#[derive(Clone, Copy, Debug)]
+struct Entry {
+    agent: AgentId,
+    priority: Priority,
+    counter: u64,
+    seq: u64,
+}
+
+/// An arbiter that adapts between FCFS and round-robin selection based on
+/// the observed arrival pattern.
+///
+/// # Examples
+///
+/// ```
+/// use busarb_core::{AdaptiveArbiter, AdaptiveMode, Arbiter};
+/// use busarb_types::{AgentId, Priority, Time};
+///
+/// # fn main() -> Result<(), busarb_types::Error> {
+/// let mut a = AdaptiveArbiter::new(8)?;
+/// assert_eq!(a.mode(), AdaptiveMode::Fcfs);
+/// a.on_request(Time::ZERO, AgentId::new(3)?, Priority::Ordinary);
+/// assert_eq!(a.arbitrate(Time::ZERO).unwrap().agent.get(), 3);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone, Debug)]
+pub struct AdaptiveArbiter {
+    n: u32,
+    config: AdaptiveConfig,
+    layout: NumberLayout,
+    entries: Vec<Entry>,
+    next_seq: u64,
+    last_pulse: Option<Time>,
+    last_winner: u32,
+    mode: AdaptiveMode,
+    /// Ring of recent arrivals: `true` = tied with the previous arrival.
+    recent_ties: VecDeque<bool>,
+    switches: u64,
+}
+
+impl AdaptiveArbiter {
+    /// Creates an adaptive arbiter with [`AdaptiveConfig::default`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidAgentCount`] if `n` is 0 or exceeds 128.
+    pub fn new(n: u32) -> Result<Self, Error> {
+        Self::with_config(n, AdaptiveConfig::default())
+    }
+
+    /// Creates an adaptive arbiter with explicit tuning.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidAgentCount`] for a bad `n` and
+    /// [`Error::InvalidScenario`] for bad tuning parameters.
+    pub fn with_config(n: u32, config: AdaptiveConfig) -> Result<Self, Error> {
+        validate_agents(n)?;
+        config.validate()?;
+        let layout = NumberLayout::for_agents(n)?
+            .with_counter_bits(AgentId::lines_required(n).max(1))
+            .with_rr_bit()
+            .with_priority_bit();
+        Ok(AdaptiveArbiter {
+            n,
+            config,
+            layout,
+            entries: Vec::new(),
+            next_seq: 0,
+            last_pulse: None,
+            last_winner: n + 1,
+            mode: AdaptiveMode::Fcfs,
+            recent_ties: VecDeque::new(),
+            switches: 0,
+        })
+    }
+
+    /// The policy currently in force.
+    #[must_use]
+    pub fn mode(&self) -> AdaptiveMode {
+        self.mode
+    }
+
+    /// Number of mode switches so far.
+    #[must_use]
+    pub fn switches(&self) -> u64 {
+        self.switches
+    }
+
+    /// Fraction of recent arrivals that tied with their predecessor.
+    #[must_use]
+    pub fn tie_fraction(&self) -> f64 {
+        if self.recent_ties.is_empty() {
+            0.0
+        } else {
+            self.recent_ties.iter().filter(|&&t| t).count() as f64 / self.recent_ties.len() as f64
+        }
+    }
+
+    fn update_mode(&mut self) {
+        if self.recent_ties.len() < self.config.history {
+            return; // not enough evidence yet
+        }
+        let f = self.tie_fraction();
+        let next = match self.mode {
+            AdaptiveMode::Fcfs if f > self.config.tie_threshold => AdaptiveMode::RoundRobin,
+            // 2:1 hysteresis on the way back down.
+            AdaptiveMode::RoundRobin if f < self.config.tie_threshold / 2.0 => AdaptiveMode::Fcfs,
+            m => m,
+        };
+        if next != self.mode {
+            self.mode = next;
+            self.switches += 1;
+        }
+    }
+}
+
+impl Arbiter for AdaptiveArbiter {
+    fn name(&self) -> &'static str {
+        "adaptive"
+    }
+
+    fn agents(&self) -> u32 {
+        self.n
+    }
+
+    fn layout(&self) -> Option<NumberLayout> {
+        Some(self.layout)
+    }
+
+    fn on_request(&mut self, now: Time, agent: AgentId, priority: Priority) {
+        check_agent(agent, self.n);
+        assert!(
+            !self.entries.iter().any(|e| e.agent == agent),
+            "agent {agent} already has an outstanding request"
+        );
+        let tied = self
+            .last_pulse
+            .is_some_and(|t| now - t <= self.config.tie_window);
+        if !tied {
+            let capacity = self.layout.counter_max();
+            for e in &mut self.entries {
+                if e.counter < capacity {
+                    e.counter += 1;
+                }
+            }
+            self.last_pulse = Some(now);
+        }
+        self.recent_ties.push_back(tied);
+        while self.recent_ties.len() > self.config.history {
+            self.recent_ties.pop_front();
+        }
+        self.update_mode();
+        self.entries.push(Entry {
+            agent,
+            priority,
+            counter: 0,
+            seq: self.next_seq,
+        });
+        self.next_seq += 1;
+    }
+
+    fn arbitrate(&mut self, _now: Time) -> Option<Grant> {
+        if self.entries.is_empty() {
+            return None;
+        }
+        let last_winner = self.last_winner;
+        let mode = self.mode;
+        let idx = self
+            .entries
+            .iter()
+            .enumerate()
+            .max_by_key(|(_, e)| {
+                let rr = e.agent.get() < last_winner;
+                match mode {
+                    AdaptiveMode::Fcfs => (e.priority, e.counter, false, e.agent, Reverse(e.seq)),
+                    AdaptiveMode::RoundRobin => (e.priority, 0u64, rr, e.agent, Reverse(e.seq)),
+                }
+            })
+            .map(|(i, _)| i)
+            .expect("entries is non-empty");
+        let winner = self.entries.swap_remove(idx);
+        self.last_winner = winner.agent.get();
+        Some(Grant {
+            agent: winner.agent,
+            priority: winner.priority,
+            arbitrations: 1,
+        })
+    }
+
+    fn pending(&self) -> usize {
+        self.entries.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn id(n: u32) -> AgentId {
+        AgentId::new(n).unwrap()
+    }
+
+    fn small_config() -> AdaptiveConfig {
+        AdaptiveConfig {
+            tie_threshold: 0.5,
+            history: 4,
+            tie_window: Time::ZERO,
+        }
+    }
+
+    #[test]
+    fn starts_in_fcfs_mode_and_orders_by_arrival() {
+        let mut a = AdaptiveArbiter::new(8).unwrap();
+        a.on_request(Time::from(0.0), id(2), Priority::Ordinary);
+        a.on_request(Time::from(1.0), id(7), Priority::Ordinary);
+        assert_eq!(a.mode(), AdaptiveMode::Fcfs);
+        assert_eq!(a.arbitrate(Time::ZERO).unwrap().agent, id(2));
+        assert_eq!(a.arbitrate(Time::ZERO).unwrap().agent, id(7));
+    }
+
+    #[test]
+    fn switches_to_rr_under_heavy_ties() {
+        let mut a = AdaptiveArbiter::with_config(8, small_config()).unwrap();
+        // Four arrivals at the same instant: tie fraction 3/4 > 0.5.
+        for agent in [1, 2, 3, 4] {
+            a.on_request(Time::ZERO, id(agent), Priority::Ordinary);
+        }
+        assert_eq!(a.mode(), AdaptiveMode::RoundRobin);
+        assert_eq!(a.switches(), 1);
+        assert!(a.tie_fraction() > 0.5);
+    }
+
+    #[test]
+    fn switches_back_with_hysteresis() {
+        let mut a = AdaptiveArbiter::with_config(8, small_config()).unwrap();
+        for agent in [1, 2, 3, 4] {
+            a.on_request(Time::ZERO, id(agent), Priority::Ordinary);
+        }
+        assert_eq!(a.mode(), AdaptiveMode::RoundRobin);
+        for _ in 0..4 {
+            a.arbitrate(Time::ZERO);
+        }
+        // Spread-out arrivals: tie fraction falls to 0 < 0.25.
+        for (i, agent) in [5, 6, 7, 8].into_iter().enumerate() {
+            a.on_request(Time::from(1.0 + i as f64), id(agent), Priority::Ordinary);
+        }
+        assert_eq!(a.mode(), AdaptiveMode::Fcfs);
+        assert_eq!(a.switches(), 2);
+    }
+
+    #[test]
+    fn rr_mode_selects_round_robin_order() {
+        let mut a = AdaptiveArbiter::with_config(8, small_config()).unwrap();
+        // Seed register: serve 5 first.
+        a.on_request(Time::ZERO, id(5), Priority::Ordinary);
+        a.arbitrate(Time::ZERO);
+        // Four same-instant arrivals push the tie fraction to 3/4 > 1/2.
+        for agent in [2, 6, 7, 3] {
+            a.on_request(Time::from(1.0), id(agent), Priority::Ordinary);
+        }
+        assert_eq!(a.mode(), AdaptiveMode::RoundRobin);
+        // RR scan relative to register 5: 3, 2, then wrap to 7, 6.
+        assert_eq!(a.arbitrate(Time::ZERO).unwrap().agent, id(3));
+        assert_eq!(a.arbitrate(Time::ZERO).unwrap().agent, id(2));
+        assert_eq!(a.arbitrate(Time::ZERO).unwrap().agent, id(7));
+        assert_eq!(a.arbitrate(Time::ZERO).unwrap().agent, id(6));
+    }
+
+    #[test]
+    fn urgent_requests_always_first() {
+        let mut a = AdaptiveArbiter::new(8).unwrap();
+        a.on_request(Time::from(0.0), id(3), Priority::Ordinary);
+        a.on_request(Time::from(1.0), id(1), Priority::Urgent);
+        let g = a.arbitrate(Time::ZERO).unwrap();
+        assert_eq!((g.agent, g.priority), (id(1), Priority::Urgent));
+    }
+
+    #[test]
+    fn config_validation() {
+        assert!(AdaptiveArbiter::with_config(
+            8,
+            AdaptiveConfig {
+                tie_threshold: 1.5,
+                ..AdaptiveConfig::default()
+            }
+        )
+        .is_err());
+        assert!(AdaptiveArbiter::with_config(
+            8,
+            AdaptiveConfig {
+                history: 0,
+                ..AdaptiveConfig::default()
+            }
+        )
+        .is_err());
+        assert!(AdaptiveArbiter::new(0).is_err());
+    }
+
+    #[test]
+    fn metadata() {
+        let a = AdaptiveArbiter::new(16).unwrap();
+        assert_eq!(a.name(), "adaptive");
+        assert_eq!(a.agents(), 16);
+        assert_eq!(a.tie_fraction(), 0.0);
+        assert!(a.layout().is_some());
+        assert_eq!(AdaptiveMode::Fcfs.to_string(), "fcfs");
+        assert_eq!(AdaptiveMode::RoundRobin.to_string(), "round-robin");
+    }
+}

@@ -1,0 +1,437 @@
+//! The existing assured access protocols (the paper's baselines).
+
+use busarb_bus::NumberLayout;
+use busarb_types::{AgentId, AgentSet, Error, Priority, Time};
+
+use crate::arbiter::{check_agent, validate_agents, Arbiter, Grant};
+
+/// Which batching rule the assured access protocol follows (paper §2.2).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum BatchingRule {
+    /// Adopted by Fastbus, NuBus and Multibus II: requests arriving to an
+    /// idle bus form a batch; a request generated while a batch is in
+    /// progress waits for the batch to end (the request line dropping)
+    /// before asserting. Within a batch, service is in static-identity
+    /// order.
+    IdleBatch,
+    /// Adopted by Futurebus: an agent competes in successive arbitrations
+    /// until served, then marks itself *inhibited* until a fairness-release
+    /// cycle (an arbitration in which no agent asserts the request line).
+    /// A request generated during a batch joins it if the agent has not
+    /// yet been served in the batch.
+    FairnessRelease,
+    /// The "slightly modified" Futurebus variant the paper credits with a
+    /// 10–15% maximum throughput spread. The exact mechanics are not given
+    /// in the paper; we implement the natural strengthening — batch
+    /// membership is **closed** at the fairness-release cycle, so requests
+    /// generated mid-batch wait for the next batch even if their agent has
+    /// not been served. Documented as an assumption in DESIGN.md.
+    ClosedBatch,
+}
+
+impl core::fmt::Display for BatchingRule {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            BatchingRule::IdleBatch => f.write_str("idle batch"),
+            BatchingRule::FairnessRelease => f.write_str("fairness release"),
+            BatchingRule::ClosedBatch => f.write_str("closed batch"),
+        }
+    }
+}
+
+/// An assured access protocol for the parallel contention arbiter.
+///
+/// These protocols are "widely regarded as being fair", but serve every
+/// batch in descending static-identity order, so the highest-identity agent
+/// is *always* served first in its batch — the source of the 10%–100%
+/// throughput spread quantified in \[VeLe88\] and reproduced in the
+/// Table 4.1 experiment.
+///
+/// Urgent requests ignore the batching rules entirely and compete in every
+/// arbitration with the priority bit set (§2.4).
+///
+/// # Batch boundary model (idle batch)
+///
+/// The batch boundary is the shared request line: an agent with a new
+/// request asserts it only if it currently reads low. The line drops at the
+/// start of the *last* batch member's tenure, at which point every deferred
+/// request asserts and forms the next batch; an arrival after that joins
+/// the forming batch, an arrival before it waits one more batch. The model
+/// promotes the deferred set eagerly at the final grant of a batch,
+/// matching that hardware behavior. Requests passed at the same simulated
+/// instant are processed in call order.
+///
+/// # Examples
+///
+/// ```
+/// use busarb_core::{Arbiter, AssuredAccess, BatchingRule};
+/// use busarb_types::{AgentId, Priority, Time};
+///
+/// # fn main() -> Result<(), busarb_types::Error> {
+/// let mut aap = AssuredAccess::new(4, BatchingRule::IdleBatch)?;
+/// // Agent 1 arrives to an idle bus and forms a batch by itself.
+/// aap.on_request(Time::ZERO, AgentId::new(1)?, Priority::Ordinary);
+/// // Agents 3 and 4 arrive while that batch is in progress: they wait.
+/// aap.on_request(Time::ZERO, AgentId::new(3)?, Priority::Ordinary);
+/// aap.on_request(Time::ZERO, AgentId::new(4)?, Priority::Ordinary);
+/// assert_eq!(aap.arbitrate(Time::ZERO).unwrap().agent.get(), 1);
+/// // The next batch {3, 4} is served in identity order.
+/// assert_eq!(aap.arbitrate(Time::ZERO).unwrap().agent.get(), 4);
+/// assert_eq!(aap.arbitrate(Time::ZERO).unwrap().agent.get(), 3);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone, Debug)]
+pub struct AssuredAccess {
+    n: u32,
+    rule: BatchingRule,
+    layout: NumberLayout,
+    /// Agents asserting the request line as part of the current batch
+    /// (IdleBatch), or all agents with outstanding ordinary requests
+    /// (FairnessRelease/ClosedBatch).
+    requesting: AgentSet,
+    /// IdleBatch: requests deferred to the next batch.
+    deferred: AgentSet,
+    /// FairnessRelease/ClosedBatch: agents served in the current batch.
+    inhibited: AgentSet,
+    /// ClosedBatch: membership snapshot taken at the last release.
+    batch_members: AgentSet,
+    urgent: AgentSet,
+    releases: u64,
+}
+
+impl AssuredAccess {
+    /// Creates an assured access arbiter for `n` agents.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidAgentCount`] if `n` is 0 or exceeds 128.
+    pub fn new(n: u32, rule: BatchingRule) -> Result<Self, Error> {
+        validate_agents(n)?;
+        Ok(AssuredAccess {
+            n,
+            rule,
+            layout: NumberLayout::for_agents(n)?.with_priority_bit(),
+            requesting: AgentSet::new(),
+            deferred: AgentSet::new(),
+            inhibited: AgentSet::new(),
+            batch_members: AgentSet::new(),
+            urgent: AgentSet::new(),
+            releases: 0,
+        })
+    }
+
+    /// The batching rule in force.
+    #[must_use]
+    pub fn rule(&self) -> BatchingRule {
+        self.rule
+    }
+
+    /// Number of fairness-release cycles (or batch turnovers) so far.
+    #[must_use]
+    pub fn releases(&self) -> u64 {
+        self.releases
+    }
+
+    /// Resolves an ordinary-class arbitration under the configured rule.
+    fn arbitrate_ordinary(&mut self) -> Option<Grant> {
+        match self.rule {
+            BatchingRule::IdleBatch => {
+                let winner = self.requesting.max()?;
+                self.requesting.remove(winner);
+                if self.requesting.is_empty() && !self.deferred.is_empty() {
+                    // The last batch member releases the request line at
+                    // the start of its tenure; deferred requests assert and
+                    // form the next batch immediately.
+                    self.requesting = self.deferred;
+                    self.deferred = AgentSet::new();
+                    self.releases += 1;
+                }
+                Some(Grant::ordinary(winner))
+            }
+            BatchingRule::FairnessRelease => {
+                if self.requesting.is_empty() {
+                    // No outstanding requests: inhibition clears for free
+                    // on the idle bus.
+                    self.inhibited.clear();
+                    return None;
+                }
+                let eligible = self.requesting.difference(self.inhibited);
+                let (winner, arbitrations) = match eligible.max() {
+                    Some(w) => (w, 1),
+                    None => {
+                        // Fairness release: one arbitration cycle with no
+                        // request line asserted, then a real arbitration.
+                        self.inhibited.clear();
+                        self.releases += 1;
+                        (self.requesting.max().expect("non-empty"), 2)
+                    }
+                };
+                self.requesting.remove(winner);
+                self.inhibited.insert(winner);
+                Some(Grant {
+                    agent: winner,
+                    priority: Priority::Ordinary,
+                    arbitrations,
+                })
+            }
+            BatchingRule::ClosedBatch => {
+                if self.requesting.is_empty() {
+                    self.inhibited.clear();
+                    self.batch_members.clear();
+                    return None;
+                }
+                let eligible = self
+                    .requesting
+                    .intersection(self.batch_members)
+                    .difference(self.inhibited);
+                let (winner, arbitrations) = match eligible.max() {
+                    Some(w) => (w, 1),
+                    None => {
+                        // Release: snapshot the new batch membership.
+                        self.inhibited.clear();
+                        self.batch_members = self.requesting;
+                        self.releases += 1;
+                        (self.requesting.max().expect("non-empty"), 2)
+                    }
+                };
+                self.requesting.remove(winner);
+                self.inhibited.insert(winner);
+                Some(Grant {
+                    agent: winner,
+                    priority: Priority::Ordinary,
+                    arbitrations,
+                })
+            }
+        }
+    }
+}
+
+impl Arbiter for AssuredAccess {
+    fn name(&self) -> &'static str {
+        match self.rule {
+            BatchingRule::IdleBatch => "aap-1",
+            BatchingRule::FairnessRelease => "aap-2",
+            BatchingRule::ClosedBatch => "aap-2m",
+        }
+    }
+
+    fn agents(&self) -> u32 {
+        self.n
+    }
+
+    fn layout(&self) -> Option<NumberLayout> {
+        Some(self.layout)
+    }
+
+    fn on_request(&mut self, _now: Time, agent: AgentId, priority: Priority) {
+        check_agent(agent, self.n);
+        if priority.is_urgent() {
+            assert!(
+                self.urgent.insert(agent),
+                "agent {agent} already has an outstanding urgent request"
+            );
+            return;
+        }
+        let fresh = match self.rule {
+            BatchingRule::IdleBatch => {
+                if self.requesting.is_empty() {
+                    // Request line reads low: assert and form a new batch.
+                    self.requesting.insert(agent)
+                } else {
+                    // A batch is asserting the line: wait for it to end.
+                    !self.requesting.contains(agent) && self.deferred.insert(agent)
+                }
+            }
+            BatchingRule::FairnessRelease | BatchingRule::ClosedBatch => {
+                self.requesting.insert(agent)
+            }
+        };
+        assert!(fresh, "agent {agent} already has an outstanding request");
+    }
+
+    fn arbitrate(&mut self, _now: Time) -> Option<Grant> {
+        if let Some(winner) = self.urgent.max() {
+            self.urgent.remove(winner);
+            return Some(Grant {
+                agent: winner,
+                priority: Priority::Urgent,
+                arbitrations: 1,
+            });
+        }
+        self.arbitrate_ordinary()
+    }
+
+    fn pending(&self) -> usize {
+        self.requesting.len() + self.deferred.len() + self.urgent.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn id(n: u32) -> AgentId {
+        AgentId::new(n).unwrap()
+    }
+
+    fn req(a: &mut AssuredAccess, agent: u32) {
+        a.on_request(Time::ZERO, id(agent), Priority::Ordinary);
+    }
+
+    fn grant(a: &mut AssuredAccess) -> u32 {
+        a.arbitrate(Time::ZERO).unwrap().agent.get()
+    }
+
+    #[test]
+    fn idle_batch_defers_midbatch_arrivals() {
+        let mut a = AssuredAccess::new(8, BatchingRule::IdleBatch).unwrap();
+        req(&mut a, 2); // forms batch {2}
+        req(&mut a, 5); // defers: request line is high
+        assert_eq!(grant(&mut a), 2);
+        // Batch {5} is now asserting; 8 waits for it.
+        req(&mut a, 8);
+        assert_eq!(grant(&mut a), 5);
+        assert_eq!(grant(&mut a), 8);
+        assert!(a.arbitrate(Time::ZERO).is_none());
+        assert_eq!(a.releases(), 2);
+    }
+
+    #[test]
+    fn idle_batch_serves_identity_order_within_batch() {
+        let mut a = AssuredAccess::new(8, BatchingRule::IdleBatch).unwrap();
+        req(&mut a, 3); // singleton first batch
+        for agent in [7, 1, 5] {
+            req(&mut a, agent); // all defer into the second batch
+        }
+        let order: Vec<u32> = (0..4).map(|_| grant(&mut a)).collect();
+        // Second batch {7, 1, 5} is served in descending identity order.
+        assert_eq!(order, [3, 7, 5, 1]);
+    }
+
+    #[test]
+    fn fairness_release_lets_latecomers_join() {
+        let mut a = AssuredAccess::new(8, BatchingRule::FairnessRelease).unwrap();
+        req(&mut a, 2);
+        req(&mut a, 5);
+        assert_eq!(grant(&mut a), 5);
+        // 8 has not been served this batch: it may join and, having the
+        // highest identity, is served before 2.
+        req(&mut a, 8);
+        assert_eq!(grant(&mut a), 8);
+        assert_eq!(grant(&mut a), 2);
+    }
+
+    #[test]
+    fn fairness_release_blocks_second_service_in_batch() {
+        let mut a = AssuredAccess::new(4, BatchingRule::FairnessRelease).unwrap();
+        req(&mut a, 4);
+        req(&mut a, 1);
+        assert_eq!(grant(&mut a), 4);
+        // 4 requests again: inhibited until the release.
+        req(&mut a, 4);
+        assert_eq!(grant(&mut a), 1);
+        // Now every requester (just 4) is inhibited -> release cycle.
+        let g = a.arbitrate(Time::ZERO).unwrap();
+        assert_eq!(g.agent, id(4));
+        assert_eq!(g.arbitrations, 2); // release + arbitration
+        assert_eq!(a.releases(), 1);
+    }
+
+    #[test]
+    fn closed_batch_defers_latecomers_even_if_unserved() {
+        let mut a = AssuredAccess::new(8, BatchingRule::ClosedBatch).unwrap();
+        req(&mut a, 2);
+        req(&mut a, 5);
+        // First arbitration opens a batch {2, 5}.
+        assert_eq!(grant(&mut a), 5);
+        // 8 arrives mid-batch: under the modified rule it cannot join.
+        req(&mut a, 8);
+        assert_eq!(grant(&mut a), 2);
+        assert_eq!(grant(&mut a), 8);
+        assert_eq!(a.releases(), 2); // batch open + turnover
+    }
+
+    #[test]
+    fn inhibition_clears_when_bus_goes_idle() {
+        let mut a = AssuredAccess::new(4, BatchingRule::FairnessRelease).unwrap();
+        req(&mut a, 3);
+        assert_eq!(grant(&mut a), 3);
+        assert!(a.arbitrate(Time::ZERO).is_none()); // idle: clears inhibition
+        req(&mut a, 3);
+        let g = a.arbitrate(Time::ZERO).unwrap();
+        assert_eq!(g.arbitrations, 1); // no release cycle needed
+    }
+
+    #[test]
+    fn urgent_requests_bypass_batching() {
+        for rule in [
+            BatchingRule::IdleBatch,
+            BatchingRule::FairnessRelease,
+            BatchingRule::ClosedBatch,
+        ] {
+            let mut a = AssuredAccess::new(8, rule).unwrap();
+            req(&mut a, 6);
+            assert_eq!(grant(&mut a), 6);
+            req(&mut a, 2); // ordinary, possibly deferred
+            a.on_request(Time::ZERO, id(4), Priority::Urgent);
+            let g = a.arbitrate(Time::ZERO).unwrap();
+            assert_eq!(g.agent, id(4), "{rule}");
+            assert_eq!(g.priority, Priority::Urgent);
+        }
+    }
+
+    #[test]
+    fn favours_high_identities_across_batches() {
+        // The structural unfairness: within every batch, higher identities
+        // are always served first, so agent 3 precedes agents 1 and 2 in
+        // every batch all three share.
+        let mut a = AssuredAccess::new(3, BatchingRule::IdleBatch).unwrap();
+        req(&mut a, 2); // batch {2}
+        req(&mut a, 1); // defers
+        req(&mut a, 3); // defers
+        assert_eq!(grant(&mut a), 2);
+        // Batch {1, 3} in progress; 2 re-requests and defers.
+        req(&mut a, 2);
+        assert_eq!(grant(&mut a), 3);
+        req(&mut a, 3);
+        assert_eq!(grant(&mut a), 1);
+        req(&mut a, 1);
+        // Batch {2, 3}: identity order again; 1 deferred once more.
+        assert_eq!(grant(&mut a), 3);
+        assert_eq!(grant(&mut a), 2);
+        assert_eq!(grant(&mut a), 1);
+        assert!(a.arbitrate(Time::ZERO).is_none());
+    }
+
+    #[test]
+    fn display_and_names() {
+        assert_eq!(
+            AssuredAccess::new(4, BatchingRule::IdleBatch)
+                .unwrap()
+                .name(),
+            "aap-1"
+        );
+        assert_eq!(
+            AssuredAccess::new(4, BatchingRule::FairnessRelease)
+                .unwrap()
+                .name(),
+            "aap-2"
+        );
+        assert_eq!(
+            AssuredAccess::new(4, BatchingRule::ClosedBatch)
+                .unwrap()
+                .name(),
+            "aap-2m"
+        );
+        assert_eq!(BatchingRule::IdleBatch.to_string(), "idle batch");
+    }
+
+    #[test]
+    #[should_panic(expected = "already has an outstanding request")]
+    fn duplicate_request_panics() {
+        let mut a = AssuredAccess::new(4, BatchingRule::IdleBatch).unwrap();
+        req(&mut a, 2);
+        req(&mut a, 2);
+    }
+}

@@ -1,0 +1,351 @@
+//! Central reference arbiters.
+//!
+//! The paper's claim for the distributed RR protocol is that it is
+//! "identical to the central round-robin arbiter", and the FCFS protocol
+//! approximates a central FCFS queue. These reference implementations are
+//! written *independently* of the distributed ones — the central RR scans
+//! identities explicitly; the central FCFS keeps an arrival-ordered queue —
+//! so that equality of grant sequences is a meaningful cross-check (see
+//! the `equivalence` property tests).
+
+use std::collections::VecDeque;
+
+use busarb_types::{AgentId, Error, Priority, Time};
+
+use crate::arbiter::{check_agent, validate_agents, Arbiter, Grant};
+
+/// A central round-robin arbiter: a pointer register plus an explicit
+/// circular scan.
+///
+/// # Examples
+///
+/// ```
+/// use busarb_core::{Arbiter, CentralRoundRobin};
+/// use busarb_types::{AgentId, Priority, Time};
+///
+/// # fn main() -> Result<(), busarb_types::Error> {
+/// let mut rr = CentralRoundRobin::new(3)?;
+/// for i in 1..=3 {
+///     rr.on_request(Time::ZERO, AgentId::new(i)?, Priority::Ordinary);
+/// }
+/// assert_eq!(rr.arbitrate(Time::ZERO).unwrap().agent.get(), 3);
+/// assert_eq!(rr.arbitrate(Time::ZERO).unwrap().agent.get(), 2);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone, Debug)]
+pub struct CentralRoundRobin {
+    n: u32,
+    ordinary: Vec<bool>,
+    urgent: Vec<bool>,
+    /// Identity of the most recent winner; the next scan starts just below
+    /// it and wraps.
+    pointer: u32,
+}
+
+impl CentralRoundRobin {
+    /// Creates a central round-robin arbiter for `n` agents.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidAgentCount`] if `n` is 0 or exceeds 128.
+    pub fn new(n: u32) -> Result<Self, Error> {
+        validate_agents(n)?;
+        Ok(CentralRoundRobin {
+            n,
+            ordinary: vec![false; n as usize],
+            urgent: vec![false; n as usize],
+            // Start as if agent N+1 had just been served, so the first
+            // scan begins at the top identity N — matching the distributed
+            // protocol's initial register value.
+            pointer: n + 1,
+        })
+    }
+
+    /// Scans `pointer-1, pointer-2, …, 1, N, N-1, …, pointer` and returns
+    /// the first requesting agent in `flags`.
+    fn scan(&self, flags: &[bool]) -> Option<AgentId> {
+        let n = self.n;
+        // Positions in scan order.
+        let start = self.pointer;
+        for offset in 1..=n {
+            // Identity start-offset, wrapping through 1 -> N.
+            let candidate = ((start + n - offset - 1) % n) + 1;
+            if flags[(candidate - 1) as usize] {
+                return Some(AgentId::new(candidate).expect("candidate >= 1"));
+            }
+        }
+        None
+    }
+}
+
+impl Arbiter for CentralRoundRobin {
+    fn name(&self) -> &'static str {
+        "central-rr"
+    }
+
+    fn agents(&self) -> u32 {
+        self.n
+    }
+
+    fn on_request(&mut self, _now: Time, agent: AgentId, priority: Priority) {
+        check_agent(agent, self.n);
+        let flags = match priority {
+            Priority::Urgent => &mut self.urgent,
+            Priority::Ordinary => &mut self.ordinary,
+        };
+        assert!(
+            !flags[agent.index()],
+            "agent {agent} already has an outstanding request"
+        );
+        flags[agent.index()] = true;
+    }
+
+    fn arbitrate(&mut self, _now: Time) -> Option<Grant> {
+        if self.urgent.iter().any(|&r| r) {
+            // Urgent requests ignore the fairness protocol: served in
+            // identity order, matching the distributed default.
+            let winner = (1..=self.n)
+                .rev()
+                .find(|&i| self.urgent[(i - 1) as usize])
+                .expect("urgent set non-empty");
+            self.urgent[(winner - 1) as usize] = false;
+            self.pointer = winner;
+            return Some(Grant {
+                agent: AgentId::new(winner).expect("winner >= 1"),
+                priority: Priority::Urgent,
+                arbitrations: 1,
+            });
+        }
+        let flags = self.ordinary.clone();
+        let winner = self.scan(&flags)?;
+        self.ordinary[winner.index()] = false;
+        self.pointer = winner.get();
+        Some(Grant::ordinary(winner))
+    }
+
+    fn pending(&self) -> usize {
+        self.ordinary.iter().filter(|&&r| r).count() + self.urgent.iter().filter(|&&r| r).count()
+    }
+}
+
+/// One queued request in the central FCFS arbiter.
+#[derive(Clone, Copy, Debug)]
+struct QueuedRequest {
+    agent: AgentId,
+    arrived: Time,
+    priority: Priority,
+    seq: u64,
+}
+
+/// A central first-come first-serve arbiter: a literal arrival-ordered
+/// queue.
+///
+/// Requests arriving at exactly the same instant are served in descending
+/// static-identity order, matching the distributed protocols' tie rule.
+/// Urgent requests form a separate queue served first (FCFS within the
+/// class).
+///
+/// Unlike the basic protocols, the central queue naturally supports
+/// multiple outstanding requests per agent.
+///
+/// # Examples
+///
+/// ```
+/// use busarb_core::{Arbiter, CentralFcfs};
+/// use busarb_types::{AgentId, Priority, Time};
+///
+/// # fn main() -> Result<(), busarb_types::Error> {
+/// let mut fcfs = CentralFcfs::new(8)?;
+/// fcfs.on_request(Time::from(1.0), AgentId::new(7)?, Priority::Ordinary);
+/// fcfs.on_request(Time::from(0.5), AgentId::new(2)?, Priority::Ordinary);
+/// // Earlier arrival wins regardless of identity.
+/// assert_eq!(fcfs.arbitrate(Time::from(1.0)).unwrap().agent.get(), 2);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone, Debug)]
+pub struct CentralFcfs {
+    n: u32,
+    queue: VecDeque<QueuedRequest>,
+    next_seq: u64,
+}
+
+impl CentralFcfs {
+    /// Creates a central FCFS arbiter for `n` agents.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidAgentCount`] if `n` is 0 or exceeds 128.
+    pub fn new(n: u32) -> Result<Self, Error> {
+        validate_agents(n)?;
+        Ok(CentralFcfs {
+            n,
+            queue: VecDeque::new(),
+            next_seq: 0,
+        })
+    }
+
+    /// Index of the next request to serve: earliest arrival in the highest
+    /// pending priority class, ties by descending identity, then by
+    /// injection order.
+    fn next_index(&self) -> Option<usize> {
+        let best = self
+            .queue
+            .iter()
+            .enumerate()
+            .max_by_key(|(_, r)| {
+                (
+                    r.priority,
+                    core::cmp::Reverse(r.arrived),
+                    r.agent,
+                    core::cmp::Reverse(r.seq),
+                )
+            })?
+            .0;
+        Some(best)
+    }
+}
+
+impl Arbiter for CentralFcfs {
+    fn name(&self) -> &'static str {
+        "central-fcfs"
+    }
+
+    fn agents(&self) -> u32 {
+        self.n
+    }
+
+    fn on_request(&mut self, now: Time, agent: AgentId, priority: Priority) {
+        check_agent(agent, self.n);
+        self.queue.push_back(QueuedRequest {
+            agent,
+            arrived: now,
+            priority,
+            seq: self.next_seq,
+        });
+        self.next_seq += 1;
+    }
+
+    fn arbitrate(&mut self, _now: Time) -> Option<Grant> {
+        let idx = self.next_index()?;
+        let r = self.queue.remove(idx).expect("index is in range");
+        Some(Grant {
+            agent: r.agent,
+            priority: r.priority,
+            arbitrations: 1,
+        })
+    }
+
+    fn pending(&self) -> usize {
+        self.queue.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn id(n: u32) -> AgentId {
+        AgentId::new(n).unwrap()
+    }
+
+    #[test]
+    fn central_rr_cycles() {
+        let mut a = CentralRoundRobin::new(4).unwrap();
+        for i in 1..=4 {
+            a.on_request(Time::ZERO, id(i), Priority::Ordinary);
+        }
+        let mut order = Vec::new();
+        for _ in 0..8 {
+            let g = a.arbitrate(Time::ZERO).unwrap();
+            order.push(g.agent.get());
+            a.on_request(Time::ZERO, g.agent, Priority::Ordinary);
+        }
+        assert_eq!(order, [4, 3, 2, 1, 4, 3, 2, 1]);
+    }
+
+    #[test]
+    fn central_rr_scan_wraps() {
+        let mut a = CentralRoundRobin::new(8).unwrap();
+        a.on_request(Time::ZERO, id(4), Priority::Ordinary);
+        assert_eq!(a.arbitrate(Time::ZERO).unwrap().agent, id(4));
+        // Pointer at 4: agent 5 is at the *end* of the scan, agent 3 first.
+        a.on_request(Time::ZERO, id(5), Priority::Ordinary);
+        a.on_request(Time::ZERO, id(3), Priority::Ordinary);
+        assert_eq!(a.arbitrate(Time::ZERO).unwrap().agent, id(3));
+        assert_eq!(a.arbitrate(Time::ZERO).unwrap().agent, id(5));
+    }
+
+    #[test]
+    fn central_fcfs_serves_in_arrival_order() {
+        let mut a = CentralFcfs::new(8).unwrap();
+        a.on_request(Time::from(3.0), id(8), Priority::Ordinary);
+        a.on_request(Time::from(1.0), id(1), Priority::Ordinary);
+        a.on_request(Time::from(2.0), id(5), Priority::Ordinary);
+        let order: Vec<u32> = (0..3)
+            .map(|_| a.arbitrate(Time::from(3.0)).unwrap().agent.get())
+            .collect();
+        assert_eq!(order, [1, 5, 8]);
+    }
+
+    #[test]
+    fn central_fcfs_simultaneous_ties_by_identity() {
+        let mut a = CentralFcfs::new(8).unwrap();
+        a.on_request(Time::from(1.0), id(3), Priority::Ordinary);
+        a.on_request(Time::from(1.0), id(6), Priority::Ordinary);
+        assert_eq!(a.arbitrate(Time::from(1.0)).unwrap().agent, id(6));
+        assert_eq!(a.arbitrate(Time::from(1.0)).unwrap().agent, id(3));
+    }
+
+    #[test]
+    fn central_fcfs_supports_multiple_outstanding() {
+        let mut a = CentralFcfs::new(4).unwrap();
+        a.on_request(Time::from(1.0), id(2), Priority::Ordinary);
+        a.on_request(Time::from(2.0), id(2), Priority::Ordinary);
+        a.on_request(Time::from(1.5), id(3), Priority::Ordinary);
+        let order: Vec<u32> = (0..3)
+            .map(|_| a.arbitrate(Time::from(2.0)).unwrap().agent.get())
+            .collect();
+        assert_eq!(order, [2, 3, 2]);
+        assert_eq!(a.pending(), 0);
+    }
+
+    #[test]
+    fn central_fcfs_urgent_first_fcfs_within_class() {
+        let mut a = CentralFcfs::new(8).unwrap();
+        a.on_request(Time::from(0.0), id(8), Priority::Ordinary);
+        a.on_request(Time::from(1.0), id(2), Priority::Urgent);
+        a.on_request(Time::from(2.0), id(5), Priority::Urgent);
+        let g1 = a.arbitrate(Time::from(2.0)).unwrap();
+        assert_eq!((g1.agent, g1.priority), (id(2), Priority::Urgent));
+        assert_eq!(a.arbitrate(Time::from(2.0)).unwrap().agent, id(5));
+        assert_eq!(a.arbitrate(Time::from(2.0)).unwrap().agent, id(8));
+    }
+
+    #[test]
+    fn central_rr_urgent_first() {
+        let mut a = CentralRoundRobin::new(8).unwrap();
+        a.on_request(Time::ZERO, id(8), Priority::Ordinary);
+        a.on_request(Time::ZERO, id(2), Priority::Urgent);
+        let g = a.arbitrate(Time::ZERO).unwrap();
+        assert_eq!((g.agent, g.priority), (id(2), Priority::Urgent));
+    }
+
+    #[test]
+    fn empty_arbiters_return_none() {
+        assert!(CentralRoundRobin::new(4)
+            .unwrap()
+            .arbitrate(Time::ZERO)
+            .is_none());
+        assert!(CentralFcfs::new(4).unwrap().arbitrate(Time::ZERO).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "already has an outstanding request")]
+    fn central_rr_rejects_duplicates() {
+        let mut a = CentralRoundRobin::new(4).unwrap();
+        a.on_request(Time::ZERO, id(2), Priority::Ordinary);
+        a.on_request(Time::ZERO, id(2), Priority::Ordinary);
+    }
+}

@@ -1,0 +1,169 @@
+//! The base parallel contention policy: fixed priority.
+
+use busarb_bus::NumberLayout;
+use busarb_types::{AgentId, AgentSet, Error, Priority, Time};
+
+use crate::arbiter::{check_agent, validate_agents, Arbiter, Grant};
+
+/// Fixed-priority arbitration — the raw parallel contention arbiter with
+/// no fairness protocol layered on top (paper §2.1).
+///
+/// The winner of every arbitration is simply the requester with the
+/// highest composite number `[priority bit | static identity]`. Low
+/// identities can be starved indefinitely; this protocol exists as the
+/// baseline the assured access protocols were invented to fix.
+///
+/// # Examples
+///
+/// ```
+/// use busarb_core::{Arbiter, FixedPriority};
+/// use busarb_types::{AgentId, Priority, Time};
+///
+/// # fn main() -> Result<(), busarb_types::Error> {
+/// let mut fp = FixedPriority::new(8)?;
+/// fp.on_request(Time::ZERO, AgentId::new(2)?, Priority::Ordinary);
+/// fp.on_request(Time::ZERO, AgentId::new(7)?, Priority::Ordinary);
+/// assert_eq!(fp.arbitrate(Time::ZERO).unwrap().agent.get(), 7);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone, Debug)]
+pub struct FixedPriority {
+    n: u32,
+    layout: NumberLayout,
+    ordinary: AgentSet,
+    urgent: AgentSet,
+}
+
+impl FixedPriority {
+    /// Creates a fixed-priority arbiter for `n` agents.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidAgentCount`] if `n` is 0 or exceeds 128.
+    pub fn new(n: u32) -> Result<Self, Error> {
+        validate_agents(n)?;
+        Ok(FixedPriority {
+            n,
+            layout: NumberLayout::for_agents(n)?.with_priority_bit(),
+            ordinary: AgentSet::new(),
+            urgent: AgentSet::new(),
+        })
+    }
+}
+
+impl Arbiter for FixedPriority {
+    fn name(&self) -> &'static str {
+        "fixed-priority"
+    }
+
+    fn agents(&self) -> u32 {
+        self.n
+    }
+
+    fn layout(&self) -> Option<NumberLayout> {
+        Some(self.layout)
+    }
+
+    fn on_request(&mut self, _now: Time, agent: AgentId, priority: Priority) {
+        check_agent(agent, self.n);
+        let set = match priority {
+            Priority::Urgent => &mut self.urgent,
+            Priority::Ordinary => &mut self.ordinary,
+        };
+        assert!(
+            set.insert(agent),
+            "agent {agent} already has an outstanding request"
+        );
+    }
+
+    fn arbitrate(&mut self, _now: Time) -> Option<Grant> {
+        if let Some(winner) = self.urgent.max() {
+            self.urgent.remove(winner);
+            return Some(Grant {
+                agent: winner,
+                priority: Priority::Urgent,
+                arbitrations: 1,
+            });
+        }
+        let winner = self.ordinary.max()?;
+        self.ordinary.remove(winner);
+        Some(Grant::ordinary(winner))
+    }
+
+    fn pending(&self) -> usize {
+        self.ordinary.len() + self.urgent.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn id(n: u32) -> AgentId {
+        AgentId::new(n).unwrap()
+    }
+
+    fn request(fp: &mut FixedPriority, agent: u32) {
+        fp.on_request(Time::ZERO, id(agent), Priority::Ordinary);
+    }
+
+    #[test]
+    fn highest_identity_always_wins() {
+        let mut fp = FixedPriority::new(10).unwrap();
+        for a in [3, 9, 1, 6] {
+            request(&mut fp, a);
+        }
+        let order: Vec<u32> = (0..4)
+            .map(|_| fp.arbitrate(Time::ZERO).unwrap().agent.get())
+            .collect();
+        assert_eq!(order, [9, 6, 3, 1]);
+        assert!(fp.arbitrate(Time::ZERO).is_none());
+    }
+
+    #[test]
+    fn low_identity_is_starved_under_contention() {
+        let mut fp = FixedPriority::new(4).unwrap();
+        request(&mut fp, 1);
+        for _ in 0..100 {
+            request(&mut fp, 4);
+            let g = fp.arbitrate(Time::ZERO).unwrap();
+            assert_eq!(g.agent, id(4), "agent 1 should be starved");
+        }
+        assert_eq!(fp.pending(), 1);
+    }
+
+    #[test]
+    fn urgent_beats_every_ordinary_request() {
+        let mut fp = FixedPriority::new(10).unwrap();
+        request(&mut fp, 10);
+        fp.on_request(Time::ZERO, id(1), Priority::Urgent);
+        let g = fp.arbitrate(Time::ZERO).unwrap();
+        assert_eq!(g.agent, id(1));
+        assert_eq!(g.priority, Priority::Urgent);
+        assert_eq!(fp.arbitrate(Time::ZERO).unwrap().agent, id(10));
+    }
+
+    #[test]
+    fn layout_has_priority_bit() {
+        let fp = FixedPriority::new(30).unwrap();
+        let layout = fp.layout().unwrap();
+        assert!(layout.has_priority_bit());
+        assert_eq!(layout.width(), AgentId::lines_required(30) + 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "already has an outstanding request")]
+    fn duplicate_request_panics() {
+        let mut fp = FixedPriority::new(4).unwrap();
+        request(&mut fp, 2);
+        request(&mut fp, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds system size")]
+    fn oversized_agent_panics() {
+        let mut fp = FixedPriority::new(4).unwrap();
+        request(&mut fp, 5);
+    }
+}

@@ -1,0 +1,445 @@
+//! The distributed round-robin protocol (paper §3.1).
+
+use busarb_bus::NumberLayout;
+use busarb_types::{AgentId, AgentSet, Error, Priority, Time};
+
+use crate::arbiter::{check_agent, validate_agents, Arbiter, Grant};
+
+/// Which of the three hardware implementations of the RR protocol is being
+/// modeled.
+///
+/// All three produce the **same grant sequence**; they differ in bus-line
+/// cost and in arbitration overhead:
+///
+/// * [`PriorityBit`](RrImplementation::PriorityBit) (RR-1) — one extra
+///   line used as the MSB of the arbitration number.
+/// * [`LowRequestLine`](RrImplementation::LowRequestLine) (RR-2) — one
+///   extra line used to *inhibit* agents above the previous winner.
+/// * [`NoExtraLine`](RrImplementation::NoExtraLine) (RR-3) — no extra
+///   line; wrapping around the identity space costs one extra, empty
+///   arbitration (reported via [`Grant::arbitrations`]).
+#[derive(Clone, Copy, Default, PartialEq, Eq, Hash, Debug)]
+pub enum RrImplementation {
+    /// RR-1: round-robin priority bit (the paper's "probably simplest"
+    /// implementation, and the only one that extends to round-robin
+    /// scheduling *within* the urgent class).
+    #[default]
+    PriorityBit,
+    /// RR-2: low-request inhibition line.
+    LowRequestLine,
+    /// RR-3: no extra line, empty-arbitration wraparound.
+    NoExtraLine,
+}
+
+impl core::fmt::Display for RrImplementation {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            RrImplementation::PriorityBit => f.write_str("rr-1 (priority bit)"),
+            RrImplementation::LowRequestLine => f.write_str("rr-2 (low-request line)"),
+            RrImplementation::NoExtraLine => f.write_str("rr-3 (no extra line)"),
+        }
+    }
+}
+
+/// The distributed round-robin arbiter.
+///
+/// Implements **true round-robin scheduling** — identical to a central
+/// round-robin arbiter — using only statically assigned identities plus
+/// the winner identity published by the parallel contention lines: after a
+/// win by agent *j*, the next arbitration scans *j−1 … 1, N … j*. The key
+/// observation (paper §3.1) is that the maximum-finding hardware performs
+/// this scan if agents below the previous winner are given priority over
+/// agents at or above it.
+///
+/// Urgent requests ignore the protocol and win every arbitration; with
+/// [`DistributedRoundRobin::with_rr_within_priority_class`] (RR-1 only)
+/// the urgent class is itself scheduled round-robin.
+///
+/// # Examples
+///
+/// ```
+/// use busarb_core::{Arbiter, DistributedRoundRobin};
+/// use busarb_types::{AgentId, Priority, Time};
+///
+/// # fn main() -> Result<(), busarb_types::Error> {
+/// let mut rr = DistributedRoundRobin::new(8)?;
+/// rr.on_request(Time::ZERO, AgentId::new(6)?, Priority::Ordinary);
+/// assert_eq!(rr.arbitrate(Time::ZERO).unwrap().agent.get(), 6);
+/// // 2 and 7 both request; 2 is "after" 6 in the scan 5..1,8..6.
+/// rr.on_request(Time::ZERO, AgentId::new(2)?, Priority::Ordinary);
+/// rr.on_request(Time::ZERO, AgentId::new(7)?, Priority::Ordinary);
+/// assert_eq!(rr.arbitrate(Time::ZERO).unwrap().agent.get(), 2);
+/// assert_eq!(rr.arbitrate(Time::ZERO).unwrap().agent.get(), 7);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone, Debug)]
+pub struct DistributedRoundRobin {
+    n: u32,
+    implementation: RrImplementation,
+    layout: NumberLayout,
+    ordinary: AgentSet,
+    urgent: AgentSet,
+    /// Replicated winner register (identical in every agent).
+    last_winner: u32,
+    rr_within_priority: bool,
+    empty_arbitrations: u64,
+}
+
+impl DistributedRoundRobin {
+    /// Creates a round-robin arbiter using the RR-1 implementation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidAgentCount`] if `n` is 0 or exceeds 128.
+    pub fn new(n: u32) -> Result<Self, Error> {
+        Self::with_implementation(n, RrImplementation::default())
+    }
+
+    /// Creates a round-robin arbiter modeling a specific hardware
+    /// implementation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidAgentCount`] if `n` is 0 or exceeds 128.
+    pub fn with_implementation(n: u32, implementation: RrImplementation) -> Result<Self, Error> {
+        validate_agents(n)?;
+        let base = NumberLayout::for_agents(n)?.with_priority_bit();
+        let layout = match implementation {
+            RrImplementation::PriorityBit => base.with_rr_bit(),
+            RrImplementation::LowRequestLine | RrImplementation::NoExtraLine => base,
+        };
+        Ok(DistributedRoundRobin {
+            n,
+            implementation,
+            layout,
+            ordinary: AgentSet::new(),
+            urgent: AgentSet::new(),
+            last_winner: n + 1,
+            rr_within_priority: false,
+            empty_arbitrations: 0,
+        })
+    }
+
+    /// Enables round-robin scheduling *within* the urgent class (paper
+    /// §3.1: straightforward in RR-1, where the rr bit sits just below the
+    /// priority bit).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the implementation is not [`RrImplementation::PriorityBit`].
+    #[must_use]
+    pub fn with_rr_within_priority_class(mut self) -> Self {
+        assert!(
+            self.implementation == RrImplementation::PriorityBit,
+            "rr within the priority class requires the RR-1 implementation"
+        );
+        self.rr_within_priority = true;
+        self
+    }
+
+    /// The modeled hardware implementation.
+    #[must_use]
+    pub fn implementation(&self) -> RrImplementation {
+        self.implementation
+    }
+
+    /// Current contents of the replicated winner register.
+    #[must_use]
+    pub fn last_winner(&self) -> u32 {
+        self.last_winner
+    }
+
+    /// Total empty (wraparound) arbitrations — nonzero only for RR-3.
+    #[must_use]
+    pub fn empty_arbitrations(&self) -> u64 {
+        self.empty_arbitrations
+    }
+
+    /// Round-robin selection from `set` given the winner register: the
+    /// highest identity below the register, else the highest overall.
+    /// Returns the winner and the number of line arbitrations consumed.
+    fn select(&mut self, set: AgentSet) -> (AgentId, u32) {
+        let below = if self.last_winner > AgentSet::MAX_ID {
+            // Register holds N+1 beyond the set capacity: every identity
+            // is below it.
+            set.max()
+        } else {
+            let bound = AgentId::new(self.last_winner).expect("register is always >= 1");
+            set.max_below(bound)
+        };
+        match below {
+            Some(w) => (w, 1),
+            None => {
+                let w = set.max().expect("selection from a non-empty set");
+                let cost = if self.implementation == RrImplementation::NoExtraLine {
+                    // RR-3 discovers the wraparound via an empty
+                    // arbitration (winning value 0), then re-arbitrates.
+                    self.empty_arbitrations += 1;
+                    2
+                } else {
+                    1
+                };
+                (w, cost)
+            }
+        }
+    }
+}
+
+impl Arbiter for DistributedRoundRobin {
+    fn name(&self) -> &'static str {
+        "rr"
+    }
+
+    fn agents(&self) -> u32 {
+        self.n
+    }
+
+    fn layout(&self) -> Option<NumberLayout> {
+        Some(self.layout)
+    }
+
+    fn on_request(&mut self, _now: Time, agent: AgentId, priority: Priority) {
+        check_agent(agent, self.n);
+        let set = match priority {
+            Priority::Urgent => &mut self.urgent,
+            Priority::Ordinary => &mut self.ordinary,
+        };
+        assert!(
+            set.insert(agent),
+            "agent {agent} already has an outstanding request"
+        );
+    }
+
+    fn arbitrate(&mut self, _now: Time) -> Option<Grant> {
+        if !self.urgent.is_empty() {
+            let (winner, arbitrations) = if self.rr_within_priority {
+                self.select(self.urgent)
+            } else {
+                // Urgent requests ignore the protocol: rr bit always set,
+                // so selection degenerates to the identity maximum.
+                (self.urgent.max().expect("urgent set non-empty"), 1)
+            };
+            self.urgent.remove(winner);
+            // Every agent records the winner of every arbitration.
+            self.last_winner = winner.get();
+            return Some(Grant {
+                agent: winner,
+                priority: Priority::Urgent,
+                arbitrations,
+            });
+        }
+        if self.ordinary.is_empty() {
+            return None;
+        }
+        let (winner, arbitrations) = self.select(self.ordinary);
+        self.ordinary.remove(winner);
+        self.last_winner = winner.get();
+        Some(Grant {
+            agent: winner,
+            priority: Priority::Ordinary,
+            arbitrations,
+        })
+    }
+
+    fn pending(&self) -> usize {
+        self.ordinary.len() + self.urgent.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn id(n: u32) -> AgentId {
+        AgentId::new(n).unwrap()
+    }
+
+    fn rr(n: u32) -> DistributedRoundRobin {
+        DistributedRoundRobin::new(n).unwrap()
+    }
+
+    fn req(a: &mut DistributedRoundRobin, agent: u32) {
+        a.on_request(Time::ZERO, id(agent), Priority::Ordinary);
+    }
+
+    fn grant(a: &mut DistributedRoundRobin) -> u32 {
+        a.arbitrate(Time::ZERO).unwrap().agent.get()
+    }
+
+    #[test]
+    fn saturated_service_is_cyclic() {
+        for implementation in [
+            RrImplementation::PriorityBit,
+            RrImplementation::LowRequestLine,
+            RrImplementation::NoExtraLine,
+        ] {
+            let mut a = DistributedRoundRobin::with_implementation(5, implementation).unwrap();
+            for agent in 1..=5 {
+                req(&mut a, agent);
+            }
+            let mut order = Vec::new();
+            for _ in 0..10 {
+                let w = grant(&mut a);
+                order.push(w);
+                req(&mut a, w);
+            }
+            assert_eq!(order, [5, 4, 3, 2, 1, 5, 4, 3, 2, 1], "{implementation}");
+        }
+    }
+
+    #[test]
+    fn scan_order_after_a_win() {
+        // After agent 4 wins in an 8-agent system the scan order is
+        // 3, 2, 1, 8, 7, 6, 5, 4.
+        let mut a = rr(8);
+        req(&mut a, 4);
+        assert_eq!(grant(&mut a), 4);
+        for agent in 1..=8 {
+            req(&mut a, agent);
+        }
+        let order: Vec<u32> = (0..8).map(|_| grant(&mut a)).collect();
+        assert_eq!(order, [3, 2, 1, 8, 7, 6, 5, 4]);
+    }
+
+    #[test]
+    fn all_implementations_agree_on_grant_sequences() {
+        let schedule: &[&[u32]] = &[
+            &[3, 9],
+            &[],
+            &[1, 5, 7],
+            &[2],
+            &[],
+            &[8, 4],
+            &[6],
+            &[9],
+            &[],
+            &[3],
+        ];
+        let mut arbs: Vec<DistributedRoundRobin> = [
+            RrImplementation::PriorityBit,
+            RrImplementation::LowRequestLine,
+            RrImplementation::NoExtraLine,
+        ]
+        .into_iter()
+        .map(|i| DistributedRoundRobin::with_implementation(9, i).unwrap())
+        .collect();
+        for batch in schedule {
+            for a in &mut arbs {
+                for &agent in *batch {
+                    req(a, agent);
+                }
+            }
+            let grants: Vec<Option<AgentId>> = arbs
+                .iter_mut()
+                .map(|a| a.arbitrate(Time::ZERO).map(|g| g.agent))
+                .collect();
+            assert!(grants.windows(2).all(|w| w[0] == w[1]), "{grants:?}");
+        }
+    }
+
+    #[test]
+    fn rr3_reports_wraparound_cost() {
+        let mut a =
+            DistributedRoundRobin::with_implementation(4, RrImplementation::NoExtraLine).unwrap();
+        req(&mut a, 2);
+        assert_eq!(a.arbitrate(Time::ZERO).unwrap().arbitrations, 1);
+        // Register = 2, only agent 3 requests: wraparound.
+        req(&mut a, 3);
+        let g = a.arbitrate(Time::ZERO).unwrap();
+        assert_eq!(g.agent, id(3));
+        assert_eq!(g.arbitrations, 2);
+        assert_eq!(a.empty_arbitrations(), 1);
+        // RR-1 never reports extra arbitrations.
+        let mut b = rr(4);
+        req(&mut b, 2);
+        b.arbitrate(Time::ZERO).unwrap();
+        req(&mut b, 3);
+        assert_eq!(b.arbitrate(Time::ZERO).unwrap().arbitrations, 1);
+    }
+
+    #[test]
+    fn urgent_ignores_the_protocol_by_default() {
+        let mut a = rr(8);
+        req(&mut a, 8);
+        assert_eq!(grant(&mut a), 8); // register = 8
+        a.on_request(Time::ZERO, id(7), Priority::Urgent);
+        a.on_request(Time::ZERO, id(2), Priority::Urgent);
+        req(&mut a, 3);
+        // Urgent class served first, identity order within it.
+        assert_eq!(grant(&mut a), 7);
+        assert_eq!(grant(&mut a), 2);
+        assert_eq!(grant(&mut a), 3);
+    }
+
+    #[test]
+    fn rr_within_priority_class() {
+        let mut a = rr(8).with_rr_within_priority_class();
+        a.on_request(Time::ZERO, id(6), Priority::Urgent);
+        assert_eq!(grant(&mut a), 6); // register = 6
+        a.on_request(Time::ZERO, id(2), Priority::Urgent);
+        a.on_request(Time::ZERO, id(7), Priority::Urgent);
+        // Round-robin within the urgent class: 2 (below 6) precedes 7.
+        assert_eq!(grant(&mut a), 2);
+        assert_eq!(grant(&mut a), 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "requires the RR-1 implementation")]
+    fn rr_within_priority_requires_rr1() {
+        let _ = DistributedRoundRobin::with_implementation(4, RrImplementation::NoExtraLine)
+            .unwrap()
+            .with_rr_within_priority_class();
+    }
+
+    #[test]
+    fn urgent_win_updates_the_winner_register() {
+        let mut a = rr(8);
+        req(&mut a, 3);
+        assert_eq!(grant(&mut a), 3); // register = 3
+        a.on_request(Time::ZERO, id(5), Priority::Urgent);
+        assert_eq!(grant(&mut a), 5); // register = 5 now
+                                      // Ordinary requests 4 and 6: 4 is below 5, so it goes first.
+        req(&mut a, 4);
+        req(&mut a, 6);
+        assert_eq!(grant(&mut a), 4);
+        assert_eq!(grant(&mut a), 6);
+    }
+
+    #[test]
+    fn line_costs_match_the_paper() {
+        let k = AgentId::lines_required(30);
+        let rr1 = rr(30);
+        assert_eq!(rr1.layout().unwrap().width(), k + 2); // priority + rr bits
+        let rr2 = DistributedRoundRobin::with_implementation(30, RrImplementation::LowRequestLine)
+            .unwrap();
+        assert_eq!(rr2.layout().unwrap().width(), k + 1); // priority bit only
+        assert_eq!(rr2.name(), "rr");
+        assert_eq!(rr2.implementation(), RrImplementation::LowRequestLine);
+    }
+
+    #[test]
+    fn fairness_under_saturation_every_agent_served_once_per_cycle() {
+        let n = 16;
+        let mut a = rr(n);
+        for agent in 1..=n {
+            req(&mut a, agent);
+        }
+        let mut counts = vec![0u32; n as usize + 1];
+        for _ in 0..(n * 10) {
+            let w = grant(&mut a);
+            counts[w as usize] += 1;
+            req(&mut a, w);
+        }
+        // Perfect fairness: every agent exactly 10 grants.
+        assert!(counts[1..].iter().all(|&c| c == 10), "{counts:?}");
+    }
+
+    #[test]
+    fn empty_arbitrate_returns_none() {
+        let mut a = rr(4);
+        assert!(a.arbitrate(Time::ZERO).is_none());
+        assert_eq!(a.pending(), 0);
+        assert_eq!(a.last_winner(), 5);
+    }
+}

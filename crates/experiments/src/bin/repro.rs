@@ -1,0 +1,237 @@
+//! `repro` — regenerate every table and figure from Vernon & Manber
+//! (ISCA 1988).
+//!
+//! ```text
+//! repro [--scale paper|quick|smoke] [--json DIR] <command>
+//!
+//! commands:
+//!   table4.1            bandwidth allocation, equal request rates
+//!   table4.2            waiting-time standard deviation
+//!   fig4.1              waiting-time CDF (30 agents, load 1.5)
+//!   table4.3            execution overlapped with bus waiting
+//!   table4.4            unequal request rates
+//!   table4.5            RR worst case ("just miss")
+//!   ablation.counters   FCFS counter-width sweep
+//!   ablation.window     FCFS-2 a-incr window sweep
+//!   ablation.rr3        RR-3 wraparound overhead
+//!   ablation.start-rule greedy vs transaction-aligned arbitration start
+//!   ablation.overhead   arbitration-overhead sensitivity sweep
+//!   ablation.width-overhead  width-scaled overhead (§3.3 efficiency)
+//!   hybrid              §5 hybrid and adaptive protocols
+//!   conservation        conservation-law check
+//!   tails               waiting-time percentiles (P50/P90/P99) per protocol
+//!   bursty              trace-driven bursty traffic (CV > 1)
+//!   worst-case.fcfs     the §4.5 FCFS worst case the paper declined to run
+//!   priority            urgent traffic vs FCFS counter-update rules (§3.2)
+//!   scaling             W and sd ratio vs system size (4..64 agents)
+//!   validate.cis        CI coverage + batch-independence diagnostics
+//!   all                 everything above (shares one simulation grid)
+//! ```
+
+use std::fs;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use busarb_experiments::{
+    ablations, bursty, figure4_1, grid::Grid, priority_study, scaling, table4_1, table4_2,
+    table4_3, table4_4, table4_5, tails, validation, worst_case_fcfs, Scale,
+};
+use serde::Serialize;
+
+struct Options {
+    scale: Scale,
+    json_dir: Option<PathBuf>,
+    command: String,
+}
+
+fn parse_args() -> Result<Options, String> {
+    let mut scale = Scale::Paper;
+    let mut json_dir = None;
+    let mut command = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--scale" => {
+                let value = args.next().ok_or("--scale needs a value")?;
+                scale = Scale::parse(&value)
+                    .ok_or_else(|| format!("unknown scale '{value}' (paper|quick|smoke)"))?;
+            }
+            "--json" => {
+                let value = args.next().ok_or("--json needs a directory")?;
+                json_dir = Some(PathBuf::from(value));
+            }
+            "--help" | "-h" => return Err(String::new()),
+            other if command.is_none() => command = Some(other.to_string()),
+            other => return Err(format!("unexpected argument '{other}'")),
+        }
+    }
+    Ok(Options {
+        scale,
+        json_dir,
+        command: command.ok_or("missing command; try --help")?,
+    })
+}
+
+fn usage() -> &'static str {
+    "usage: repro [--scale paper|quick|smoke] [--json DIR] <command>\n\
+     commands: table4.1 table4.2 fig4.1 table4.3 table4.4 table4.5\n\
+     \u{20}         ablation.counters ablation.window ablation.rr3\n\
+     \u{20}         ablation.start-rule ablation.overhead ablation.width-overhead\n\
+     \u{20}         hybrid conservation\n\
+     \u{20}         tails bursty worst-case.fcfs priority scaling validate.cis all"
+}
+
+fn emit<T: Serialize>(opts: &Options, name: &str, value: &T, text: String) {
+    println!("{text}");
+    if let Some(dir) = &opts.json_dir {
+        if let Err(e) = fs::create_dir_all(dir) {
+            eprintln!("warning: cannot create {}: {e}", dir.display());
+            return;
+        }
+        let path = dir.join(format!("{name}.json"));
+        match serde_json::to_string_pretty(value) {
+            Ok(json) => {
+                if let Err(e) = fs::write(&path, json) {
+                    eprintln!("warning: cannot write {}: {e}", path.display());
+                } else {
+                    eprintln!("wrote {}", path.display());
+                }
+            }
+            Err(e) => eprintln!("warning: cannot serialize {name}: {e}"),
+        }
+    }
+}
+
+fn run_ablation(opts: &Options, result: &ablations::Ablation) {
+    let name = result.name.replace('.', "_");
+    emit(opts, &name, result, ablations::format(result));
+}
+
+fn main() -> ExitCode {
+    let opts = match parse_args() {
+        Ok(o) => o,
+        Err(msg) => {
+            if msg.is_empty() {
+                println!("{}", usage());
+                return ExitCode::SUCCESS;
+            }
+            eprintln!("error: {msg}\n{}", usage());
+            return ExitCode::FAILURE;
+        }
+    };
+    eprintln!("scale: {} ({} samples per run)", opts.scale, {
+        let b = opts.scale.batches();
+        b.total_samples()
+    });
+
+    match opts.command.as_str() {
+        "table4.1" => {
+            let t = table4_1::run(opts.scale);
+            emit(&opts, "table4_1", &t, table4_1::format(&t));
+        }
+        "table4.2" => {
+            let t = table4_2::run(opts.scale);
+            emit(&opts, "table4_2", &t, table4_2::format(&t));
+        }
+        "fig4.1" => {
+            let f = figure4_1::run(opts.scale);
+            emit(&opts, "figure4_1", &f, figure4_1::format(&f));
+        }
+        "table4.3" => {
+            let t = table4_3::run(opts.scale);
+            emit(&opts, "table4_3", &t, table4_3::format(&t));
+        }
+        "table4.4" => {
+            let t = table4_4::run(opts.scale);
+            emit(&opts, "table4_4", &t, table4_4::format(&t));
+        }
+        "table4.5" => {
+            let t = table4_5::run(opts.scale);
+            emit(&opts, "table4_5", &t, table4_5::format(&t));
+        }
+        "ablation.counters" => run_ablation(&opts, &ablations::counter_bits(opts.scale)),
+        "ablation.window" => run_ablation(&opts, &ablations::tie_window(opts.scale)),
+        "ablation.rr3" => run_ablation(&opts, &ablations::rr3_overhead(opts.scale)),
+        "ablation.start-rule" => run_ablation(&opts, &ablations::start_rule(opts.scale)),
+        "ablation.overhead" => run_ablation(&opts, &ablations::overhead(opts.scale)),
+        "ablation.width-overhead" => {
+            run_ablation(&opts, &ablations::width_overhead(opts.scale));
+        }
+        "hybrid" => run_ablation(&opts, &ablations::hybrid(opts.scale)),
+        "conservation" => run_ablation(&opts, &ablations::conservation(opts.scale)),
+        "tails" => {
+            let t = tails::run(opts.scale);
+            emit(&opts, "tails", &t, tails::format(&t));
+        }
+        "bursty" => {
+            let b = bursty::run(opts.scale);
+            emit(&opts, "bursty", &b, bursty::format(&b));
+        }
+        "scaling" => {
+            let sc = scaling::run(opts.scale);
+            emit(&opts, "scaling", &sc, scaling::format(&sc));
+        }
+        "priority" => {
+            let p = priority_study::run(opts.scale);
+            emit(&opts, "priority_study", &p, priority_study::format(&p));
+        }
+        "worst-case.fcfs" => {
+            let w = worst_case_fcfs::run(opts.scale);
+            emit(&opts, "worst_case_fcfs", &w, worst_case_fcfs::format(&w));
+        }
+        "validate.cis" => {
+            let c = validation::ci_coverage(opts.scale, 40);
+            emit(&opts, "ci_coverage", &c, validation::format_coverage(&c));
+            let d = validation::batch_diagnostics(opts.scale);
+            emit(
+                &opts,
+                "batch_diagnostics",
+                &d,
+                validation::format_diagnostics(&d),
+            );
+        }
+        "all" => {
+            eprintln!("computing the shared simulation grid...");
+            let grid = Grid::compute(opts.scale);
+            let t1 = table4_1::from_grid(&grid);
+            emit(&opts, "table4_1", &t1, table4_1::format(&t1));
+            let t2 = table4_2::from_grid(&grid);
+            emit(&opts, "table4_2", &t2, table4_2::format(&t2));
+            let f = figure4_1::from_grid(&grid);
+            emit(&opts, "figure4_1", &f, figure4_1::format(&f));
+            let t3 = table4_3::from_grid(&grid);
+            emit(&opts, "table4_3", &t3, table4_3::format(&t3));
+            let t4 = table4_4::run(opts.scale);
+            emit(&opts, "table4_4", &t4, table4_4::format(&t4));
+            let t5 = table4_5::run(opts.scale);
+            emit(&opts, "table4_5", &t5, table4_5::format(&t5));
+            for ablation in ablations::all(opts.scale) {
+                run_ablation(&opts, &ablation);
+            }
+            let t = tails::run(opts.scale);
+            emit(&opts, "tails", &t, tails::format(&t));
+            let b = bursty::run(opts.scale);
+            emit(&opts, "bursty", &b, bursty::format(&b));
+            let w = worst_case_fcfs::run(opts.scale);
+            emit(&opts, "worst_case_fcfs", &w, worst_case_fcfs::format(&w));
+            let p = priority_study::run(opts.scale);
+            emit(&opts, "priority_study", &p, priority_study::format(&p));
+            let sc = scaling::run(opts.scale);
+            emit(&opts, "scaling", &sc, scaling::format(&sc));
+            let c = validation::ci_coverage(opts.scale, 40);
+            emit(&opts, "ci_coverage", &c, validation::format_coverage(&c));
+            let d = validation::batch_diagnostics(opts.scale);
+            emit(
+                &opts,
+                "batch_diagnostics",
+                &d,
+                validation::format_diagnostics(&d),
+            );
+        }
+        other => {
+            eprintln!("error: unknown command '{other}'\n{}", usage());
+            return ExitCode::FAILURE;
+        }
+    }
+    ExitCode::SUCCESS
+}

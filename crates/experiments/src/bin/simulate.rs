@@ -1,0 +1,245 @@
+//! `simulate` — run one custom bus-arbitration scenario and print the
+//! measurements.
+//!
+//! ```text
+//! simulate [options]
+//!   --protocol NAME    fixed-priority | aap-1 | aap-2 | aap-2m | rr |
+//!                      fcfs-1 | fcfs-2 | central-rr | central-fcfs |
+//!                      hybrid | adaptive | rotating-rr | ticket-fcfs
+//!                      (default: rr)
+//!   --agents N         system size (default 10)
+//!   --load X           total offered load (default 2.0)
+//!   --cv C             interrequest-time CV in [0, 1] (default 1.0)
+//!   --samples S        samples per batch, 10 batches (default 2000)
+//!   --seed S           PRNG seed (default 1)
+//!   --urgent P         urgent-request probability (default 0)
+//!   --outstanding R    max outstanding requests per agent (default 1)
+//!   --overhead A       arbitration overhead (default 0.5)
+//!   --trace K          print the first K trace events
+//!   --compare          run ALL protocols on the scenario instead of one
+//!
+//! scenario variants (default: equal loads):
+//!   --boost FACTOR     agent 1 offers FACTOR x the common load (Table 4.4)
+//!   --worst-case-rr    the Table 4.5 "just miss" workload (slow agent 1)
+//!   --worst-case-fcfs  the 4.5-footnote re-synchronizing FCFS workload
+//!   --bursty B         trace-driven bursty traffic (quiet/burst ratio B)
+//! ```
+
+use std::process::ExitCode;
+
+use busarb_core::ProtocolKind;
+use busarb_sim::{RunReport, Simulation, SystemConfig};
+use busarb_stats::BatchMeansConfig;
+use busarb_types::{AgentId, Time};
+use busarb_workload::{BurstyTrace, Scenario};
+
+#[derive(Clone, Copy, PartialEq, Debug)]
+enum Variant {
+    EqualLoad,
+    Boost(f64),
+    WorstCaseRr,
+    WorstCaseFcfs,
+    Bursty(f64),
+}
+
+#[derive(Clone, Debug)]
+struct Options {
+    protocol: ProtocolKind,
+    agents: u32,
+    load: f64,
+    cv: f64,
+    samples: usize,
+    seed: u64,
+    urgent: f64,
+    outstanding: u32,
+    overhead: f64,
+    trace: usize,
+    compare: bool,
+    variant: Variant,
+}
+
+impl Default for Options {
+    fn default() -> Self {
+        Options {
+            protocol: ProtocolKind::RoundRobin,
+            agents: 10,
+            load: 2.0,
+            cv: 1.0,
+            samples: 2000,
+            seed: 1,
+            urgent: 0.0,
+            outstanding: 1,
+            overhead: 0.5,
+            trace: 0,
+            compare: false,
+            variant: Variant::EqualLoad,
+        }
+    }
+}
+
+fn protocol_by_name(name: &str) -> Option<ProtocolKind> {
+    ProtocolKind::all()
+        .iter()
+        .copied()
+        .find(|k| k.to_string() == name)
+}
+
+fn parse_args() -> Result<Options, String> {
+    let mut opts = Options::default();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |flag: &str| args.next().ok_or_else(|| format!("{flag} needs a value"));
+        match arg.as_str() {
+            "--protocol" => {
+                let v = value("--protocol")?;
+                opts.protocol =
+                    protocol_by_name(&v).ok_or_else(|| format!("unknown protocol '{v}'"))?;
+            }
+            "--agents" => opts.agents = value("--agents")?.parse().map_err(|e| format!("{e}"))?,
+            "--load" => opts.load = value("--load")?.parse().map_err(|e| format!("{e}"))?,
+            "--cv" => opts.cv = value("--cv")?.parse().map_err(|e| format!("{e}"))?,
+            "--samples" => {
+                opts.samples = value("--samples")?.parse().map_err(|e| format!("{e}"))?;
+            }
+            "--seed" => opts.seed = value("--seed")?.parse().map_err(|e| format!("{e}"))?,
+            "--urgent" => opts.urgent = value("--urgent")?.parse().map_err(|e| format!("{e}"))?,
+            "--outstanding" => {
+                opts.outstanding = value("--outstanding")?
+                    .parse()
+                    .map_err(|e| format!("{e}"))?;
+            }
+            "--overhead" => {
+                opts.overhead = value("--overhead")?.parse().map_err(|e| format!("{e}"))?;
+            }
+            "--trace" => opts.trace = value("--trace")?.parse().map_err(|e| format!("{e}"))?,
+            "--compare" => opts.compare = true,
+            "--boost" => {
+                opts.variant =
+                    Variant::Boost(value("--boost")?.parse().map_err(|e| format!("{e}"))?);
+            }
+            "--worst-case-rr" => opts.variant = Variant::WorstCaseRr,
+            "--worst-case-fcfs" => opts.variant = Variant::WorstCaseFcfs,
+            "--bursty" => {
+                opts.variant =
+                    Variant::Bursty(value("--bursty")?.parse().map_err(|e| format!("{e}"))?);
+            }
+            "--help" | "-h" => return Err(String::new()),
+            other => return Err(format!("unexpected argument '{other}'")),
+        }
+    }
+    Ok(opts)
+}
+
+fn usage() -> &'static str {
+    "usage: simulate [--protocol NAME] [--agents N] [--load X] [--cv C]\n\
+     \u{20}               [--samples S] [--seed S] [--urgent P] [--outstanding R]\n\
+     \u{20}               [--overhead A] [--trace K] [--compare]\n\
+     \u{20}               [--boost F | --worst-case-rr | --worst-case-fcfs | --bursty B]\n\
+     protocols: fixed-priority aap-1 aap-2 aap-2m rr fcfs-1 fcfs-2\n\
+     \u{20}          central-rr central-fcfs hybrid adaptive rotating-rr ticket-fcfs"
+}
+
+fn build_scenario(opts: &Options) -> Result<Scenario, String> {
+    let agent1 = AgentId::new(1).map_err(|e| e.to_string())?;
+    match opts.variant {
+        Variant::EqualLoad => {
+            Scenario::equal_load(opts.agents, opts.load, opts.cv).map_err(|e| e.to_string())
+        }
+        Variant::Boost(factor) => {
+            Scenario::rate_multiplied(opts.agents, opts.load, agent1, factor, opts.cv)
+                .map_err(|e| e.to_string())
+        }
+        Variant::WorstCaseRr => {
+            Scenario::worst_case_rr(opts.agents, agent1, opts.cv).map_err(|e| e.to_string())
+        }
+        Variant::WorstCaseFcfs => {
+            Scenario::worst_case_fcfs(opts.agents, 0.5).map_err(|e| e.to_string())
+        }
+        Variant::Bursty(burstiness) => {
+            let per_agent = opts.load / f64::from(opts.agents);
+            if !(0.0..1.0).contains(&per_agent) || per_agent <= 0.0 {
+                return Err(format!("per-agent load {per_agent} out of range"));
+            }
+            let mean = 1.0 / per_agent - 1.0;
+            let trace = BurstyTrace {
+                burstiness,
+                ..BurstyTrace::with_mean(mean)
+            }
+            .synthesize(opts.seed ^ 0xB0B5)
+            .map_err(|e| e.to_string())?;
+            Scenario::from_trace_equal(opts.agents, trace).map_err(|e| e.to_string())
+        }
+    }
+}
+
+fn run_one(opts: &Options, kind: ProtocolKind) -> Result<RunReport, String> {
+    let scenario = build_scenario(opts)?;
+    let mut config = SystemConfig::new(scenario)
+        .with_batches(BatchMeansConfig::quick(opts.samples))
+        .with_warmup(opts.samples / 2)
+        .with_seed(opts.seed)
+        .with_urgent_fraction(opts.urgent)
+        .with_max_outstanding(opts.outstanding)
+        .with_arbitration_overhead(Time::new(opts.overhead).map_err(|e| e.to_string())?);
+    if opts.trace > 0 {
+        config = config.with_trace(opts.trace);
+    }
+    let arbiter = kind.build(opts.agents).map_err(|e| e.to_string())?;
+    Ok(Simulation::new(config)
+        .map_err(|e| e.to_string())?
+        .run(arbiter))
+}
+
+fn print_report(opts: &Options, report: &RunReport) {
+    let fairness = report
+        .throughput_ratio(opts.agents, 1, 0.90)
+        .map_or_else(|| "n/a".to_string(), |r| r.estimate.to_string());
+    println!(
+        "{:<14} W = {:<14} sd(W) = {:<7.3} util = {:<6.3} t[N]/t[1] = {:<13} arbs/grant = {:.3}",
+        report.protocol,
+        report.mean_wait.to_string(),
+        report.wait_summary.std_dev(),
+        report.utilization,
+        fairness,
+        report.arbitrations as f64 / report.grants.max(1) as f64,
+    );
+}
+
+fn main() -> ExitCode {
+    let opts = match parse_args() {
+        Ok(o) => o,
+        Err(msg) => {
+            if msg.is_empty() {
+                println!("{}", usage());
+                return ExitCode::SUCCESS;
+            }
+            eprintln!("error: {msg}\n{}", usage());
+            return ExitCode::FAILURE;
+        }
+    };
+    println!(
+        "scenario: {} agents, total load {}, cv {}, seed {}, variant {:?}",
+        opts.agents, opts.load, opts.cv, opts.seed, opts.variant
+    );
+    let kinds: Vec<ProtocolKind> = if opts.compare {
+        ProtocolKind::all().to_vec()
+    } else {
+        vec![opts.protocol]
+    };
+    for kind in kinds {
+        match run_one(&opts, kind) {
+            Ok(report) => {
+                print_report(&opts, &report);
+                if opts.trace > 0 && !opts.compare {
+                    println!("\ntrace (first {} events):", opts.trace);
+                    print!("{}", report.trace.render());
+                }
+            }
+            Err(msg) => {
+                eprintln!("error: {msg}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,191 @@
+//! Shared experiment plumbing.
+
+use std::collections::hash_map::DefaultHasher;
+use std::hash::{Hash, Hasher};
+
+use busarb_core::Arbiter;
+use busarb_sim::{RunReport, Simulation, SystemConfig};
+use busarb_stats::{BatchMeansConfig, Estimate, RatioEstimate};
+use busarb_workload::Scenario;
+use serde::Serialize;
+
+/// How much simulation effort to spend.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum Scale {
+    /// The paper's configuration: 10 batches × 8000 samples per run.
+    Paper,
+    /// 10 × 1500 samples — minutes-scale full reproduction.
+    Quick,
+    /// 10 × 150 samples — for unit tests and benches.
+    Smoke,
+}
+
+impl Scale {
+    /// The batch-means configuration for this scale.
+    #[must_use]
+    pub fn batches(self) -> BatchMeansConfig {
+        match self {
+            Scale::Paper => BatchMeansConfig::paper(),
+            Scale::Quick => BatchMeansConfig::quick(1500),
+            Scale::Smoke => BatchMeansConfig::quick(150),
+        }
+    }
+
+    /// Warm-up responses discarded before measurement.
+    #[must_use]
+    pub fn warmup(self) -> usize {
+        match self {
+            Scale::Paper => 4000,
+            Scale::Quick => 1500,
+            Scale::Smoke => 300,
+        }
+    }
+
+    /// Parses a scale name (for the `repro` CLI).
+    #[must_use]
+    pub fn parse(name: &str) -> Option<Scale> {
+        match name {
+            "paper" => Some(Scale::Paper),
+            "quick" => Some(Scale::Quick),
+            "smoke" => Some(Scale::Smoke),
+            _ => None,
+        }
+    }
+}
+
+impl core::fmt::Display for Scale {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            Scale::Paper => f.write_str("paper"),
+            Scale::Quick => f.write_str("quick"),
+            Scale::Smoke => f.write_str("smoke"),
+        }
+    }
+}
+
+/// Deterministic per-cell seed derived from a textual tag, so every
+/// experiment cell is reproducible in isolation.
+#[must_use]
+pub fn seed_for(tag: &str) -> u64 {
+    let mut h = DefaultHasher::new();
+    tag.hash(&mut h);
+    h.finish() ^ 0xB0A7_AB1E_5EED_5EED
+}
+
+/// Runs one simulation cell.
+///
+/// # Panics
+///
+/// Panics on internal configuration errors (experiment code constructs
+/// only valid configurations).
+#[must_use]
+pub fn run_cell(
+    scenario: Scenario,
+    arbiter: Box<dyn Arbiter>,
+    scale: Scale,
+    tag: &str,
+    collect_cdf: bool,
+) -> RunReport {
+    let mut config = SystemConfig::new(scenario)
+        .with_batches(scale.batches())
+        .with_warmup(scale.warmup())
+        .with_seed(seed_for(tag));
+    if collect_cdf {
+        config = config.with_cdf();
+    }
+    Simulation::new(config)
+        .expect("experiment configs are valid")
+        .run(arbiter)
+}
+
+/// A serializable `value ± halfwidth` estimate.
+#[derive(Clone, Copy, PartialEq, Debug, Serialize)]
+pub struct EstimateJson {
+    /// Point estimate.
+    pub mean: f64,
+    /// Confidence-interval half-width.
+    pub halfwidth: f64,
+}
+
+impl From<Estimate> for EstimateJson {
+    fn from(e: Estimate) -> Self {
+        EstimateJson {
+            mean: e.mean,
+            halfwidth: e.halfwidth,
+        }
+    }
+}
+
+impl From<RatioEstimate> for EstimateJson {
+    fn from(r: RatioEstimate) -> Self {
+        r.estimate.into()
+    }
+}
+
+impl core::fmt::Display for EstimateJson {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "{:.2} \u{b1} {:.2}", self.mean, self.halfwidth)
+    }
+}
+
+/// The load points used throughout the paper's tables for a given system
+/// size (the 10-agent table tops out at 7.52, the others at 7.50).
+#[must_use]
+pub fn paper_loads(agents: u32) -> Vec<f64> {
+    let top = if agents == 10 { 7.52 } else { 7.50 };
+    vec![0.25, 0.50, 1.00, 1.50, 2.00, 2.50, 5.00, top]
+}
+
+/// The three system sizes studied in the paper.
+pub const PAPER_SIZES: [u32; 3] = [10, 30, 64];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use busarb_core::ProtocolKind;
+
+    #[test]
+    fn seeds_are_stable_and_distinct() {
+        assert_eq!(seed_for("a"), seed_for("a"));
+        assert_ne!(seed_for("a"), seed_for("b"));
+    }
+
+    #[test]
+    fn scale_parsing() {
+        assert_eq!(Scale::parse("paper"), Some(Scale::Paper));
+        assert_eq!(Scale::parse("quick"), Some(Scale::Quick));
+        assert_eq!(Scale::parse("smoke"), Some(Scale::Smoke));
+        assert_eq!(Scale::parse("bogus"), None);
+        assert_eq!(Scale::Paper.to_string(), "paper");
+    }
+
+    #[test]
+    fn paper_loads_match_tables() {
+        assert_eq!(paper_loads(10).last(), Some(&7.52));
+        assert_eq!(paper_loads(30).last(), Some(&7.50));
+        assert_eq!(paper_loads(10).len(), 8);
+    }
+
+    #[test]
+    fn run_cell_smoke() {
+        let scenario = Scenario::equal_load(4, 1.0, 1.0).unwrap();
+        let report = run_cell(
+            scenario,
+            ProtocolKind::RoundRobin.build(4).unwrap(),
+            Scale::Smoke,
+            "common-smoke",
+            false,
+        );
+        assert!(report.mean_wait.mean > 0.0);
+        assert!(report.cdf.is_none());
+    }
+
+    #[test]
+    fn estimate_json_display() {
+        let e = EstimateJson {
+            mean: 1.2345,
+            halfwidth: 0.042,
+        };
+        assert_eq!(e.to_string(), "1.23 \u{b1} 0.04");
+    }
+}

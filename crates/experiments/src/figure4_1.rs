@@ -1,0 +1,165 @@
+//! Figure 4.1 — CDF of the bus waiting time for RR and FCFS
+//! (30 agents, load 1.5).
+//!
+//! The figure's qualitative signature: the FCFS CDF rises sharply near the
+//! mean waiting time, while the RR CDF is flatter — more mass both well
+//! below and well above the mean.
+
+use serde::Serialize;
+
+use crate::common::Scale;
+use crate::grid::{Grid, GridCell};
+
+/// One plotted point.
+#[derive(Clone, Copy, Debug, Serialize)]
+pub struct Point {
+    /// Waiting time.
+    pub x: f64,
+    /// Cumulative probability `P(W <= x)`.
+    pub p: f64,
+}
+
+/// The figure's two series.
+#[derive(Clone, Debug, Serialize)]
+pub struct Figure41 {
+    /// Number of agents (30 in the paper).
+    pub agents: u32,
+    /// Total offered load (1.5 in the paper).
+    pub load: f64,
+    /// Mean waiting time (common to both protocols).
+    pub mean_wait: f64,
+    /// RR series.
+    pub rr: Vec<Point>,
+    /// FCFS series.
+    pub fcfs: Vec<Point>,
+}
+
+/// Number of plotted points per series.
+pub const POINTS: usize = 64;
+
+/// Derives the figure from a grid that contains the (30, 1.5) cell.
+///
+/// # Panics
+///
+/// Panics if the grid lacks that cell or its CDFs.
+#[must_use]
+pub fn from_grid(grid: &Grid) -> Figure41 {
+    let cell = grid
+        .cell(30, 1.5)
+        .expect("grid contains the 30-agent, load-1.5 cell");
+    from_cell(cell)
+}
+
+/// Derives the figure from a single matched cell.
+///
+/// # Panics
+///
+/// Panics if the cell's runs lack CDFs.
+#[must_use]
+pub fn from_cell(cell: &GridCell) -> Figure41 {
+    let mut rr_cdf = cell.rr.cdf.clone().expect("grid collects CDFs");
+    let mut fcfs_cdf = cell.fcfs.cdf.clone().expect("grid collects CDFs");
+    let series = |cdf: &mut busarb_stats::Cdf| {
+        cdf.series(POINTS)
+            .into_iter()
+            .map(|(x, p)| Point { x, p })
+            .collect::<Vec<_>>()
+    };
+    Figure41 {
+        agents: cell.agents,
+        load: cell.load,
+        mean_wait: 0.5 * (cell.rr.mean_wait.mean + cell.fcfs.mean_wait.mean),
+        rr: series(&mut rr_cdf),
+        fcfs: series(&mut fcfs_cdf),
+    }
+}
+
+/// Runs just the needed cell and derives the figure.
+#[must_use]
+pub fn run(scale: Scale) -> Figure41 {
+    from_cell(&Grid::compute_cell(30, 1.5, scale))
+}
+
+/// Renders an ASCII plot plus a numeric table of both series.
+#[must_use]
+pub fn format(fig: &Figure41) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "Figure 4.1: CDF of the Bus Waiting Time for RR and FCFS ({} agents, load = {})\n",
+        fig.agents, fig.load
+    ));
+    out.push_str(&format!("mean waiting time W = {:.2}\n\n", fig.mean_wait));
+
+    const WIDTH: usize = 64;
+    const HEIGHT: usize = 16;
+    let x_max = fig
+        .rr
+        .iter()
+        .chain(&fig.fcfs)
+        .map(|p| p.x)
+        .fold(0.0, f64::max)
+        .max(1e-9);
+    let mut canvas = vec![vec![b' '; WIDTH + 1]; HEIGHT + 1];
+    let eval = |series: &[Point], x: f64| -> f64 {
+        // Step-function evaluation over the sampled series.
+        series
+            .iter()
+            .take_while(|p| p.x <= x)
+            .last()
+            .map_or(0.0, |p| p.p)
+    };
+    #[allow(clippy::needless_range_loop)] // col indexes every row of the canvas
+    for col in 0..=WIDTH {
+        let x = x_max * col as f64 / WIDTH as f64;
+        let rr_row = ((1.0 - eval(&fig.rr, x)) * HEIGHT as f64).round() as usize;
+        let fcfs_row = ((1.0 - eval(&fig.fcfs, x)) * HEIGHT as f64).round() as usize;
+        canvas[fcfs_row.min(HEIGHT)][col] = b'F';
+        if rr_row.min(HEIGHT) != fcfs_row.min(HEIGHT) {
+            canvas[rr_row.min(HEIGHT)][col] = b'R';
+        } else {
+            canvas[rr_row.min(HEIGHT)][col] = b'*';
+        }
+    }
+    for (i, line) in canvas.iter().enumerate() {
+        let p = 1.0 - i as f64 / HEIGHT as f64;
+        out.push_str(&format!("{:>4.2} |{}\n", p, String::from_utf8_lossy(line)));
+    }
+    out.push_str(&format!("      0{:>width$.1}\n", x_max, width = WIDTH));
+    out.push_str("      (R = round-robin, F = FCFS, * = both)\n\nx, F_rr(x), F_fcfs(x)\n");
+    for (r, f) in fig.rr.iter().zip(&fig.fcfs) {
+        out.push_str(&format!("{:8.3} {:8.4} {:8.4}\n", r.x, r.p, f.p));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fcfs_cdf_is_steeper_around_the_mean() {
+        let fig = run(Scale::Smoke);
+        assert_eq!(fig.agents, 30);
+        // Spread between the 10th and 90th percentile is wider for RR.
+        let spread = |series: &[Point]| {
+            let lo = series.iter().find(|p| p.p >= 0.1).map_or(0.0, |p| p.x);
+            let hi = series.iter().find(|p| p.p >= 0.9).map_or(0.0, |p| p.x);
+            hi - lo
+        };
+        assert!(
+            spread(&fig.rr) > spread(&fig.fcfs),
+            "rr spread {} vs fcfs spread {}",
+            spread(&fig.rr),
+            spread(&fig.fcfs)
+        );
+    }
+
+    #[test]
+    fn plot_renders() {
+        let fig = run(Scale::Smoke);
+        let text = format(&fig);
+        assert!(text.contains("Figure 4.1"));
+        assert!(text.contains('R') || text.contains('*'));
+        assert!(text.lines().count() > POINTS);
+    }
+}

@@ -1,0 +1,48 @@
+//! Reproduction harness for the evaluation section of Vernon & Manber
+//! (ISCA 1988).
+//!
+//! One module per table/figure, plus ablation studies. Each experiment
+//! exposes:
+//!
+//! * a `run(scale)` entry point returning a serializable result struct,
+//! * a `format(&result)` function rendering the paper-style text table.
+//!
+//! The [`grid`] module runs the shared (system size × load × protocol)
+//! sweep that Tables 4.1, 4.2, 4.3 and Figure 4.1 are all views of, so
+//! the `repro all` command simulates each cell exactly once.
+//!
+//! [`Scale::Paper`] uses the paper's full output-analysis configuration
+//! (10 batches × 8000 samples, 90% confidence intervals);
+//! [`Scale::Quick`] shrinks the batches for faster runs and
+//! [`Scale::Smoke`] further still for tests and benches.
+//!
+//! # Examples
+//!
+//! ```
+//! use busarb_experiments::{table4_5, Scale};
+//!
+//! let result = table4_5::run(Scale::Smoke);
+//! assert!(!result.sections.is_empty());
+//! println!("{}", table4_5::format(&result));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ablations;
+pub mod bursty;
+pub mod common;
+pub mod figure4_1;
+pub mod grid;
+pub mod priority_study;
+pub mod scaling;
+pub mod table4_1;
+pub mod table4_2;
+pub mod table4_3;
+pub mod table4_4;
+pub mod table4_5;
+pub mod tails;
+pub mod validation;
+pub mod worst_case_fcfs;
+
+pub use common::{EstimateJson, Scale};

@@ -1,0 +1,168 @@
+//! Table 4.1 — allocation of bus bandwidth among agents with equal
+//! request rates.
+//!
+//! For each system size and offered load, the table reports the ratio of
+//! the **highest-identity** agent's throughput to the **lowest-identity**
+//! agent's, with 90% confidence intervals. The RR protocol is perfectly
+//! fair (ratio 1.0, the column illustrates simulation noise), the simple
+//! FCFS-1 implementation shows at most a ~6–8% advantage near saturation,
+//! and the assured access protocol (shown for 30 agents, as in the paper)
+//! grows toward a 2× advantage.
+
+use serde::Serialize;
+
+use crate::common::{EstimateJson, Scale};
+use crate::grid::Grid;
+
+/// One load row.
+#[derive(Clone, Debug, Serialize)]
+pub struct Row {
+    /// Total offered load.
+    pub load: f64,
+    /// Measured system throughput / bus utilization (the `Λ` column).
+    pub utilization: f64,
+    /// Throughput ratio t\[N\]/t\[1\] under RR.
+    pub rr: Option<EstimateJson>,
+    /// Throughput ratio t\[N\]/t\[1\] under FCFS-1.
+    pub fcfs: Option<EstimateJson>,
+    /// Throughput ratio t\[N\]/t\[1\] under AAP-1 (30-agent section only).
+    pub aap: Option<EstimateJson>,
+}
+
+/// One system-size section.
+#[derive(Clone, Debug, Serialize)]
+pub struct Section {
+    /// Number of agents.
+    pub agents: u32,
+    /// Rows in load order.
+    pub rows: Vec<Row>,
+}
+
+/// The full table.
+#[derive(Clone, Debug, Serialize)]
+pub struct Table41 {
+    /// Sections for 10, 30 and 64 agents.
+    pub sections: Vec<Section>,
+}
+
+/// Derives the table from a precomputed grid.
+#[must_use]
+pub fn from_grid(grid: &Grid) -> Table41 {
+    let sections = [10u32, 30, 64]
+        .into_iter()
+        .map(|n| Section {
+            agents: n,
+            rows: grid
+                .section(n)
+                .map(|cell| Row {
+                    load: cell.load,
+                    utilization: cell.rr.utilization,
+                    rr: cell.rr.throughput_ratio(n, 1, 0.90).map(Into::into),
+                    fcfs: cell.fcfs.throughput_ratio(n, 1, 0.90).map(Into::into),
+                    aap: cell
+                        .aap
+                        .as_ref()
+                        .and_then(|r| r.throughput_ratio(n, 1, 0.90))
+                        .map(Into::into),
+                })
+                .collect(),
+        })
+        .collect();
+    Table41 { sections }
+}
+
+/// Runs the underlying sweep and derives the table.
+#[must_use]
+pub fn run(scale: Scale) -> Table41 {
+    from_grid(&Grid::compute(scale))
+}
+
+fn fmt_opt(e: &Option<EstimateJson>) -> String {
+    e.map_or_else(|| "-".to_string(), |e| e.to_string())
+}
+
+/// Renders the paper-style text table.
+#[must_use]
+pub fn format(table: &Table41) -> String {
+    let mut out = String::new();
+    out.push_str("Table 4.1: Allocation of Bus Bandwidth Among Agents with Equal Request Rates\n");
+    for section in &table.sections {
+        out.push_str(&format!("\n({} agents)\n", section.agents));
+        out.push_str(&format!(
+            "{:>6} {:>6} {:>14} {:>14} {:>14}\n",
+            "Load", "Util", "t[N]/t[1] RR", "t[N]/t[1] FCFS", "t[N]/t[1] AAP"
+        ));
+        for row in &section.rows {
+            out.push_str(&format!(
+                "{:>6.2} {:>6.2} {:>14} {:>14} {:>14}\n",
+                row.load,
+                row.utilization,
+                fmt_opt(&row.rr),
+                fmt_opt(&row.fcfs),
+                fmt_opt(&row.aap),
+            ));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::grid::GridCell;
+
+    fn tiny_grid() -> Grid {
+        Grid {
+            cells: vec![
+                Grid::compute_cell(10, 2.0, Scale::Smoke),
+                Grid::compute_cell(30, 2.0, Scale::Smoke),
+            ],
+            scale: Scale::Smoke,
+        }
+    }
+
+    fn high_load_row(cells: &[GridCell], n: u32) -> Row {
+        let grid = Grid {
+            cells: cells.to_vec(),
+            scale: Scale::Smoke,
+        };
+        from_grid(&grid)
+            .sections
+            .into_iter()
+            .find(|s| s.agents == n)
+            .unwrap()
+            .rows
+            .pop()
+            .unwrap()
+    }
+
+    #[test]
+    fn rr_ratio_is_near_one_fcfs_close_aap_larger() {
+        let grid = tiny_grid();
+        let row30 = high_load_row(&grid.cells, 30);
+        let rr = row30.rr.unwrap().mean;
+        let fcfs = row30.fcfs.unwrap().mean;
+        let aap = row30.aap.unwrap().mean;
+        assert!((rr - 1.0).abs() < 0.25, "rr ratio {rr}");
+        assert!(fcfs < aap, "fcfs {fcfs} should be fairer than aap {aap}");
+        assert!(aap > 1.1, "aap ratio {aap} should show the unfairness");
+    }
+
+    #[test]
+    fn format_contains_sections() {
+        let grid = tiny_grid();
+        let table = from_grid(&grid);
+        let text = format(&table);
+        assert!(text.contains("(10 agents)"));
+        assert!(text.contains("(30 agents)"));
+        assert!(text.contains("Table 4.1"));
+    }
+
+    #[test]
+    fn serializes_to_json() {
+        let grid = tiny_grid();
+        let table = from_grid(&grid);
+        let json = serde_json::to_string(&table).unwrap();
+        assert!(json.contains("\"agents\":10"));
+    }
+}

@@ -1,0 +1,197 @@
+//! Table 4.3 — performance comparison for execution overlapped with bus
+//! waiting times.
+//!
+//! The paper's contrived best case for FCFS: each agent can perform up to
+//! `overlap` units of useful "extra work" while waiting for the bus, where
+//! `overlap` is chosen as the minimum integer at which the RR waiting-time
+//! CDF falls below the FCFS CDF. Because FCFS concentrates waiting times
+//! near the mean, less of its waiting time spills past the overlap
+//! budget, so FCFS agents are (slightly) more productive.
+//!
+//! Definitions (per the paper):
+//!
+//! * `W` — total mean waiting time including the overlapped execution
+//!   (same measurement as Table 4.2).
+//! * residual waits — `E[(W − overlap)⁺]`: the mean waiting time left
+//!   after subtracting the overlapped execution.
+//! * productivity — mean time spent executing productively between bus
+//!   requests divided by mean time between bus requests:
+//!   `(interrequest + E[min(W, overlap)]) / (interrequest + E[W])`.
+
+use serde::Serialize;
+
+use busarb_sim::RunReport;
+
+use crate::common::Scale;
+use crate::grid::Grid;
+
+/// One load row.
+#[derive(Clone, Debug, Serialize)]
+pub struct Row {
+    /// Total offered load.
+    pub load: f64,
+    /// Mean waiting time including overlapped execution.
+    pub mean_wait: f64,
+    /// Mean residual wait after overlap, RR.
+    pub residual_rr: f64,
+    /// Mean residual wait after overlap, FCFS.
+    pub residual_fcfs: f64,
+    /// Agent productivity under RR.
+    pub productivity_rr: f64,
+    /// Agent productivity under FCFS.
+    pub productivity_fcfs: f64,
+    /// The execution-overlap value used (CDF crossing point).
+    pub overlap: f64,
+}
+
+/// One system-size section.
+#[derive(Clone, Debug, Serialize)]
+pub struct Section {
+    /// Number of agents.
+    pub agents: u32,
+    /// Rows in load order.
+    pub rows: Vec<Row>,
+}
+
+/// The full table.
+#[derive(Clone, Debug, Serialize)]
+pub struct Table43 {
+    /// Sections for 10, 30 and 64 agents.
+    pub sections: Vec<Section>,
+}
+
+/// Picks the overlap value: the minimum integer `x` with
+/// `CDF_RR(x) < CDF_FCFS(x)`, i.e. the point past which RR has more
+/// residual waiting mass than FCFS.
+///
+/// Because both CDFs are nearly zero in the far lower tail, sampling
+/// noise there can produce spurious "crossings" well below the mean; the
+/// paper's overlap values all sit at or above the mean waiting time, so
+/// the search is restricted to the region where the FCFS CDF has
+/// accumulated at least half its mass. Falls back to `ceil(mean W)` if
+/// the CDFs never cross within four mean waits (possible at very low
+/// loads where both distributions are nearly a point mass).
+fn pick_overlap(rr: &RunReport, fcfs: &RunReport) -> f64 {
+    let mut rr_cdf = rr.cdf.clone().expect("grid collects CDFs");
+    let mut fcfs_cdf = fcfs.cdf.clone().expect("grid collects CDFs");
+    let limit = (rr.wait_summary.mean() * 4.0).ceil().max(8.0) as u32;
+    let crossing = (1..=limit).find(|&x| {
+        let x = f64::from(x);
+        fcfs_cdf.eval(x) > 0.5 && rr_cdf.eval(x) < fcfs_cdf.eval(x)
+    });
+    match crossing {
+        Some(x) => f64::from(x),
+        None => rr.wait_summary.mean().ceil(),
+    }
+}
+
+/// Derives the table from a precomputed grid.
+#[must_use]
+pub fn from_grid(grid: &Grid) -> Table43 {
+    let sections = [10u32, 30, 64]
+        .into_iter()
+        .map(|n| Section {
+            agents: n,
+            rows: grid
+                .section(n)
+                .map(|cell| {
+                    let overlap = pick_overlap(&cell.rr, &cell.fcfs);
+                    let interrequest = 1.0 / (cell.load / f64::from(n)) - 1.0;
+                    let productivity = |r: &RunReport| {
+                        let overlapped =
+                            r.mean_overlapped_wait(overlap).expect("grid collects CDFs");
+                        (interrequest + overlapped) / (interrequest + r.wait_summary.mean())
+                    };
+                    let residual = |r: &RunReport| {
+                        (r.wait_summary.mean()
+                            - r.mean_overlapped_wait(overlap).expect("grid collects CDFs"))
+                        .max(0.0)
+                    };
+                    Row {
+                        load: cell.load,
+                        mean_wait: 0.5
+                            * (cell.rr.wait_summary.mean() + cell.fcfs.wait_summary.mean()),
+                        residual_rr: residual(&cell.rr),
+                        residual_fcfs: residual(&cell.fcfs),
+                        productivity_rr: productivity(&cell.rr),
+                        productivity_fcfs: productivity(&cell.fcfs),
+                        overlap,
+                    }
+                })
+                .collect(),
+        })
+        .collect();
+    Table43 { sections }
+}
+
+/// Runs the underlying sweep and derives the table.
+#[must_use]
+pub fn run(scale: Scale) -> Table43 {
+    from_grid(&Grid::compute(scale))
+}
+
+/// Renders the paper-style text table.
+#[must_use]
+pub fn format(table: &Table43) -> String {
+    let mut out = String::new();
+    out.push_str(
+        "Table 4.3: Performance Comparison for Execution Overlapped with Bus Waiting Times\n",
+    );
+    for section in &table.sections {
+        out.push_str(&format!("\n({} agents)\n", section.agents));
+        out.push_str(&format!(
+            "{:>6} {:>8} {:>9} {:>9} {:>9} {:>9} {:>8}\n",
+            "Load", "W", "resid RR", "res FCFS", "prod RR", "prod FCFS", "Overlap"
+        ));
+        for row in &section.rows {
+            out.push_str(&format!(
+                "{:>6.2} {:>8.2} {:>9.2} {:>9.2} {:>9.2} {:>9.2} {:>8.1}\n",
+                row.load,
+                row.mean_wait,
+                row.residual_rr,
+                row.residual_fcfs,
+                row.productivity_rr,
+                row.productivity_fcfs,
+                row.overlap
+            ));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fcfs_productivity_at_least_matches_rr_at_high_load() {
+        let grid = Grid {
+            cells: vec![Grid::compute_cell(10, 2.5, Scale::Smoke)],
+            scale: Scale::Smoke,
+        };
+        let table = from_grid(&grid);
+        let row = &table.sections[0].rows[0];
+        // FCFS wastes less waiting beyond the overlap budget...
+        assert!(
+            row.residual_fcfs <= row.residual_rr + 1e-9,
+            "residuals: fcfs {} rr {}",
+            row.residual_fcfs,
+            row.residual_rr
+        );
+        // ...and is therefore at least as productive.
+        assert!(row.productivity_fcfs >= row.productivity_rr - 1e-9);
+        assert!(row.overlap >= 1.0);
+        assert!(row.productivity_rr > 0.0 && row.productivity_rr <= 1.0 + 1e-9);
+    }
+
+    #[test]
+    fn format_renders() {
+        let grid = Grid {
+            cells: vec![Grid::compute_cell(10, 1.0, Scale::Smoke)],
+            scale: Scale::Smoke,
+        };
+        let text = format(&from_grid(&grid));
+        assert!(text.contains("Table 4.3"));
+        assert!(text.contains("Overlap"));
+    }
+}

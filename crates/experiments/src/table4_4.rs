@@ -1,0 +1,212 @@
+//! Table 4.4 — allocation of bus bandwidth among agents with unequal
+//! request rates.
+//!
+//! 30 agents; agent 1's offered load is 2× (section a) or 4× (section b)
+//! that of every other agent. Both protocols allocate bandwidth in
+//! proportion to demand at low load; as the bus saturates, RR evens the
+//! allocation out faster, while FCFS keeps it (slightly) more proportional
+//! to the actual request rates.
+
+use busarb_core::ProtocolKind;
+use busarb_types::AgentId;
+use busarb_workload::Scenario;
+use serde::Serialize;
+
+use crate::common::{run_cell, EstimateJson, Scale};
+
+/// One load row.
+#[derive(Clone, Debug, Serialize)]
+pub struct Row {
+    /// Total offered load (base load plus the boosted agent's excess).
+    pub load: f64,
+    /// Measured bus utilization.
+    pub utilization: f64,
+    /// Offered-load ratio `load_1 / load_2`.
+    pub load_ratio: f64,
+    /// Throughput ratio t\[1\]/t\[2\] under RR.
+    pub rr: Option<EstimateJson>,
+    /// Throughput ratio t\[1\]/t\[2\] under FCFS-1.
+    pub fcfs: Option<EstimateJson>,
+}
+
+/// One rate-multiplier section.
+#[derive(Clone, Debug, Serialize)]
+pub struct Section {
+    /// Number of agents (30).
+    pub agents: u32,
+    /// Agent 1's rate multiplier (2 or 4).
+    pub factor: f64,
+    /// Rows in base-load order.
+    pub rows: Vec<Row>,
+}
+
+/// The full table.
+#[derive(Clone, Debug, Serialize)]
+pub struct Table44 {
+    /// The 2× and 4× sections.
+    pub sections: Vec<Section>,
+}
+
+/// Base total loads swept in the paper (before the boost).
+pub const BASE_LOADS: [f64; 7] = [0.25, 0.50, 1.00, 1.50, 2.00, 2.50, 5.00];
+
+/// Runs the experiment.
+///
+/// # Panics
+///
+/// Panics on internal configuration errors.
+#[must_use]
+pub fn run(scale: Scale) -> Table44 {
+    let n = 30u32;
+    let boosted = AgentId::new(1).expect("agent 1 exists");
+    let sections = [2.0f64, 4.0]
+        .into_iter()
+        .map(|factor| {
+            let rows = BASE_LOADS
+                .iter()
+                .map(|&base| {
+                    let scenario = Scenario::rate_multiplied(n, base, boosted, factor, 1.0)
+                        .expect("valid scenario");
+                    let load = scenario.total_offered_load();
+                    let load_ratio = scenario.workload(boosted).offered_load()
+                        / scenario
+                            .workload(AgentId::new(2).expect("agent 2 exists"))
+                            .offered_load();
+                    let rr = run_cell(
+                        scenario.clone(),
+                        ProtocolKind::RoundRobin.build(n).expect("valid size"),
+                        scale,
+                        &format!("t44-rr-{factor}-{base}"),
+                        false,
+                    );
+                    let fcfs = run_cell(
+                        scenario,
+                        ProtocolKind::Fcfs1.build(n).expect("valid size"),
+                        scale,
+                        &format!("t44-fcfs-{factor}-{base}"),
+                        false,
+                    );
+                    Row {
+                        load,
+                        utilization: rr.utilization,
+                        load_ratio,
+                        rr: rr.throughput_ratio(1, 2, 0.90).map(Into::into),
+                        fcfs: fcfs.throughput_ratio(1, 2, 0.90).map(Into::into),
+                    }
+                })
+                .collect();
+            Section {
+                agents: n,
+                factor,
+                rows,
+            }
+        })
+        .collect();
+    Table44 { sections }
+}
+
+/// Renders the paper-style text table.
+#[must_use]
+pub fn format(table: &Table44) -> String {
+    let mut out = String::new();
+    out.push_str(
+        "Table 4.4: Allocation of Bus Bandwidth Among Agents with Unequal Request Rates\n",
+    );
+    for section in &table.sections {
+        out.push_str(&format!(
+            "\n({} agents, agent 1 at {}x the common rate)\n",
+            section.agents, section.factor
+        ));
+        out.push_str(&format!(
+            "{:>6} {:>6} {:>12} {:>14} {:>14}\n",
+            "Load", "Util", "L[1]/L[2]", "t[1]/t[2] RR", "t[1]/t[2] FCFS"
+        ));
+        for row in &section.rows {
+            let fmt =
+                |e: &Option<EstimateJson>| e.map_or_else(|| "-".to_string(), |e| e.to_string());
+            out.push_str(&format!(
+                "{:>6.2} {:>6.2} {:>12.2} {:>14} {:>14}\n",
+                row.load,
+                row.utilization,
+                row.load_ratio,
+                fmt(&row.rr),
+                fmt(&row.fcfs),
+            ));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A trimmed version of the experiment for tests: one factor, two
+    /// loads.
+    fn mini(factor: f64, loads: &[f64]) -> Vec<Row> {
+        let n = 30u32;
+        let boosted = AgentId::new(1).unwrap();
+        loads
+            .iter()
+            .map(|&base| {
+                let scenario = Scenario::rate_multiplied(n, base, boosted, factor, 1.0).unwrap();
+                let load = scenario.total_offered_load();
+                let rr = run_cell(
+                    scenario.clone(),
+                    ProtocolKind::RoundRobin.build(n).unwrap(),
+                    Scale::Smoke,
+                    &format!("t44-test-rr-{factor}-{base}"),
+                    false,
+                );
+                let fcfs = run_cell(
+                    scenario,
+                    ProtocolKind::Fcfs1.build(n).unwrap(),
+                    Scale::Smoke,
+                    &format!("t44-test-fcfs-{factor}-{base}"),
+                    false,
+                );
+                Row {
+                    load,
+                    utilization: rr.utilization,
+                    load_ratio: factor,
+                    rr: rr.throughput_ratio(1, 2, 0.90).map(Into::into),
+                    fcfs: fcfs.throughput_ratio(1, 2, 0.90).map(Into::into),
+                }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn proportional_at_low_load_evened_out_at_saturation() {
+        let rows = mini(2.0, &[0.25, 5.0]);
+        let low = rows[0].rr.unwrap().mean;
+        assert!((low - 2.0).abs() < 0.5, "low-load RR ratio {low}");
+        let high = rows[1].rr.unwrap().mean;
+        assert!((high - 1.0).abs() < 0.15, "saturated RR ratio {high}");
+    }
+
+    #[test]
+    fn fcfs_tracks_demand_at_least_as_closely_as_rr_at_high_load() {
+        let rows = mini(4.0, &[2.0]);
+        let rr = rows[0].rr.unwrap().mean;
+        let fcfs = rows[0].fcfs.unwrap().mean;
+        assert!(
+            fcfs >= rr - 0.15,
+            "fcfs ratio {fcfs} should stay closer to demand than rr {rr}"
+        );
+    }
+
+    #[test]
+    fn format_renders() {
+        let table = Table44 {
+            sections: vec![Section {
+                agents: 30,
+                factor: 2.0,
+                rows: mini(2.0, &[1.0]),
+            }],
+        };
+        let text = format(&table);
+        assert!(text.contains("Table 4.4"));
+        assert!(text.contains("2x the common rate"));
+    }
+}

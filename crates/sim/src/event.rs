@@ -1,0 +1,194 @@
+//! The event queue.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use busarb_types::{AgentId, Time};
+
+/// A simulation event.
+///
+/// At equal timestamps events are processed in the order: arbitration
+/// completion, transaction end, request arrival (then by insertion order).
+/// The arrival-last rule means a request arriving exactly at a transaction
+/// boundary has *missed* the arbitration starting at that boundary, which
+/// is the conservative hardware interpretation (its request-line assertion
+/// propagates after the arbitration-start strobe).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum Event {
+    /// An in-flight arbitration settles; its winner becomes the next
+    /// master.
+    ArbitrationComplete,
+    /// The current bus transaction finishes.
+    TransactionEnd,
+    /// An agent finishes its think time and asserts the bus-request line.
+    RequestArrival(AgentId),
+}
+
+impl Event {
+    /// Tie-break rank at equal timestamps (lower runs first).
+    fn rank(&self) -> u8 {
+        match self {
+            Event::ArbitrationComplete => 0,
+            Event::TransactionEnd => 1,
+            Event::RequestArrival(_) => 2,
+        }
+    }
+}
+
+/// A scheduled event (internal heap entry).
+#[derive(Clone, Copy, Debug)]
+struct Scheduled {
+    at: Time,
+    rank: u8,
+    seq: u64,
+    event: Event,
+}
+
+impl PartialEq for Scheduled {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == Ordering::Equal
+    }
+}
+
+impl Eq for Scheduled {}
+
+impl Ord for Scheduled {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; reverse so the earliest event pops
+        // first.
+        (other.at, other.rank, other.seq).cmp(&(self.at, self.rank, self.seq))
+    }
+}
+
+impl PartialOrd for Scheduled {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// A deterministic future-event list.
+///
+/// Events pop in timestamp order; ties resolve by event kind (see
+/// [`Event`]) and then by insertion order, so identically seeded runs
+/// replay identically.
+///
+/// # Examples
+///
+/// ```
+/// use busarb_sim::{Event, EventQueue};
+/// use busarb_types::{AgentId, Time};
+///
+/// # fn main() -> Result<(), busarb_types::Error> {
+/// let mut q = EventQueue::new();
+/// q.schedule(Time::from(2.0), Event::TransactionEnd);
+/// q.schedule(Time::from(1.0), Event::RequestArrival(AgentId::new(1)?));
+/// let (t, e) = q.pop().unwrap();
+/// assert_eq!(t, Time::from(1.0));
+/// assert!(matches!(e, Event::RequestArrival(_)));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Default)]
+pub struct EventQueue {
+    heap: BinaryHeap<Scheduled>,
+    next_seq: u64,
+}
+
+impl EventQueue {
+    /// Creates an empty queue.
+    #[must_use]
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+        }
+    }
+
+    /// Schedules `event` at absolute time `at`.
+    pub fn schedule(&mut self, at: Time, event: Event) {
+        self.heap.push(Scheduled {
+            at,
+            rank: event.rank(),
+            seq: self.next_seq,
+            event,
+        });
+        self.next_seq += 1;
+    }
+
+    /// Pops the earliest event.
+    pub fn pop(&mut self) -> Option<(Time, Event)> {
+        self.heap.pop().map(|s| (s.at, s.event))
+    }
+
+    /// Timestamp of the earliest pending event.
+    #[must_use]
+    pub fn peek_time(&self) -> Option<Time> {
+        self.heap.peek().map(|s| s.at)
+    }
+
+    /// Number of pending events.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether the queue is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn id(n: u32) -> AgentId {
+        AgentId::new(n).unwrap()
+    }
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(Time::from(3.0), Event::TransactionEnd);
+        q.schedule(Time::from(1.0), Event::RequestArrival(id(1)));
+        q.schedule(Time::from(2.0), Event::ArbitrationComplete);
+        let times: Vec<f64> = std::iter::from_fn(|| q.pop())
+            .map(|(t, _)| t.as_f64())
+            .collect();
+        assert_eq!(times, [1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn tie_break_by_event_kind() {
+        let mut q = EventQueue::new();
+        let t = Time::from(5.0);
+        q.schedule(t, Event::RequestArrival(id(1)));
+        q.schedule(t, Event::TransactionEnd);
+        q.schedule(t, Event::ArbitrationComplete);
+        assert_eq!(q.pop().unwrap().1, Event::ArbitrationComplete);
+        assert_eq!(q.pop().unwrap().1, Event::TransactionEnd);
+        assert_eq!(q.pop().unwrap().1, Event::RequestArrival(id(1)));
+    }
+
+    #[test]
+    fn tie_break_by_insertion_order_within_kind() {
+        let mut q = EventQueue::new();
+        let t = Time::from(1.0);
+        q.schedule(t, Event::RequestArrival(id(2)));
+        q.schedule(t, Event::RequestArrival(id(1)));
+        assert_eq!(q.pop().unwrap().1, Event::RequestArrival(id(2)));
+        assert_eq!(q.pop().unwrap().1, Event::RequestArrival(id(1)));
+    }
+
+    #[test]
+    fn peek_and_len() {
+        let mut q = EventQueue::new();
+        assert!(q.is_empty());
+        assert_eq!(q.peek_time(), None);
+        q.schedule(Time::from(4.0), Event::TransactionEnd);
+        q.schedule(Time::from(2.0), Event::TransactionEnd);
+        assert_eq!(q.peek_time(), Some(Time::from(2.0)));
+        assert_eq!(q.len(), 2);
+    }
+}

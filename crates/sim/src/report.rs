@@ -1,0 +1,139 @@
+//! Simulation output.
+
+use busarb_stats::{BatchTally, Cdf, Estimate, RatioEstimate, Summary};
+use busarb_types::Time;
+
+use crate::trace::Trace;
+
+/// The measurements produced by one simulation run.
+#[derive(Clone, Debug)]
+pub struct RunReport {
+    /// Name of the protocol that was simulated.
+    pub protocol: String,
+    /// Batch-means estimate of the mean waiting time `W` (request
+    /// assertion → transaction completion), with its confidence interval.
+    pub mean_wait: Estimate,
+    /// Summary of all post-warmup waiting-time samples; its
+    /// [`Summary::std_dev`] is the σ_W reported in Table 4.2.
+    pub wait_summary: Summary,
+    /// The per-batch waiting-time means behind [`RunReport::mean_wait`],
+    /// for independence diagnostics
+    /// ([`busarb_stats::independence::lag1_autocorrelation`]).
+    pub wait_batch_means: Vec<f64>,
+    /// Per-agent waiting-time summaries (indexed by `AgentId::index()`),
+    /// for per-agent delay fairness (as opposed to throughput fairness).
+    pub per_agent_wait: Vec<Summary>,
+    /// Waiting-time summary of ordinary-class completions (post-warm-up).
+    pub ordinary_wait: Summary,
+    /// Waiting-time summary of urgent-class completions (post-warm-up).
+    pub urgent_wait: Summary,
+    /// Per-agent completion tallies per batch, for throughput-ratio
+    /// estimates (Tables 4.1 / 4.4 / 4.5).
+    pub tally: BatchTally,
+    /// Bus utilization over the measurement interval — equal to system
+    /// throughput in requests per unit time, since a transaction takes one
+    /// unit (the tables' second column).
+    pub utilization: f64,
+    /// Empirical CDF of the waiting time, if collection was enabled
+    /// (Figure 4.1 / Table 4.3).
+    pub cdf: Option<Cdf>,
+    /// Total grants issued during measurement.
+    pub grants: u64,
+    /// Total line arbitrations, including RR-3 wraparounds and
+    /// fairness-release cycles.
+    pub arbitrations: u64,
+    /// Simulated time at the end of the run.
+    pub end_time: Time,
+    /// Simulated time spanned by the measurement interval.
+    pub measured_time: Time,
+    /// Execution trace, non-empty only when tracing was enabled.
+    pub trace: Trace,
+}
+
+impl RunReport {
+    /// Ratio of agent `a`'s throughput to agent `b`'s (1-based
+    /// identities), with a batch-means confidence interval.
+    ///
+    /// Returns `None` if a batch recorded zero completions for `b`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either identity is out of range.
+    #[must_use]
+    pub fn throughput_ratio(&self, a: u32, b: u32, confidence: f64) -> Option<RatioEstimate> {
+        self.tally
+            .ratio((a - 1) as usize, (b - 1) as usize, confidence)
+    }
+
+    /// Completions per unit time for one agent over the measurement
+    /// interval.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `agent` is out of range or the measurement interval is
+    /// empty.
+    #[must_use]
+    pub fn agent_throughput(&self, agent: u32) -> f64 {
+        assert!(
+            self.measured_time > Time::ZERO,
+            "empty measurement interval"
+        );
+        self.tally.total((agent - 1) as usize) as f64 / self.measured_time.as_f64()
+    }
+
+    /// Waiting-time summary of one agent (1-based identity).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `agent` is out of range.
+    #[must_use]
+    pub fn agent_wait(&self, agent: u32) -> &Summary {
+        &self.per_agent_wait[(agent - 1) as usize]
+    }
+
+    /// Ratio of the largest to the smallest per-agent mean waiting time —
+    /// the *delay* fairness metric (1.0 is perfectly fair). Returns
+    /// `None` if any agent completed no requests.
+    #[must_use]
+    pub fn wait_spread(&self) -> Option<f64> {
+        let mut lo = f64::INFINITY;
+        let mut hi = 0.0f64;
+        for s in &self.per_agent_wait {
+            if s.count() == 0 {
+                return None;
+            }
+            lo = lo.min(s.mean());
+            hi = hi.max(s.mean());
+        }
+        (lo > 0.0).then_some(hi / lo)
+    }
+
+    /// Mean of `min(W, overlap)` over the collected waiting-time samples —
+    /// the *overlapped* portion of the waiting time in the Table 4.3
+    /// execution-overlap experiment.
+    ///
+    /// Returns `None` unless CDF collection was enabled.
+    #[must_use]
+    pub fn mean_overlapped_wait(&self, overlap: f64) -> Option<f64> {
+        let cdf = self.cdf.as_ref()?;
+        let samples = cdf.samples();
+        if samples.is_empty() {
+            return Some(0.0);
+        }
+        Some(samples.iter().map(|&w| w.min(overlap)).sum::<f64>() / samples.len() as f64)
+    }
+}
+
+impl core::fmt::Display for RunReport {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(
+            f,
+            "{}: W = {} (sd {:.2}), utilization {:.3}, {} grants",
+            self.protocol,
+            self.mean_wait,
+            self.wait_summary.std_dev(),
+            self.utilization,
+            self.grants
+        )
+    }
+}

@@ -1,0 +1,650 @@
+//! The bus system model.
+
+use std::collections::VecDeque;
+
+use busarb_core::{Arbiter, Grant};
+use busarb_stats::{BatchMeans, BatchTally, Cdf, Summary};
+use busarb_types::{AgentId, Error, Priority, Time};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::config::{ArbitrationStartRule, SystemConfig};
+use crate::event::{Event, EventQueue};
+use crate::report::RunReport;
+use crate::trace::{Trace, TraceKind};
+
+/// Per-agent runtime state.
+#[derive(Clone, Debug)]
+struct AgentState {
+    /// Arrival time and class of outstanding requests, oldest first.
+    outstanding: VecDeque<(Time, Priority)>,
+    /// With multiple outstanding requests: a request generation that found
+    /// the agent at its limit and is waiting for a completion.
+    blocked_issue: bool,
+}
+
+/// A configured simulation, ready to run an arbiter through the paper's
+/// bus model.
+///
+/// See the [crate docs](crate) for the modeling assumptions and an
+/// example.
+#[derive(Debug)]
+pub struct Simulation {
+    config: SystemConfig,
+}
+
+impl Simulation {
+    /// Creates a simulation from a configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidScenario`] for an out-of-range urgent
+    /// fraction and [`Error::ZeroOutstandingLimit`] for a zero
+    /// outstanding-request limit.
+    pub fn new(config: SystemConfig) -> Result<Self, Error> {
+        if !(0.0..=1.0).contains(&config.urgent_fraction) {
+            return Err(Error::InvalidScenario {
+                reason: format!("urgent fraction {} outside [0, 1]", config.urgent_fraction),
+            });
+        }
+        if config.max_outstanding == 0 {
+            return Err(Error::ZeroOutstandingLimit);
+        }
+        Ok(Simulation { config })
+    }
+
+    /// The configuration this simulation will run with.
+    #[must_use]
+    pub fn config(&self) -> &SystemConfig {
+        &self.config
+    }
+
+    /// Runs the model to completion (all batches full) and returns the
+    /// measurements.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the arbiter's agent count does not match the scenario, or
+    /// if the event loop exceeds its safety budget without filling the
+    /// batches (which indicates a deadlocked protocol).
+    #[must_use]
+    pub fn run(&self, arbiter: Box<dyn Arbiter>) -> RunReport {
+        Runner::new(&self.config, arbiter).run()
+    }
+}
+
+/// The live state of one run.
+struct Runner<'c> {
+    config: &'c SystemConfig,
+    arbiter: Box<dyn Arbiter>,
+    rng: StdRng,
+    queue: EventQueue,
+    agents: Vec<AgentState>,
+
+    /// Agent currently transferring, if any.
+    transferring: Option<AgentId>,
+    /// Winner chosen by an arbitration still settling on the lines.
+    arb_in_flight: Option<Grant>,
+    /// Winner of a completed arbitration, waiting for the bus.
+    next_master: Option<Grant>,
+
+    bm: BatchMeans,
+    tally: BatchTally,
+    cdf: Option<Cdf>,
+    warmup_remaining: usize,
+    warmup_end: Time,
+    last_counted: Time,
+    grants: u64,
+    arbitrations: u64,
+    trace: Trace,
+    per_agent_wait: Vec<Summary>,
+    ordinary_wait: Summary,
+    urgent_wait: Summary,
+}
+
+impl<'c> Runner<'c> {
+    fn new(config: &'c SystemConfig, arbiter: Box<dyn Arbiter>) -> Self {
+        let n = config.scenario.agents();
+        assert_eq!(
+            arbiter.agents(),
+            n,
+            "arbiter sized for {} agents but the scenario has {n}",
+            arbiter.agents()
+        );
+        let bm = BatchMeans::new(config.batches).expect("validated batch config");
+        let tally =
+            BatchTally::new(n as usize, config.batches.batches).expect("validated batch config");
+        Runner {
+            config,
+            arbiter,
+            rng: StdRng::seed_from_u64(config.seed),
+            queue: EventQueue::new(),
+            agents: vec![
+                AgentState {
+                    outstanding: VecDeque::new(),
+                    blocked_issue: false,
+                };
+                n as usize
+            ],
+            transferring: None,
+            arb_in_flight: None,
+            next_master: None,
+            bm,
+            tally,
+            cdf: config.collect_cdf.then(Cdf::new),
+            warmup_remaining: config.warmup_samples,
+            warmup_end: Time::ZERO,
+            last_counted: Time::ZERO,
+            grants: 0,
+            arbitrations: 0,
+            trace: Trace::with_limit(config.trace_limit),
+            per_agent_wait: vec![Summary::new(); n as usize],
+            ordinary_wait: Summary::new(),
+            urgent_wait: Summary::new(),
+        }
+    }
+
+    fn think_time(&mut self, agent: AgentId) -> Time {
+        self.config
+            .scenario
+            .workload(agent)
+            .interrequest
+            .sample(&mut self.rng)
+    }
+
+    fn run(mut self) -> RunReport {
+        // Seed initial request generations: one think time per agent,
+        // optionally phase-staggered so deterministic workloads do not
+        // start in lockstep.
+        for agent in AgentId::all(self.config.scenario.agents()) {
+            let mut first = self.think_time(agent);
+            if self.config.initial_stagger {
+                first = first * self.rng.gen::<f64>();
+            }
+            self.queue.schedule(first, Event::RequestArrival(agent));
+        }
+
+        // Safety budget: a response needs only a handful of events, so this
+        // is far beyond any non-deadlocked run.
+        let needed = self.config.warmup_samples + self.config.batches.total_samples();
+        let max_events = 200 * needed as u64 + 10_000_000;
+        let mut processed = 0u64;
+        while let Some((t, event)) = self.queue.pop() {
+            match event {
+                Event::RequestArrival(agent) => self.on_generation(t, agent),
+                Event::ArbitrationComplete => self.on_arbitration_complete(t),
+                Event::TransactionEnd => self.on_transaction_end(t),
+            }
+            if self.bm.is_complete() {
+                break;
+            }
+            processed += 1;
+            assert!(
+                processed < max_events,
+                "event budget exceeded: protocol appears deadlocked"
+            );
+        }
+        self.finish()
+    }
+
+    /// An agent's think time expires: issue a request (or defer at the
+    /// outstanding limit).
+    fn on_generation(&mut self, t: Time, agent: AgentId) {
+        let limit = self.config.max_outstanding as usize;
+        let state = &mut self.agents[agent.index()];
+        if state.outstanding.len() >= limit {
+            state.blocked_issue = true;
+            return;
+        }
+        self.issue(t, agent);
+        if self.config.max_outstanding > 1 {
+            // Pipelined agents keep generating while requests are pending.
+            let next = self.think_time(agent);
+            self.queue.schedule(t + next, Event::RequestArrival(agent));
+        }
+    }
+
+    /// Assert the bus-request line for `agent` at time `t`.
+    fn issue(&mut self, t: Time, agent: AgentId) {
+        let priority = if self.config.urgent_fraction > 0.0
+            && self.rng.gen::<f64>() < self.config.urgent_fraction
+        {
+            Priority::Urgent
+        } else {
+            Priority::Ordinary
+        };
+        self.agents[agent.index()]
+            .outstanding
+            .push_back((t, priority));
+        self.arbiter.on_request(t, agent, priority);
+        if self.config.trace_limit > 0 {
+            self.trace.record(t, TraceKind::Request { agent });
+        }
+        self.try_start_arbitration(t, false);
+    }
+
+    /// Starts an arbitration if the protocol and timing rules allow.
+    fn try_start_arbitration(&mut self, t: Time, at_transaction_boundary: bool) {
+        if self.arb_in_flight.is_some() || self.next_master.is_some() {
+            return;
+        }
+        if self.arbiter.pending() == 0 {
+            return;
+        }
+        if self.config.start_rule == ArbitrationStartRule::TransactionAligned
+            && !at_transaction_boundary
+            && self.transferring.is_some()
+        {
+            // Strict rule: mid-transaction arrivals wait for the next
+            // transaction boundary.
+            return;
+        }
+        let grant = self
+            .arbiter
+            .arbitrate(t)
+            .expect("pending requests imply a grant");
+        self.grants += 1;
+        self.arbitrations += u64::from(grant.arbitrations);
+        let per_arbitration = match self.config.overhead_model {
+            Some(model) => model.overhead(self.arbiter.layout().map(|l| l.width())),
+            None => self.config.arbitration_overhead,
+        };
+        let overhead = per_arbitration * f64::from(grant.arbitrations);
+        if self.config.trace_limit > 0 {
+            self.trace.record(
+                t,
+                TraceKind::ArbitrationStart {
+                    winner: grant.agent,
+                    completes: t + overhead,
+                },
+            );
+        }
+        self.arb_in_flight = Some(grant);
+        self.queue
+            .schedule(t + overhead, Event::ArbitrationComplete);
+    }
+
+    fn on_arbitration_complete(&mut self, t: Time) {
+        let grant = self
+            .arb_in_flight
+            .take()
+            .expect("completion implies an in-flight arbitration");
+        self.next_master = Some(grant);
+        if self.transferring.is_none() {
+            self.start_transfer(t);
+        }
+    }
+
+    fn start_transfer(&mut self, t: Time) {
+        let grant = self.next_master.take().expect("a master is ready");
+        self.transferring = Some(grant.agent);
+        if self.config.trace_limit > 0 {
+            self.trace
+                .record(t, TraceKind::TransferStart { agent: grant.agent });
+        }
+        self.queue
+            .schedule(t + Time::TRANSACTION, Event::TransactionEnd);
+        // The beginning of a bus transaction: arbitration for the next
+        // master starts now if requests are waiting.
+        self.try_start_arbitration(t, true);
+    }
+
+    fn on_transaction_end(&mut self, t: Time) {
+        let agent = self
+            .transferring
+            .take()
+            .expect("a transfer was in progress");
+        let state = &mut self.agents[agent.index()];
+        let (arrived, priority) = state
+            .outstanding
+            .pop_front()
+            .expect("the master had an outstanding request");
+        let wait = (t - arrived).as_f64();
+        if self.config.trace_limit > 0 {
+            self.trace.record(t, TraceKind::TransferEnd { agent, wait });
+        }
+        self.record(t, agent, priority, wait);
+
+        // Think-time scheduling after the completion.
+        if self.config.max_outstanding == 1 {
+            let next = self.think_time(agent);
+            self.queue.schedule(t + next, Event::RequestArrival(agent));
+        } else if self.agents[agent.index()].blocked_issue {
+            self.agents[agent.index()].blocked_issue = false;
+            self.issue(t, agent);
+            let next = self.think_time(agent);
+            self.queue.schedule(t + next, Event::RequestArrival(agent));
+        }
+
+        // Hand the bus over / restart arbitration.
+        if self.next_master.is_some() {
+            self.start_transfer(t);
+        } else {
+            self.try_start_arbitration(t, true);
+        }
+    }
+
+    fn record(&mut self, t: Time, agent: AgentId, priority: Priority, wait: f64) {
+        if self.warmup_remaining > 0 {
+            self.warmup_remaining -= 1;
+            if self.warmup_remaining == 0 {
+                self.warmup_end = t;
+            }
+            return;
+        }
+        if self.bm.is_complete() {
+            return;
+        }
+        self.bm.record(wait);
+        self.tally.record(agent.index());
+        self.per_agent_wait[agent.index()].record(wait);
+        match priority {
+            Priority::Urgent => self.urgent_wait.record(wait),
+            Priority::Ordinary => self.ordinary_wait.record(wait),
+        }
+        if let Some(cdf) = &mut self.cdf {
+            cdf.record(wait);
+        }
+        self.last_counted = t;
+        let spb = self.config.batches.samples_per_batch;
+        if self.bm.samples_recorded().is_multiple_of(spb) {
+            self.tally.close_batch();
+        }
+    }
+
+    fn finish(self) -> RunReport {
+        let mean_wait = self
+            .bm
+            .estimate()
+            .expect("run loop exits only when batches are complete");
+        let measured_time = self.last_counted - self.warmup_end;
+        let utilization = if measured_time > Time::ZERO {
+            self.bm.samples_recorded() as f64 / measured_time.as_f64()
+        } else {
+            0.0
+        };
+        RunReport {
+            protocol: self.arbiter.name().to_string(),
+            mean_wait,
+            wait_summary: *self.bm.overall(),
+            wait_batch_means: self.bm.batch_means(),
+            per_agent_wait: self.per_agent_wait,
+            ordinary_wait: self.ordinary_wait,
+            urgent_wait: self.urgent_wait,
+            tally: self.tally,
+            utilization,
+            cdf: self.cdf,
+            grants: self.grants,
+            arbitrations: self.arbitrations,
+            end_time: self.last_counted,
+            measured_time,
+            trace: self.trace,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use busarb_core::ProtocolKind;
+    use busarb_stats::BatchMeansConfig;
+    use busarb_workload::Scenario;
+
+    fn quick_config(n: u32, load: f64, cv: f64, samples: usize) -> SystemConfig {
+        SystemConfig::new(Scenario::equal_load(n, load, cv).unwrap())
+            .with_batches(BatchMeansConfig::quick(samples))
+            .with_warmup(500)
+            .with_seed(12345)
+    }
+
+    fn run(kind: ProtocolKind, config: SystemConfig) -> RunReport {
+        let n = config.scenario.agents();
+        Simulation::new(config).unwrap().run(kind.build(n).unwrap())
+    }
+
+    #[test]
+    fn single_agent_no_contention_wait_is_exactly_1_5() {
+        // One agent, idle bus: W = arbitration overhead + transaction.
+        let config = quick_config(1, 0.25, 1.0, 100);
+        let report = run(ProtocolKind::RoundRobin, config);
+        assert!(
+            (report.mean_wait.mean - 1.5).abs() < 1e-9,
+            "W = {}",
+            report.mean_wait.mean
+        );
+        assert!(report.wait_summary.std_dev() < 1e-9);
+    }
+
+    #[test]
+    fn saturated_bus_reaches_full_utilization() {
+        let config = quick_config(10, 5.0, 1.0, 500);
+        let report = run(ProtocolKind::RoundRobin, config);
+        assert!(
+            report.utilization > 0.99,
+            "utilization = {}",
+            report.utilization
+        );
+    }
+
+    #[test]
+    fn low_load_utilization_tracks_offered_load() {
+        let config = quick_config(10, 0.25, 1.0, 500);
+        let report = run(ProtocolKind::Fcfs1, config);
+        assert!(
+            (report.utilization - 0.25).abs() < 0.02,
+            "utilization = {}",
+            report.utilization
+        );
+    }
+
+    #[test]
+    fn saturated_wait_matches_closed_form() {
+        // At saturation with N agents, each agent cycles once per N units:
+        // interrequest + W = N, so W = N - interrequest.
+        let n = 10u32;
+        let load = 5.0;
+        let config = quick_config(n, load, 1.0, 2000);
+        let report = run(ProtocolKind::RoundRobin, config);
+        let interrequest = 1.0 / (load / f64::from(n)) - 1.0;
+        let expected = f64::from(n) - interrequest;
+        assert!(
+            (report.mean_wait.mean - expected).abs() < 0.1,
+            "W = {} expected {expected}",
+            report.mean_wait.mean
+        );
+    }
+
+    #[test]
+    fn identical_seeds_replay_identically() {
+        let a = run(ProtocolKind::Fcfs2, quick_config(10, 1.5, 1.0, 300));
+        let b = run(ProtocolKind::Fcfs2, quick_config(10, 1.5, 1.0, 300));
+        assert_eq!(a.mean_wait.mean, b.mean_wait.mean);
+        assert_eq!(a.grants, b.grants);
+        assert_eq!(a.end_time, b.end_time);
+        let c = run(
+            ProtocolKind::Fcfs2,
+            quick_config(10, 1.5, 1.0, 300).with_seed(999),
+        );
+        assert_ne!(a.mean_wait.mean, c.mean_wait.mean);
+    }
+
+    #[test]
+    fn rr_is_perfectly_fair_at_saturation() {
+        let config = quick_config(8, 4.0, 1.0, 1000);
+        let report = run(ProtocolKind::RoundRobin, config);
+        let ratio = report.throughput_ratio(8, 1, 0.90).unwrap();
+        assert!(
+            (ratio.estimate.mean - 1.0).abs() < 0.05,
+            "ratio = {}",
+            ratio.estimate.mean
+        );
+    }
+
+    #[test]
+    fn fixed_priority_starves_low_identities_at_overload() {
+        let config = quick_config(8, 6.0, 1.0, 1000);
+        let report = run(ProtocolKind::FixedPriority, config);
+        let hi = report.agent_throughput(8);
+        let lo = report.agent_throughput(1);
+        assert!(hi > 2.0 * lo, "hi = {hi}, lo = {lo}");
+    }
+
+    #[test]
+    fn conservation_of_mean_wait_across_protocols() {
+        // Work-conserving non-preemptive disciplines with service-time-
+        // independent ordering share the same mean wait (paper footnote 4).
+        let baseline = run(ProtocolKind::RoundRobin, quick_config(10, 1.5, 1.0, 2000));
+        for kind in [
+            ProtocolKind::Fcfs1,
+            ProtocolKind::Fcfs2,
+            ProtocolKind::AssuredAccessIdleBatch,
+            ProtocolKind::CentralFcfs,
+        ] {
+            let report = run(kind, quick_config(10, 1.5, 1.0, 2000));
+            let diff = (report.mean_wait.mean - baseline.mean_wait.mean).abs();
+            assert!(
+                diff < 0.25,
+                "{kind}: W = {} vs RR {}",
+                report.mean_wait.mean,
+                baseline.mean_wait.mean
+            );
+        }
+    }
+
+    #[test]
+    fn fcfs_has_lower_wait_variance_than_rr() {
+        let rr = run(ProtocolKind::RoundRobin, quick_config(10, 2.0, 1.0, 3000));
+        let fcfs = run(ProtocolKind::Fcfs1, quick_config(10, 2.0, 1.0, 3000));
+        assert!(
+            rr.wait_summary.std_dev() > fcfs.wait_summary.std_dev(),
+            "rr sd {} vs fcfs sd {}",
+            rr.wait_summary.std_dev(),
+            fcfs.wait_summary.std_dev()
+        );
+    }
+
+    #[test]
+    fn cdf_collection_is_optional() {
+        let without = run(ProtocolKind::RoundRobin, quick_config(4, 1.0, 1.0, 100));
+        assert!(without.cdf.is_none());
+        let config = quick_config(4, 1.0, 1.0, 100).with_cdf();
+        let with = run(ProtocolKind::RoundRobin, config);
+        assert!(with.mean_overlapped_wait(2.0).is_some());
+        let cdf = with.cdf.unwrap();
+        assert_eq!(cdf.len(), 10 * 100);
+    }
+
+    #[test]
+    fn mean_overlapped_wait_is_capped() {
+        let config = quick_config(6, 3.0, 1.0, 500).with_cdf();
+        let report = run(ProtocolKind::Fcfs1, config);
+        let capped = report.mean_overlapped_wait(2.0).unwrap();
+        assert!(capped <= 2.0 + 1e-12);
+        assert!(capped <= report.wait_summary.mean());
+        let uncapped = report.mean_overlapped_wait(1e9).unwrap();
+        assert!((uncapped - report.wait_summary.mean()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn urgent_fraction_runs_clean() {
+        let config = quick_config(8, 2.0, 1.0, 500).with_urgent_fraction(0.2);
+        let report = run(ProtocolKind::Fcfs2, config);
+        assert!(report.utilization > 0.9);
+    }
+
+    #[test]
+    fn multiple_outstanding_requests_increase_throughput_at_fixed_think_time() {
+        // Pipelined agents keep the bus busier at the same think time.
+        let scenario = Scenario::equal_load(4, 2.0, 1.0).unwrap();
+        let single = SystemConfig::new(scenario.clone())
+            .with_batches(BatchMeansConfig::quick(500))
+            .with_warmup(200)
+            .with_seed(5);
+        let report1 = Simulation::new(single)
+            .unwrap()
+            .run(ProtocolKind::CentralFcfs.build(4).unwrap());
+        let multi = SystemConfig::new(scenario)
+            .with_batches(BatchMeansConfig::quick(500))
+            .with_warmup(200)
+            .with_seed(5)
+            .with_max_outstanding(4);
+        let report4 = Simulation::new(multi)
+            .unwrap()
+            .run(ProtocolKind::CentralFcfs.build(4).unwrap());
+        assert!(
+            report4.utilization > report1.utilization,
+            "single {} multi {}",
+            report1.utilization,
+            report4.utilization
+        );
+    }
+
+    #[test]
+    fn transaction_aligned_rule_waits_longer_at_low_load() {
+        let greedy = run(ProtocolKind::RoundRobin, quick_config(6, 0.5, 1.0, 1000));
+        let aligned_cfg = quick_config(6, 0.5, 1.0, 1000)
+            .with_start_rule(ArbitrationStartRule::TransactionAligned);
+        let aligned = run(ProtocolKind::RoundRobin, aligned_cfg);
+        assert!(
+            aligned.mean_wait.mean >= greedy.mean_wait.mean,
+            "aligned {} < greedy {}",
+            aligned.mean_wait.mean,
+            greedy.mean_wait.mean
+        );
+    }
+
+    #[test]
+    fn config_validation() {
+        let scenario = Scenario::equal_load(4, 1.0, 1.0).unwrap();
+        assert!(
+            Simulation::new(SystemConfig::new(scenario.clone()).with_urgent_fraction(1.5)).is_err()
+        );
+        assert!(Simulation::new(SystemConfig::new(scenario).with_max_outstanding(0)).is_err());
+    }
+
+    #[test]
+    fn per_agent_and_per_class_waits_are_consistent() {
+        let config = quick_config(6, 2.0, 1.0, 500).with_urgent_fraction(0.3);
+        let report = Simulation::new(config)
+            .unwrap()
+            .run(ProtocolKind::Fcfs2.build(6).unwrap());
+        // Per-agent counts sum to the total sample count.
+        let agent_total: u64 = (1..=6).map(|a| report.agent_wait(a).count()).sum();
+        assert_eq!(agent_total, report.wait_summary.count());
+        // Per-class counts likewise.
+        assert_eq!(
+            report.ordinary_wait.count() + report.urgent_wait.count(),
+            report.wait_summary.count()
+        );
+        // Urgent requests bypass the queue: lower mean wait.
+        assert!(report.urgent_wait.mean() < report.ordinary_wait.mean());
+        // Delay spread is defined and sane for a homogeneous workload.
+        let spread = report.wait_spread().unwrap();
+        assert!((1.0..1.5).contains(&spread), "spread {spread}");
+    }
+
+    #[test]
+    fn wait_spread_none_when_an_agent_never_completes() {
+        // Fixed priority at overload starves agent 1 entirely.
+        let config = quick_config(4, 3.6, 1.0, 300);
+        let report = Simulation::new(config)
+            .unwrap()
+            .run(ProtocolKind::FixedPriority.build(4).unwrap());
+        if report.agent_wait(1).count() == 0 {
+            assert_eq!(report.wait_spread(), None);
+        } else {
+            // Even if a few leak through during warm-up transients, the
+            // spread must be extreme.
+            assert!(report.wait_spread().unwrap() > 1.5);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "arbiter sized for")]
+    fn mismatched_arbiter_size_panics() {
+        let config = quick_config(4, 1.0, 1.0, 10);
+        let _ = Simulation::new(config)
+            .unwrap()
+            .run(ProtocolKind::RoundRobin.build(5).unwrap());
+    }
+}

@@ -1,0 +1,187 @@
+//! Execution tracing.
+//!
+//! When enabled ([`SystemConfig::with_trace`]), the simulator records a
+//! bounded, time-ordered log of everything that happens on the bus. The
+//! trace is the ground truth for debugging protocol/timing interactions
+//! and for the causal invariants checked in the integration tests (the
+//! bus is never double-booked, every transaction ends exactly one unit
+//! after it starts, arbitration is overlapped whenever possible).
+//!
+//! [`SystemConfig::with_trace`]: crate::SystemConfig::with_trace
+
+use busarb_types::{AgentId, Time};
+
+/// One traced occurrence.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub enum TraceKind {
+    /// An agent asserted the bus-request line.
+    Request {
+        /// The requesting agent.
+        agent: AgentId,
+    },
+    /// An arbitration started (winner already determined by the protocol
+    /// state at this instant; the lines settle until `completes`).
+    ArbitrationStart {
+        /// The agent that will win this arbitration.
+        winner: AgentId,
+        /// When the lines settle.
+        completes: Time,
+    },
+    /// A transfer began (the winner became bus master).
+    TransferStart {
+        /// The new bus master.
+        agent: AgentId,
+    },
+    /// A transfer completed.
+    TransferEnd {
+        /// The finishing master.
+        agent: AgentId,
+        /// The completed request's waiting time.
+        wait: f64,
+    },
+}
+
+/// A timestamped trace record.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct TraceEvent {
+    /// When it happened.
+    pub at: Time,
+    /// What happened.
+    pub kind: TraceKind,
+}
+
+/// A bounded trace sink.
+#[derive(Clone, Debug, Default)]
+pub struct Trace {
+    events: Vec<TraceEvent>,
+    limit: usize,
+    dropped: u64,
+}
+
+impl Trace {
+    /// Creates a sink retaining at most `limit` events (later events are
+    /// counted but dropped).
+    #[must_use]
+    pub fn with_limit(limit: usize) -> Self {
+        Trace {
+            events: Vec::new(),
+            limit,
+            dropped: 0,
+        }
+    }
+
+    pub(crate) fn record(&mut self, at: Time, kind: TraceKind) {
+        if self.events.len() < self.limit {
+            self.events.push(TraceEvent { at, kind });
+        } else {
+            self.dropped += 1;
+        }
+    }
+
+    /// The retained events, in simulation order.
+    #[must_use]
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+
+    /// Events that did not fit in the limit.
+    #[must_use]
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Returns `true` if nothing was recorded.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Renders the trace as one line per event, for logs and examples.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for e in &self.events {
+            let line = match e.kind {
+                TraceKind::Request { agent } => {
+                    format!("{:>9.3}  agent {agent} requests", e.at.as_f64())
+                }
+                TraceKind::ArbitrationStart { winner, completes } => format!(
+                    "{:>9.3}  arbitration starts (winner {winner}, settles at {:.3})",
+                    e.at.as_f64(),
+                    completes.as_f64()
+                ),
+                TraceKind::TransferStart { agent } => {
+                    format!("{:>9.3}  agent {agent} becomes bus master", e.at.as_f64())
+                }
+                TraceKind::TransferEnd { agent, wait } => format!(
+                    "{:>9.3}  agent {agent} completes (waited {wait:.3})",
+                    e.at.as_f64()
+                ),
+            };
+            out.push_str(&line);
+            out.push('\n');
+        }
+        if self.dropped > 0 {
+            out.push_str(&format!("... {} further events dropped\n", self.dropped));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn id(n: u32) -> AgentId {
+        AgentId::new(n).unwrap()
+    }
+
+    #[test]
+    fn limit_is_enforced() {
+        let mut t = Trace::with_limit(2);
+        for i in 0..5 {
+            t.record(
+                Time::from(f64::from(i)),
+                TraceKind::Request { agent: id(1) },
+            );
+        }
+        assert_eq!(t.events().len(), 2);
+        assert_eq!(t.dropped(), 3);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn render_mentions_every_kind() {
+        let mut t = Trace::with_limit(10);
+        t.record(Time::ZERO, TraceKind::Request { agent: id(2) });
+        t.record(
+            Time::from(0.0),
+            TraceKind::ArbitrationStart {
+                winner: id(2),
+                completes: Time::from(0.5),
+            },
+        );
+        t.record(Time::from(0.5), TraceKind::TransferStart { agent: id(2) });
+        t.record(
+            Time::from(1.5),
+            TraceKind::TransferEnd {
+                agent: id(2),
+                wait: 1.5,
+            },
+        );
+        let text = t.render();
+        assert!(text.contains("requests"));
+        assert!(text.contains("arbitration starts"));
+        assert!(text.contains("becomes bus master"));
+        assert!(text.contains("completes (waited 1.500)"));
+    }
+
+    #[test]
+    fn zero_limit_drops_everything() {
+        let mut t = Trace::with_limit(0);
+        t.record(Time::ZERO, TraceKind::Request { agent: id(1) });
+        assert!(t.is_empty());
+        assert_eq!(t.dropped(), 1);
+        assert!(t.render().contains("dropped"));
+    }
+}

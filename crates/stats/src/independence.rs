@@ -1,0 +1,206 @@
+//! Independence diagnostics for batch means.
+//!
+//! The batch-means confidence interval is only valid if the batch means
+//! are (approximately) uncorrelated — the reason the paper uses batches
+//! of 8000 samples. This module provides the classic checks:
+//!
+//! * [`lag1_autocorrelation`] — the lag-1 serial correlation coefficient
+//!   of a series; near zero for independent batch means.
+//! * [`von_neumann_ratio`] — the ratio of the mean square successive
+//!   difference to the variance; ≈ 2 for independent series,
+//!   substantially below 2 for positively correlated ones.
+//! * [`batch_independence`] — a convenience verdict for a completed
+//!   [`BatchMeans`] accumulator.
+
+use crate::BatchMeans;
+
+/// Lag-1 autocorrelation coefficient of `series`.
+///
+/// Returns `None` for fewer than 3 points or a constant series (where
+/// the coefficient is undefined).
+///
+/// # Examples
+///
+/// ```
+/// use busarb_stats::independence::lag1_autocorrelation;
+///
+/// // A strongly trending series is highly autocorrelated.
+/// let trend: Vec<f64> = (0..100).map(f64::from).collect();
+/// assert!(lag1_autocorrelation(&trend).unwrap() > 0.9);
+///
+/// // An alternating series is strongly negatively autocorrelated.
+/// let alt: Vec<f64> = (0..100).map(|i| f64::from(i % 2)).collect();
+/// assert!(lag1_autocorrelation(&alt).unwrap() < -0.9);
+/// ```
+#[must_use]
+pub fn lag1_autocorrelation(series: &[f64]) -> Option<f64> {
+    if series.len() < 3 {
+        return None;
+    }
+    let n = series.len() as f64;
+    let mean = series.iter().sum::<f64>() / n;
+    let denom: f64 = series.iter().map(|x| (x - mean).powi(2)).sum();
+    if denom == 0.0 {
+        return None;
+    }
+    let numer: f64 = series
+        .windows(2)
+        .map(|w| (w[0] - mean) * (w[1] - mean))
+        .sum();
+    Some(numer / denom)
+}
+
+/// Von Neumann ratio of `series`: mean square successive difference over
+/// the (population) variance. Expected value ≈ 2 for an independent
+/// series; values well below 2 indicate positive serial correlation
+/// (batches too small), well above 2 negative correlation.
+///
+/// Returns `None` for fewer than 2 points or a constant series.
+#[must_use]
+pub fn von_neumann_ratio(series: &[f64]) -> Option<f64> {
+    if series.len() < 2 {
+        return None;
+    }
+    let n = series.len() as f64;
+    let mean = series.iter().sum::<f64>() / n;
+    let variance: f64 = series.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n;
+    if variance == 0.0 {
+        return None;
+    }
+    let msd: f64 = series
+        .windows(2)
+        .map(|w| (w[1] - w[0]).powi(2))
+        .sum::<f64>()
+        / (n - 1.0);
+    Some(msd / variance)
+}
+
+/// Verdict of an independence check on a batch-means accumulator.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct IndependenceCheck {
+    /// Lag-1 autocorrelation of the batch means, if defined.
+    pub lag1: Option<f64>,
+    /// Von Neumann ratio of the batch means, if defined.
+    pub von_neumann: Option<f64>,
+    /// `true` when neither statistic signals strong positive correlation
+    /// (lag-1 below the threshold) — the condition under which the CI is
+    /// trustworthy.
+    pub acceptable: bool,
+}
+
+/// Checks whether a completed [`BatchMeans`] accumulator's batch means
+/// look independent enough for the confidence interval to be meaningful.
+///
+/// With only 10 batches the statistics are noisy, so the default
+/// threshold is generous: lag-1 autocorrelation below 0.5. A constant
+/// series (zero variance) is trivially acceptable.
+#[must_use]
+pub fn batch_independence(bm: &BatchMeans) -> IndependenceCheck {
+    let means = bm.batch_means();
+    let lag1 = lag1_autocorrelation(&means);
+    let von_neumann = von_neumann_ratio(&means);
+    let acceptable = lag1.is_none_or(|r| r < 0.5);
+    IndependenceCheck {
+        lag1,
+        von_neumann,
+        acceptable,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::BatchMeansConfig;
+
+    fn lcg_stream(seed: u64, n: usize) -> Vec<f64> {
+        let mut state = seed;
+        (0..n)
+            .map(|_| {
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                (state >> 11) as f64 / (1u64 << 53) as f64
+            })
+            .collect()
+    }
+
+    #[test]
+    fn iid_series_has_near_zero_lag1_and_ratio_near_two() {
+        let series = lcg_stream(42, 10_000);
+        let lag1 = lag1_autocorrelation(&series).unwrap();
+        assert!(lag1.abs() < 0.05, "lag1 = {lag1}");
+        let vn = von_neumann_ratio(&series).unwrap();
+        assert!((vn - 2.0).abs() < 0.1, "vn = {vn}");
+    }
+
+    #[test]
+    fn random_walk_is_flagged() {
+        let steps = lcg_stream(7, 2000);
+        let mut walk = Vec::with_capacity(steps.len());
+        let mut acc = 0.0;
+        for s in steps {
+            acc += s - 0.5;
+            walk.push(acc);
+        }
+        assert!(lag1_autocorrelation(&walk).unwrap() > 0.9);
+        assert!(von_neumann_ratio(&walk).unwrap() < 0.5);
+    }
+
+    #[test]
+    fn degenerate_series() {
+        assert_eq!(lag1_autocorrelation(&[1.0, 2.0]), None);
+        assert_eq!(lag1_autocorrelation(&[3.0; 10]), None);
+        assert_eq!(von_neumann_ratio(&[1.0]), None);
+        assert_eq!(von_neumann_ratio(&[3.0; 10]), None);
+    }
+
+    #[test]
+    fn batch_check_accepts_iid_batches() {
+        let mut bm = BatchMeans::new(BatchMeansConfig {
+            batches: 10,
+            samples_per_batch: 100,
+            confidence: 0.9,
+        })
+        .unwrap();
+        for x in lcg_stream(11, 1000) {
+            bm.record(x);
+        }
+        let check = batch_independence(&bm);
+        assert!(check.acceptable, "{check:?}");
+        assert!(check.lag1.is_some());
+        assert!(check.von_neumann.is_some());
+    }
+
+    #[test]
+    fn batch_check_flags_a_trend() {
+        let mut bm = BatchMeans::new(BatchMeansConfig {
+            batches: 10,
+            samples_per_batch: 100,
+            confidence: 0.9,
+        })
+        .unwrap();
+        // A strong upward trend makes successive batch means highly
+        // correlated.
+        for i in 0..1000 {
+            bm.record(f64::from(i));
+        }
+        let check = batch_independence(&bm);
+        assert!(!check.acceptable, "{check:?}");
+    }
+
+    #[test]
+    fn constant_batches_are_trivially_acceptable() {
+        let mut bm = BatchMeans::new(BatchMeansConfig {
+            batches: 10,
+            samples_per_batch: 10,
+            confidence: 0.9,
+        })
+        .unwrap();
+        for _ in 0..100 {
+            bm.record(4.0);
+        }
+        let check = batch_independence(&bm);
+        assert!(check.acceptable);
+        assert_eq!(check.lag1, None);
+    }
+}

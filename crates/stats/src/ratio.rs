@@ -1,0 +1,264 @@
+//! Per-batch tallies and ratio statistics.
+
+use busarb_types::Error;
+
+use crate::batch_means::Estimate;
+
+/// Per-batch event tallies for a fixed set of series (typically one series
+/// per agent), used to estimate **ratios of rates** with confidence
+/// intervals.
+///
+/// Tables 4.1, 4.4 and 4.5 of the paper report ratios of per-agent
+/// throughputs with 90% confidence intervals. Because both throughputs in a
+/// ratio are measured over the same batch interval, the interval length
+/// cancels and the per-batch ratio is simply the ratio of per-batch counts;
+/// the confidence interval is then formed over the per-batch ratios exactly
+/// as for any batch-means statistic.
+///
+/// # Examples
+///
+/// ```
+/// use busarb_stats::BatchTally;
+///
+/// # fn main() -> Result<(), busarb_types::Error> {
+/// let mut tally = BatchTally::new(2, 4)?;
+/// for batch in 0..4 {
+///     for _ in 0..10 { tally.record(0); }
+///     for _ in 0..5 { tally.record(1); }
+///     if batch < 3 { tally.close_batch(); }
+/// }
+/// let r = tally.ratio(0, 1, 0.90).expect("counts positive");
+/// assert!((r.estimate.mean - 2.0).abs() < 1e-12);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone, Debug)]
+pub struct BatchTally {
+    series: usize,
+    counts: Vec<Vec<u64>>, // [batch][series]
+    current: usize,
+}
+
+/// A ratio estimate together with the raw totals it was derived from.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct RatioEstimate {
+    /// Batch-means estimate of the per-batch ratio.
+    pub estimate: Estimate,
+    /// Total numerator count over all batches.
+    pub numerator_total: u64,
+    /// Total denominator count over all batches.
+    pub denominator_total: u64,
+}
+
+impl BatchTally {
+    /// Creates a tally for `series` event streams over `batches` batches.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidBatchConfig`] if `batches < 2` or
+    /// `series == 0`.
+    pub fn new(series: usize, batches: usize) -> Result<Self, Error> {
+        if batches < 2 || series == 0 {
+            return Err(Error::InvalidBatchConfig {
+                batches,
+                samples_per_batch: series,
+            });
+        }
+        Ok(BatchTally {
+            series,
+            counts: vec![vec![0; series]; batches],
+            current: 0,
+        })
+    }
+
+    /// Number of series being tallied.
+    #[must_use]
+    pub fn series(&self) -> usize {
+        self.series
+    }
+
+    /// Number of batches.
+    #[must_use]
+    pub fn batches(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Index of the batch currently receiving events.
+    #[must_use]
+    pub fn current_batch(&self) -> usize {
+        self.current.min(self.counts.len() - 1)
+    }
+
+    /// Records one event for `series` in the current batch. Events arriving
+    /// after the final batch has been closed are ignored.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `series` is out of range.
+    pub fn record(&mut self, series: usize) {
+        assert!(series < self.series, "series index out of range");
+        if self.current < self.counts.len() {
+            self.counts[self.current][series] += 1;
+        }
+    }
+
+    /// Closes the current batch; subsequent events go to the next one.
+    pub fn close_batch(&mut self) {
+        if self.current < self.counts.len() {
+            self.current += 1;
+        }
+    }
+
+    /// Returns `true` once every batch has been closed.
+    #[must_use]
+    pub fn is_complete(&self) -> bool {
+        self.current >= self.counts.len()
+    }
+
+    /// Total events recorded for `series` across all batches.
+    #[must_use]
+    pub fn total(&self, series: usize) -> u64 {
+        self.counts.iter().map(|b| b[series]).sum()
+    }
+
+    /// Per-batch counts for `series`.
+    #[must_use]
+    pub fn batch_counts(&self, series: usize) -> Vec<u64> {
+        self.counts.iter().map(|b| b[series]).collect()
+    }
+
+    /// Estimates the ratio of the `numerator` series rate to the
+    /// `denominator` series rate with a confidence interval over per-batch
+    /// ratios.
+    ///
+    /// Returns `None` if any batch has a zero denominator count (the ratio
+    /// is undefined for that batch).
+    ///
+    /// # Panics
+    ///
+    /// Panics if either series index is out of range.
+    #[must_use]
+    pub fn ratio(
+        &self,
+        numerator: usize,
+        denominator: usize,
+        confidence: f64,
+    ) -> Option<RatioEstimate> {
+        assert!(numerator < self.series && denominator < self.series);
+        let mut per_batch = Vec::with_capacity(self.counts.len());
+        for batch in &self.counts {
+            if batch[denominator] == 0 {
+                return None;
+            }
+            per_batch.push(batch[numerator] as f64 / batch[denominator] as f64);
+        }
+        Some(RatioEstimate {
+            estimate: Estimate::from_batch_values(&per_batch, confidence),
+            numerator_total: self.total(numerator),
+            denominator_total: self.total(denominator),
+        })
+    }
+
+    /// Grand total over all series and batches.
+    #[must_use]
+    pub fn grand_total(&self) -> u64 {
+        (0..self.series).map(|s| self.total(s)).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn filled_tally() -> BatchTally {
+        let mut t = BatchTally::new(3, 5).unwrap();
+        for b in 0..5 {
+            for _ in 0..(10 + b) {
+                t.record(0);
+            }
+            for _ in 0..(20 + 2 * b) {
+                t.record(1);
+            }
+            t.record(2);
+            t.close_batch();
+        }
+        t
+    }
+
+    #[test]
+    fn construction_validation() {
+        assert!(BatchTally::new(0, 10).is_err());
+        assert!(BatchTally::new(3, 1).is_err());
+        assert!(BatchTally::new(1, 2).is_ok());
+    }
+
+    #[test]
+    fn totals_accumulate() {
+        let t = filled_tally();
+        assert_eq!(t.total(0), 10 + 11 + 12 + 13 + 14);
+        assert_eq!(t.total(1), 20 + 22 + 24 + 26 + 28);
+        assert_eq!(t.total(2), 5);
+        assert_eq!(t.grand_total(), 60 + 120 + 5);
+        assert!(t.is_complete());
+    }
+
+    #[test]
+    fn ratio_of_proportional_series_is_exact() {
+        let t = filled_tally();
+        // Series 1 is exactly 2x series 0 in every batch.
+        let r = t.ratio(1, 0, 0.90).unwrap();
+        assert!((r.estimate.mean - 2.0).abs() < 1e-12);
+        assert!(r.estimate.halfwidth < 1e-12);
+        assert_eq!(r.numerator_total, 120);
+        assert_eq!(r.denominator_total, 60);
+    }
+
+    #[test]
+    fn ratio_with_zero_denominator_batch_is_none() {
+        let mut t = BatchTally::new(2, 2).unwrap();
+        t.record(0);
+        t.close_batch(); // batch 0: series 1 count is zero
+        t.record(0);
+        t.record(1);
+        t.close_batch();
+        assert_eq!(t.ratio(0, 1, 0.9), None);
+        assert!(t.ratio(1, 0, 0.9).is_some());
+    }
+
+    #[test]
+    fn events_after_completion_are_ignored() {
+        let mut t = BatchTally::new(1, 2).unwrap();
+        t.record(0);
+        t.close_batch();
+        t.record(0);
+        t.close_batch();
+        t.record(0); // ignored
+        t.close_batch(); // no-op
+        assert_eq!(t.total(0), 2);
+    }
+
+    #[test]
+    fn current_batch_advances() {
+        let mut t = BatchTally::new(1, 3).unwrap();
+        assert_eq!(t.current_batch(), 0);
+        t.close_batch();
+        assert_eq!(t.current_batch(), 1);
+        t.close_batch();
+        t.close_batch();
+        assert!(t.is_complete());
+        assert_eq!(t.current_batch(), 2); // clamped
+    }
+
+    #[test]
+    fn batch_counts_view() {
+        let t = filled_tally();
+        assert_eq!(t.batch_counts(0), vec![10, 11, 12, 13, 14]);
+    }
+
+    #[test]
+    #[should_panic(expected = "series index")]
+    fn out_of_range_series_panics() {
+        let mut t = BatchTally::new(1, 2).unwrap();
+        t.record(1);
+    }
+}

@@ -1,0 +1,277 @@
+//! Running summary statistics.
+
+use core::fmt;
+
+/// Numerically stable running summary of a stream of `f64` samples.
+///
+/// Uses Welford's online algorithm, so the variance is computed without
+/// catastrophic cancellation even for long runs of nearly equal samples
+/// (deterministic-workload simulations produce exactly that).
+///
+/// # Examples
+///
+/// ```
+/// use busarb_stats::Summary;
+///
+/// let mut s = Summary::new();
+/// for x in [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0] {
+///     s.record(x);
+/// }
+/// assert_eq!(s.count(), 8);
+/// assert_eq!(s.mean(), 5.0);
+/// assert_eq!(s.population_variance(), 4.0);
+/// assert_eq!(s.min(), Some(2.0));
+/// assert_eq!(s.max(), Some(9.0));
+/// ```
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct Summary {
+    count: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Summary {
+    /// Creates an empty summary.
+    #[must_use]
+    pub fn new() -> Self {
+        Summary {
+            count: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, x: f64) {
+        self.count += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.count as f64;
+        let delta2 = x - self.mean;
+        self.m2 += delta * delta2;
+        if x < self.min {
+            self.min = x;
+        }
+        if x > self.max {
+            self.max = x;
+        }
+    }
+
+    /// Number of samples recorded.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sample mean; 0 if no samples were recorded.
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Population variance (dividing by `n`); 0 for fewer than one sample.
+    #[must_use]
+    pub fn population_variance(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.m2 / self.count as f64
+        }
+    }
+
+    /// Sample variance (dividing by `n - 1`); 0 for fewer than two samples.
+    #[must_use]
+    pub fn sample_variance(&self) -> f64 {
+        if self.count < 2 {
+            0.0
+        } else {
+            self.m2 / (self.count - 1) as f64
+        }
+    }
+
+    /// Sample standard deviation (square root of [`Self::sample_variance`]).
+    ///
+    /// This is the "standard deviation of the waiting time" statistic
+    /// reported throughout Table 4.2 of the paper.
+    #[must_use]
+    pub fn std_dev(&self) -> f64 {
+        self.sample_variance().sqrt()
+    }
+
+    /// Smallest sample, if any were recorded.
+    #[must_use]
+    pub fn min(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.min)
+    }
+
+    /// Largest sample, if any were recorded.
+    #[must_use]
+    pub fn max(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.max)
+    }
+
+    /// Sum of all samples.
+    #[must_use]
+    pub fn sum(&self) -> f64 {
+        self.mean * self.count as f64
+    }
+
+    /// Merges another summary into this one (parallel Welford combination).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use busarb_stats::Summary;
+    ///
+    /// let mut a = Summary::new();
+    /// let mut b = Summary::new();
+    /// for x in [1.0, 2.0] { a.record(x); }
+    /// for x in [3.0, 4.0] { b.record(x); }
+    /// a.merge(&b);
+    /// assert_eq!(a.count(), 4);
+    /// assert_eq!(a.mean(), 2.5);
+    /// ```
+    pub fn merge(&mut self, other: &Summary) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = *other;
+            return;
+        }
+        let n1 = self.count as f64;
+        let n2 = other.count as f64;
+        let delta = other.mean - self.mean;
+        let total = n1 + n2;
+        self.mean += delta * n2 / total;
+        self.m2 += other.m2 + delta * delta * n1 * n2 / total;
+        self.count += other.count;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+impl fmt::Display for Summary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "n={} mean={:.4} sd={:.4}",
+            self.count,
+            self.mean(),
+            self.std_dev()
+        )
+    }
+}
+
+impl FromIterator<f64> for Summary {
+    fn from_iter<T: IntoIterator<Item = f64>>(iter: T) -> Self {
+        let mut s = Summary::new();
+        for x in iter {
+            s.record(x);
+        }
+        s
+    }
+}
+
+impl Extend<f64> for Summary {
+    fn extend<T: IntoIterator<Item = f64>>(&mut self, iter: T) {
+        for x in iter {
+            self.record(x);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_summary() {
+        let s = Summary::new();
+        assert_eq!(s.count(), 0);
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.sample_variance(), 0.0);
+        assert_eq!(s.min(), None);
+        assert_eq!(s.max(), None);
+        assert_eq!(s.sum(), 0.0);
+    }
+
+    #[test]
+    fn single_sample() {
+        let s: Summary = [5.0].into_iter().collect();
+        assert_eq!(s.mean(), 5.0);
+        assert_eq!(s.sample_variance(), 0.0);
+        assert_eq!(s.population_variance(), 0.0);
+        assert_eq!(s.min(), Some(5.0));
+        assert_eq!(s.max(), Some(5.0));
+    }
+
+    #[test]
+    fn known_variance() {
+        let s: Summary = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]
+            .into_iter()
+            .collect();
+        assert_eq!(s.population_variance(), 4.0);
+        assert!((s.sample_variance() - 32.0 / 7.0).abs() < 1e-12);
+        assert_eq!(s.std_dev(), (32.0f64 / 7.0).sqrt());
+    }
+
+    #[test]
+    fn constant_stream_has_zero_variance() {
+        let s: Summary = std::iter::repeat_n(3.25, 100_000).collect();
+        assert_eq!(s.mean(), 3.25);
+        assert!(s.sample_variance().abs() < 1e-18);
+    }
+
+    #[test]
+    fn welford_is_stable_for_large_offsets() {
+        // Naive sum-of-squares would lose all precision here.
+        let base = 1e9;
+        let s: Summary = (0..10_000).map(|i| base + (i % 2) as f64).collect();
+        assert!((s.population_variance() - 0.25).abs() < 1e-6);
+    }
+
+    #[test]
+    fn merge_equals_sequential() {
+        let all: Vec<f64> = (0..1000).map(|i| (i as f64).sin() * 10.0).collect();
+        let seq: Summary = all.iter().copied().collect();
+        let mut merged = Summary::new();
+        for chunk in all.chunks(77) {
+            let part: Summary = chunk.iter().copied().collect();
+            merged.merge(&part);
+        }
+        assert_eq!(merged.count(), seq.count());
+        assert!((merged.mean() - seq.mean()).abs() < 1e-12);
+        assert!((merged.sample_variance() - seq.sample_variance()).abs() < 1e-9);
+        assert_eq!(merged.min(), seq.min());
+        assert_eq!(merged.max(), seq.max());
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity() {
+        let mut a: Summary = [1.0, 2.0].into_iter().collect();
+        let before = a;
+        a.merge(&Summary::new());
+        assert_eq!(a, before);
+        let mut e = Summary::new();
+        e.merge(&before);
+        assert_eq!(e, before);
+    }
+
+    #[test]
+    fn extend_records_samples() {
+        let mut s = Summary::new();
+        s.extend([1.0, 3.0]);
+        assert_eq!(s.count(), 2);
+        assert_eq!(s.mean(), 2.0);
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        let s: Summary = [1.0].into_iter().collect();
+        assert!(format!("{s}").contains("n=1"));
+    }
+}

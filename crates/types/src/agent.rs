@@ -1,0 +1,451 @@
+//! Agent identities.
+
+use core::fmt;
+use core::num::NonZeroU32;
+
+use crate::Error;
+
+/// The statically assigned identity ("arbitration number") of a bus agent.
+///
+/// In the parallel contention arbiter every agent that may request the bus
+/// is assigned a unique k-bit arbitration number, where
+/// `k = ceil(log2(N + 1))` for `N` attachable agents. The all-zero number is
+/// reserved: a winning value of zero indicates that no agent competed, which
+/// the RR-3 protocol implementation exploits to detect an empty arbitration.
+/// `AgentId` therefore wraps a [`NonZeroU32`].
+///
+/// Higher identities win ties in the base parallel contention arbiter; the
+/// fairness protocols layer round-robin or FCFS order on top of this.
+///
+/// # Examples
+///
+/// ```
+/// use busarb_types::AgentId;
+///
+/// # fn main() -> Result<(), busarb_types::Error> {
+/// let a = AgentId::new(5)?;
+/// assert_eq!(a.get(), 5);
+/// assert!(AgentId::new(0).is_err());
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct AgentId(NonZeroU32);
+
+impl AgentId {
+    /// The smallest valid identity.
+    pub const MIN: AgentId = AgentId(NonZeroU32::MIN);
+
+    /// Creates an identity from a raw integer.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::ZeroAgentId`] if `id` is zero (the parallel
+    /// contention arbiter reserves the all-zero arbitration number).
+    pub fn new(id: u32) -> Result<Self, Error> {
+        NonZeroU32::new(id).map(AgentId).ok_or(Error::ZeroAgentId)
+    }
+
+    /// Returns the raw identity value.
+    #[must_use]
+    pub fn get(self) -> u32 {
+        self.0.get()
+    }
+
+    /// Returns the zero-based index of this identity, for use as a slice
+    /// index (`id - 1`).
+    #[must_use]
+    pub fn index(self) -> usize {
+        (self.0.get() - 1) as usize
+    }
+
+    /// Enumerates all identities `1..=n`, lowest first.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use busarb_types::AgentId;
+    ///
+    /// let ids: Vec<u32> = AgentId::all(3).map(AgentId::get).collect();
+    /// assert_eq!(ids, [1, 2, 3]);
+    /// ```
+    pub fn all(n: u32) -> impl DoubleEndedIterator<Item = AgentId> + Clone {
+        (1..=n).map(|i| AgentId::new(i).expect("range starts at 1"))
+    }
+
+    /// Returns the number of arbitration lines needed to represent
+    /// identities `1..=n`: `ceil(log2(n + 1))`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use busarb_types::AgentId;
+    ///
+    /// assert_eq!(AgentId::lines_required(1), 1);
+    /// assert_eq!(AgentId::lines_required(10), 4);
+    /// assert_eq!(AgentId::lines_required(63), 6); // Futurebus: k = 6
+    /// assert_eq!(AgentId::lines_required(64), 7);
+    /// ```
+    #[must_use]
+    pub fn lines_required(n: u32) -> u32 {
+        // ceil(log2(n + 1)) == number of bits needed to represent n.
+        u32::BITS - n.leading_zeros()
+    }
+}
+
+impl From<AgentId> for u32 {
+    fn from(value: AgentId) -> Self {
+        value.get()
+    }
+}
+
+impl TryFrom<u32> for AgentId {
+    type Error = Error;
+
+    fn try_from(value: u32) -> Result<Self, Self::Error> {
+        AgentId::new(value)
+    }
+}
+
+impl fmt::Debug for AgentId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "AgentId({})", self.get())
+    }
+}
+
+impl fmt::Display for AgentId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(&self.get(), f)
+    }
+}
+
+/// A set of agent identities, stored as a bitmask for cheap membership
+/// tests and iteration in identity order.
+///
+/// Supports systems of up to 128 agents, which comfortably covers the
+/// paper's largest configuration (64 agents) and Futurebus' 6-bit
+/// arbitration field.
+///
+/// # Examples
+///
+/// ```
+/// use busarb_types::{AgentId, AgentSet};
+///
+/// # fn main() -> Result<(), busarb_types::Error> {
+/// let mut set = AgentSet::new();
+/// set.insert(AgentId::new(3)?);
+/// set.insert(AgentId::new(7)?);
+/// assert!(set.contains(AgentId::new(3)?));
+/// assert_eq!(set.len(), 2);
+/// assert_eq!(set.max(), Some(AgentId::new(7)?));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone, Copy, Default, PartialEq, Eq, Hash)]
+pub struct AgentSet(u128);
+
+impl AgentSet {
+    /// Largest identity representable in an `AgentSet`.
+    pub const MAX_ID: u32 = 128;
+
+    /// Creates an empty set.
+    #[must_use]
+    pub fn new() -> Self {
+        AgentSet(0)
+    }
+
+    /// Creates a set containing all identities `1..=n`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n > Self::MAX_ID`.
+    #[must_use]
+    pub fn full(n: u32) -> Self {
+        assert!(n <= Self::MAX_ID, "AgentSet supports at most 128 agents");
+        if n == 0 {
+            AgentSet(0)
+        } else if n == Self::MAX_ID {
+            AgentSet(u128::MAX)
+        } else {
+            AgentSet((1u128 << n) - 1)
+        }
+    }
+
+    fn bit(id: AgentId) -> u128 {
+        assert!(
+            id.get() <= Self::MAX_ID,
+            "AgentSet supports at most 128 agents"
+        );
+        1u128 << (id.get() - 1)
+    }
+
+    /// Inserts an identity; returns `true` if it was newly inserted.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id > Self::MAX_ID`.
+    pub fn insert(&mut self, id: AgentId) -> bool {
+        let bit = Self::bit(id);
+        let fresh = self.0 & bit == 0;
+        self.0 |= bit;
+        fresh
+    }
+
+    /// Removes an identity; returns `true` if it was present.
+    pub fn remove(&mut self, id: AgentId) -> bool {
+        let bit = Self::bit(id);
+        let present = self.0 & bit != 0;
+        self.0 &= !bit;
+        present
+    }
+
+    /// Tests membership.
+    #[must_use]
+    pub fn contains(self, id: AgentId) -> bool {
+        self.0 & Self::bit(id) != 0
+    }
+
+    /// Number of identities in the set.
+    #[must_use]
+    pub fn len(self) -> usize {
+        self.0.count_ones() as usize
+    }
+
+    /// Returns `true` if the set is empty.
+    #[must_use]
+    pub fn is_empty(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Removes all identities.
+    pub fn clear(&mut self) {
+        self.0 = 0;
+    }
+
+    /// Highest identity in the set — the winner of a plain parallel
+    /// contention among exactly this set.
+    #[must_use]
+    pub fn max(self) -> Option<AgentId> {
+        if self.0 == 0 {
+            None
+        } else {
+            let top = 127 - self.0.leading_zeros();
+            Some(AgentId::new(top + 1).expect("top + 1 >= 1"))
+        }
+    }
+
+    /// Lowest identity in the set.
+    #[must_use]
+    pub fn min(self) -> Option<AgentId> {
+        if self.0 == 0 {
+            None
+        } else {
+            Some(AgentId::new(self.0.trailing_zeros() + 1).expect("tz + 1 >= 1"))
+        }
+    }
+
+    /// Highest identity strictly below `bound`, if any.
+    ///
+    /// This is the winner of an arbitration restricted to agents with
+    /// identities lower than the previous winner — the core operation of the
+    /// RR-2 and RR-3 protocol implementations.
+    #[must_use]
+    pub fn max_below(self, bound: AgentId) -> Option<AgentId> {
+        let mask = Self::bit(bound) - 1; // bits for ids 1..bound
+        AgentSet(self.0 & mask).max()
+    }
+
+    /// Set union.
+    #[must_use]
+    pub fn union(self, other: AgentSet) -> AgentSet {
+        AgentSet(self.0 | other.0)
+    }
+
+    /// Set intersection.
+    #[must_use]
+    pub fn intersection(self, other: AgentSet) -> AgentSet {
+        AgentSet(self.0 & other.0)
+    }
+
+    /// Set difference (`self` minus `other`).
+    #[must_use]
+    pub fn difference(self, other: AgentSet) -> AgentSet {
+        AgentSet(self.0 & !other.0)
+    }
+
+    /// Iterates over members in increasing identity order.
+    pub fn iter(self) -> Iter {
+        Iter(self.0)
+    }
+}
+
+impl fmt::Debug for AgentSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_set()
+            .entries(self.iter().map(AgentId::get))
+            .finish()
+    }
+}
+
+impl FromIterator<AgentId> for AgentSet {
+    fn from_iter<T: IntoIterator<Item = AgentId>>(iter: T) -> Self {
+        let mut set = AgentSet::new();
+        for id in iter {
+            set.insert(id);
+        }
+        set
+    }
+}
+
+impl Extend<AgentId> for AgentSet {
+    fn extend<T: IntoIterator<Item = AgentId>>(&mut self, iter: T) {
+        for id in iter {
+            self.insert(id);
+        }
+    }
+}
+
+impl IntoIterator for AgentSet {
+    type Item = AgentId;
+    type IntoIter = Iter;
+
+    fn into_iter(self) -> Iter {
+        self.iter()
+    }
+}
+
+/// Iterator over the members of an [`AgentSet`] in increasing identity
+/// order.
+#[derive(Clone, Debug)]
+pub struct Iter(u128);
+
+impl Iterator for Iter {
+    type Item = AgentId;
+
+    fn next(&mut self) -> Option<AgentId> {
+        if self.0 == 0 {
+            None
+        } else {
+            let tz = self.0.trailing_zeros();
+            self.0 &= self.0 - 1; // clear lowest set bit
+            Some(AgentId::new(tz + 1).expect("tz + 1 >= 1"))
+        }
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let n = self.0.count_ones() as usize;
+        (n, Some(n))
+    }
+}
+
+impl ExactSizeIterator for Iter {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn id(n: u32) -> AgentId {
+        AgentId::new(n).unwrap()
+    }
+
+    #[test]
+    fn zero_identity_is_rejected() {
+        assert!(matches!(AgentId::new(0), Err(Error::ZeroAgentId)));
+    }
+
+    #[test]
+    fn index_is_zero_based() {
+        assert_eq!(id(1).index(), 0);
+        assert_eq!(id(64).index(), 63);
+    }
+
+    #[test]
+    fn lines_required_matches_paper() {
+        // k = ceil(log2(N + 1)); Futurebus uses k = 6 for up to 63 agents.
+        assert_eq!(AgentId::lines_required(10), 4);
+        assert_eq!(AgentId::lines_required(30), 5);
+        assert_eq!(AgentId::lines_required(64), 7);
+        assert_eq!(AgentId::lines_required(63), 6);
+        assert_eq!(AgentId::lines_required(0), 0);
+    }
+
+    #[test]
+    fn all_enumerates_in_order() {
+        let ids: Vec<u32> = AgentId::all(4).map(AgentId::get).collect();
+        assert_eq!(ids, [1, 2, 3, 4]);
+        let rev: Vec<u32> = AgentId::all(3).rev().map(AgentId::get).collect();
+        assert_eq!(rev, [3, 2, 1]);
+    }
+
+    #[test]
+    fn set_insert_remove_contains() {
+        let mut set = AgentSet::new();
+        assert!(set.is_empty());
+        assert!(set.insert(id(5)));
+        assert!(!set.insert(id(5)));
+        assert!(set.contains(id(5)));
+        assert_eq!(set.len(), 1);
+        assert!(set.remove(id(5)));
+        assert!(!set.remove(id(5)));
+        assert!(set.is_empty());
+    }
+
+    #[test]
+    fn set_max_is_contention_winner() {
+        let set: AgentSet = [3, 9, 1].into_iter().map(id).collect();
+        assert_eq!(set.max(), Some(id(9)));
+        assert_eq!(set.min(), Some(id(1)));
+        assert_eq!(AgentSet::new().max(), None);
+    }
+
+    #[test]
+    fn max_below_implements_rr_restriction() {
+        let set: AgentSet = [2, 5, 8].into_iter().map(id).collect();
+        assert_eq!(set.max_below(id(8)), Some(id(5)));
+        assert_eq!(set.max_below(id(5)), Some(id(2)));
+        assert_eq!(set.max_below(id(2)), None);
+        // bound itself is excluded
+        assert_eq!(set.max_below(id(9)), Some(id(8)));
+    }
+
+    #[test]
+    fn full_set_covers_range() {
+        let set = AgentSet::full(10);
+        assert_eq!(set.len(), 10);
+        assert!(set.contains(id(1)));
+        assert!(set.contains(id(10)));
+        assert!(!set.contains(id(11)));
+        assert_eq!(AgentSet::full(0).len(), 0);
+        assert_eq!(AgentSet::full(128).len(), 128);
+    }
+
+    #[test]
+    fn set_algebra() {
+        let a: AgentSet = [1, 2, 3].into_iter().map(id).collect();
+        let b: AgentSet = [3, 4].into_iter().map(id).collect();
+        assert_eq!(a.union(b).len(), 4);
+        assert_eq!(a.intersection(b).len(), 1);
+        assert_eq!(a.difference(b).len(), 2);
+    }
+
+    #[test]
+    fn iteration_order_is_ascending() {
+        let set: AgentSet = [7, 2, 64].into_iter().map(id).collect();
+        let ids: Vec<u32> = set.iter().map(AgentId::get).collect();
+        assert_eq!(ids, [2, 7, 64]);
+        assert_eq!(set.iter().len(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "at most 128")]
+    fn oversized_identity_panics_in_set() {
+        let mut set = AgentSet::new();
+        set.insert(id(129));
+    }
+
+    #[test]
+    fn debug_is_nonempty() {
+        assert_eq!(format!("{:?}", AgentSet::new()), "{}");
+        assert_eq!(format!("{:?}", id(2)), "AgentId(2)");
+    }
+}

@@ -1,0 +1,164 @@
+//! Bus requests.
+
+use core::fmt;
+
+use crate::{AgentId, Time};
+
+/// Service class of a bus request.
+///
+/// The parallel contention arbiter integrates priority service with the
+/// fairness protocols by adding a most-significant "priority" bit to the
+/// arbitration number: agents with urgent requests assert it and ignore the
+/// fairness protocol, so every urgent request is served before any ordinary
+/// request (Section 2.4 / Section 3 of the paper).
+#[derive(Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum Priority {
+    /// A non-priority request, scheduled by the fairness protocol.
+    #[default]
+    Ordinary,
+    /// An urgent request, served before all ordinary requests.
+    Urgent,
+}
+
+impl Priority {
+    /// Value of the priority bit in a composite arbitration number.
+    #[must_use]
+    pub fn bit(self) -> u32 {
+        match self {
+            Priority::Ordinary => 0,
+            Priority::Urgent => 1,
+        }
+    }
+
+    /// Returns `true` for [`Priority::Urgent`].
+    #[must_use]
+    pub fn is_urgent(self) -> bool {
+        self == Priority::Urgent
+    }
+}
+
+impl fmt::Display for Priority {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Priority::Ordinary => f.write_str("ordinary"),
+            Priority::Urgent => f.write_str("urgent"),
+        }
+    }
+}
+
+/// Identifies one of an agent's outstanding requests.
+///
+/// With the basic protocols every agent has at most one outstanding request
+/// and the tag is always 0. The FCFS protocol extension allows up to `r`
+/// outstanding requests per agent (Section 3.2: "only ceil(log2 r) more bits
+/// are needed"); the tag distinguishes them for bookkeeping.
+#[derive(Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct RequestTag(pub u32);
+
+impl fmt::Display for RequestTag {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(&self.0, f)
+    }
+}
+
+/// One outstanding bus request.
+///
+/// # Examples
+///
+/// ```
+/// use busarb_types::{AgentId, Priority, Request, Time};
+///
+/// # fn main() -> Result<(), busarb_types::Error> {
+/// let r = Request::new(AgentId::new(4)?, Time::from(2.0));
+/// assert_eq!(r.agent.get(), 4);
+/// assert!(!r.priority.is_urgent());
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct Request {
+    /// The requesting agent.
+    pub agent: AgentId,
+    /// When the request was generated (the agent asserted the shared bus
+    /// request line).
+    pub arrived: Time,
+    /// Service class.
+    pub priority: Priority,
+    /// Distinguishes multiple outstanding requests from the same agent.
+    pub tag: RequestTag,
+}
+
+impl Request {
+    /// Creates an ordinary request with tag 0.
+    #[must_use]
+    pub fn new(agent: AgentId, arrived: Time) -> Self {
+        Request {
+            agent,
+            arrived,
+            priority: Priority::Ordinary,
+            tag: RequestTag::default(),
+        }
+    }
+
+    /// Creates an urgent request with tag 0.
+    #[must_use]
+    pub fn urgent(agent: AgentId, arrived: Time) -> Self {
+        Request {
+            priority: Priority::Urgent,
+            ..Request::new(agent, arrived)
+        }
+    }
+
+    /// Returns a copy with the given tag.
+    #[must_use]
+    pub fn with_tag(mut self, tag: RequestTag) -> Self {
+        self.tag = tag;
+        self
+    }
+}
+
+impl fmt::Display for Request {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "request(agent={}, arrived={}, {}, tag={})",
+            self.agent, self.arrived, self.priority, self.tag
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn priority_bit_values() {
+        assert_eq!(Priority::Ordinary.bit(), 0);
+        assert_eq!(Priority::Urgent.bit(), 1);
+        assert!(Priority::Urgent > Priority::Ordinary);
+        assert!(Priority::Urgent.is_urgent());
+        assert!(!Priority::Ordinary.is_urgent());
+    }
+
+    #[test]
+    fn request_constructors() {
+        let a = AgentId::new(2).unwrap();
+        let r = Request::new(a, Time::from(1.0));
+        assert_eq!(r.priority, Priority::Ordinary);
+        assert_eq!(r.tag, RequestTag(0));
+        let u = Request::urgent(a, Time::from(1.0));
+        assert!(u.priority.is_urgent());
+        let tagged = r.with_tag(RequestTag(3));
+        assert_eq!(tagged.tag, RequestTag(3));
+        assert_eq!(tagged.agent, a);
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let a = AgentId::new(2).unwrap();
+        let r = Request::urgent(a, Time::from(1.5));
+        let s = format!("{r}");
+        assert!(s.contains("agent=2"));
+        assert!(s.contains("urgent"));
+    }
+}

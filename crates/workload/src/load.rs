@@ -1,0 +1,130 @@
+//! Offered-load arithmetic.
+//!
+//! The paper defines the offered load of an agent as its bus transaction
+//! time divided by the sum of its bus transaction time and mean
+//! interrequest time. With the transaction time fixed at 1 unit:
+//!
+//! ```text
+//! load = 1 / (1 + mean_interrequest)
+//! mean_interrequest = 1 / load - 1
+//! ```
+//!
+//! Total offered load is the sum of individual loads; values above ~1.5–2.0
+//! saturate the bus and probe asymptotic protocol behavior.
+
+use busarb_types::Error;
+
+/// Converts a per-agent offered load into the mean interrequest time that
+/// produces it (transaction time = 1).
+///
+/// # Errors
+///
+/// Returns [`Error::InvalidLoad`] unless `0 < load <= 1`. A load of exactly
+/// 1 yields a mean interrequest time of 0 (the agent re-requests
+/// immediately).
+///
+/// # Examples
+///
+/// ```
+/// use busarb_workload::load;
+///
+/// # fn main() -> Result<(), busarb_types::Error> {
+/// assert_eq!(load::mean_interrequest(0.5)?, 1.0);
+/// assert_eq!(load::mean_interrequest(0.25)?, 3.0);
+/// # Ok(())
+/// # }
+/// ```
+pub fn mean_interrequest(load: f64) -> Result<f64, Error> {
+    if !(load > 0.0 && load <= 1.0 && load.is_finite()) {
+        return Err(Error::InvalidLoad { load });
+    }
+    Ok(1.0 / load - 1.0)
+}
+
+/// Converts a mean interrequest time into the per-agent offered load it
+/// produces (transaction time = 1).
+///
+/// # Errors
+///
+/// Returns [`Error::InvalidMean`] if `mean` is negative or non-finite.
+///
+/// # Examples
+///
+/// ```
+/// use busarb_workload::load;
+///
+/// # fn main() -> Result<(), busarb_types::Error> {
+/// assert_eq!(load::offered_load(3.0)?, 0.25);
+/// assert_eq!(load::offered_load(0.0)?, 1.0);
+/// # Ok(())
+/// # }
+/// ```
+pub fn offered_load(mean: f64) -> Result<f64, Error> {
+    if !(mean >= 0.0 && mean.is_finite()) {
+        return Err(Error::InvalidMean { mean });
+    }
+    Ok(1.0 / (1.0 + mean))
+}
+
+/// Splits a total offered load evenly over `agents` agents, returning the
+/// per-agent load.
+///
+/// # Errors
+///
+/// Returns [`Error::InvalidLoad`] if the per-agent share is not in `(0, 1]`
+/// (the bus model cannot offer more than 100% load per agent), or
+/// [`Error::InvalidAgentCount`] if `agents == 0`.
+pub fn per_agent(total: f64, agents: u32) -> Result<f64, Error> {
+    if agents == 0 {
+        return Err(Error::InvalidAgentCount {
+            requested: 0,
+            max: u32::MAX,
+        });
+    }
+    let share = total / f64::from(agents);
+    if !(share > 0.0 && share <= 1.0 && share.is_finite()) {
+        return Err(Error::InvalidLoad { load: total });
+    }
+    Ok(share)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        for &l in &[0.01, 0.1, 0.25, 0.5, 0.752, 1.0] {
+            let m = mean_interrequest(l).unwrap();
+            let back = offered_load(m).unwrap();
+            assert!((back - l).abs() < 1e-12, "load {l}");
+        }
+    }
+
+    #[test]
+    fn paper_sanity_points() {
+        // Total load 7.52 over 10 agents -> per-agent 0.752 -> mean ~0.3298.
+        let share = per_agent(7.52, 10).unwrap();
+        assert!((share - 0.752).abs() < 1e-12);
+        let m = mean_interrequest(share).unwrap();
+        assert!((m - (1.0 / 0.752 - 1.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rejects_out_of_range() {
+        assert!(mean_interrequest(0.0).is_err());
+        assert!(mean_interrequest(1.5).is_err());
+        assert!(mean_interrequest(f64::NAN).is_err());
+        assert!(offered_load(-1.0).is_err());
+        assert!(offered_load(f64::INFINITY).is_err());
+        assert!(per_agent(1.0, 0).is_err());
+        assert!(per_agent(20.0, 10).is_err()); // per-agent share > 1
+        assert!(per_agent(0.0, 10).is_err());
+    }
+
+    #[test]
+    fn full_load_means_zero_think_time() {
+        assert_eq!(mean_interrequest(1.0).unwrap(), 0.0);
+        assert_eq!(offered_load(0.0).unwrap(), 1.0);
+    }
+}

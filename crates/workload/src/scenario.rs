@@ -1,0 +1,344 @@
+//! Scenario builders for the paper's experiments.
+
+use core::fmt;
+
+use busarb_types::{AgentId, AgentSet, Error};
+
+use crate::load;
+use crate::InterrequestTime;
+
+/// The workload assigned to a single agent.
+#[derive(Clone, PartialEq, Debug)]
+pub struct AgentWorkload {
+    /// Interrequest-time distribution for this agent.
+    pub interrequest: InterrequestTime,
+}
+
+impl AgentWorkload {
+    /// Offered load of this agent (transaction time = 1).
+    #[must_use]
+    pub fn offered_load(&self) -> f64 {
+        1.0 / (1.0 + self.interrequest.mean())
+    }
+}
+
+/// A complete workload scenario: one [`AgentWorkload`] per agent,
+/// identities `1..=n`.
+///
+/// Builders correspond to the paper's experiment setups:
+///
+/// * [`Scenario::equal_load`] — Tables 4.1, 4.2, 4.3 and Figure 4.1.
+/// * [`Scenario::rate_multiplied`] — Table 4.4 (one agent at 2× / 4× the
+///   common request rate).
+/// * [`Scenario::worst_case_rr`] — Table 4.5 (the deterministic "just
+///   miss" workload).
+///
+/// # Examples
+///
+/// ```
+/// use busarb_workload::Scenario;
+///
+/// # fn main() -> Result<(), busarb_types::Error> {
+/// let s = Scenario::equal_load(10, 2.5, 1.0)?;
+/// assert_eq!(s.agents(), 10);
+/// assert!((s.total_offered_load() - 2.5).abs() < 1e-9);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone, PartialEq, Debug)]
+pub struct Scenario {
+    workloads: Vec<AgentWorkload>,
+    label: String,
+}
+
+impl Scenario {
+    /// Builds a scenario from explicit per-agent workloads.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidAgentCount`] if `workloads` is empty or has
+    /// more than [`AgentSet::MAX_ID`] entries.
+    pub fn from_workloads(
+        workloads: Vec<AgentWorkload>,
+        label: impl Into<String>,
+    ) -> Result<Self, Error> {
+        let n = workloads.len() as u32;
+        if workloads.is_empty() || n > AgentSet::MAX_ID {
+            return Err(Error::InvalidAgentCount {
+                requested: n,
+                max: AgentSet::MAX_ID,
+            });
+        }
+        Ok(Scenario {
+            workloads,
+            label: label.into(),
+        })
+    }
+
+    /// `n` statistically identical agents sharing `total_load`, with the
+    /// given interrequest-time CV.
+    ///
+    /// # Errors
+    ///
+    /// Propagates load and CV validation errors.
+    pub fn equal_load(n: u32, total_load: f64, cv: f64) -> Result<Self, Error> {
+        let share = load::per_agent(total_load, n)?;
+        let mean = load::mean_interrequest(share)?;
+        let d = InterrequestTime::from_mean_cv(mean, cv)?;
+        let workloads = vec![AgentWorkload { interrequest: d }; n as usize];
+        Scenario::from_workloads(
+            workloads,
+            format!("{n} equal agents, total load {total_load}, cv {cv}"),
+        )
+    }
+
+    /// Table 4.4's setup: all agents carry the per-agent share of
+    /// `base_total_load`, except `boosted`, whose offered load is
+    /// multiplied by `factor` (2.0 or 4.0 in the paper).
+    ///
+    /// # Errors
+    ///
+    /// Propagates validation errors; fails with [`Error::AgentOutOfRange`]
+    /// if `boosted` exceeds `n`, and with [`Error::InvalidLoad`] if the
+    /// boosted per-agent load leaves `(0, 1]`.
+    pub fn rate_multiplied(
+        n: u32,
+        base_total_load: f64,
+        boosted: AgentId,
+        factor: f64,
+        cv: f64,
+    ) -> Result<Self, Error> {
+        if boosted.get() > n {
+            return Err(Error::AgentOutOfRange {
+                id: boosted.get(),
+                agents: n,
+            });
+        }
+        let share = load::per_agent(base_total_load, n)?;
+        let base_mean = load::mean_interrequest(share)?;
+        let boosted_load = share * factor;
+        if !(boosted_load > 0.0 && boosted_load <= 1.0) {
+            return Err(Error::InvalidLoad { load: boosted_load });
+        }
+        let boosted_mean = load::mean_interrequest(boosted_load)?;
+        let mut workloads = Vec::with_capacity(n as usize);
+        for id in AgentId::all(n) {
+            let mean = if id == boosted {
+                boosted_mean
+            } else {
+                base_mean
+            };
+            workloads.push(AgentWorkload {
+                interrequest: InterrequestTime::from_mean_cv(mean, cv)?,
+            });
+        }
+        Scenario::from_workloads(
+            workloads,
+            format!("{n} agents, agent {boosted} at {factor}x rate, cv {cv}"),
+        )
+    }
+
+    /// Table 4.5's contrived worst case for the RR protocol: the `slow`
+    /// agent has (mean) interrequest time `n - 0.5` and every other agent
+    /// has `n - 3.6`, with the given CV applied to all agents. At CV = 0
+    /// the slow agent deterministically "just misses" its round-robin turn.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidScenario`] for systems too small for the
+    /// formula to produce positive interrequest times (`n <= 3`), and
+    /// propagates other validation errors.
+    pub fn worst_case_rr(n: u32, slow: AgentId, cv: f64) -> Result<Self, Error> {
+        if slow.get() > n {
+            return Err(Error::AgentOutOfRange {
+                id: slow.get(),
+                agents: n,
+            });
+        }
+        let nf = f64::from(n);
+        let slow_mean = nf - 0.5;
+        let other_mean = nf - 3.6;
+        if other_mean <= 0.0 {
+            return Err(Error::InvalidScenario {
+                reason: format!("worst-case workload needs n >= 4, got {n}"),
+            });
+        }
+        let mut workloads = Vec::with_capacity(n as usize);
+        for id in AgentId::all(n) {
+            let mean = if id == slow { slow_mean } else { other_mean };
+            workloads.push(AgentWorkload {
+                interrequest: InterrequestTime::from_mean_cv(mean, cv)?,
+            });
+        }
+        Scenario::from_workloads(
+            workloads,
+            format!("{n} agents, worst-case RR (slow agent {slow}), cv {cv}"),
+        )
+    }
+
+    /// The contrived FCFS worst case sketched (and declined) in the
+    /// paper's §4.5: per-agent deterministic interrequest times chosen so
+    /// that, once synchronized, **every** agent re-requests at the same
+    /// instant each round. With FCFS counters, every arbitration then
+    /// ties and resolves by static identity, so agent `k` is always
+    /// served in position `n − k + 1`. The fixed point: after a batch is
+    /// served in identity order, agent `k` completes `n − k + 1` units
+    /// after the batch grant, so interrequest `k − 1 + δ` (with a common
+    /// offset `δ`) realigns every arrival.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidAgentCount`] for invalid sizes, and
+    /// propagates distribution validation errors.
+    pub fn worst_case_fcfs(n: u32, delta: f64) -> Result<Self, Error> {
+        let mut workloads = Vec::with_capacity(n as usize);
+        for id in AgentId::all(n) {
+            let mean = f64::from(id.get()) - 1.0 + delta;
+            workloads.push(AgentWorkload {
+                interrequest: InterrequestTime::from_mean_cv(mean, 0.0)?,
+            });
+        }
+        Scenario::from_workloads(
+            workloads,
+            format!("{n} agents, worst-case FCFS lock-step (delta {delta})"),
+        )
+    }
+
+    /// `n` agents all drawing interrequest times from the same recorded
+    /// trace (resampled independently per agent) — the trace-driven
+    /// evaluation mode.
+    ///
+    /// # Errors
+    ///
+    /// Propagates trace validation errors.
+    pub fn from_trace_equal(n: u32, trace: Vec<f64>) -> Result<Self, Error> {
+        let d = InterrequestTime::from_trace(trace)?;
+        let label = format!("{n} agents, {d}");
+        let workloads = vec![AgentWorkload { interrequest: d }; n as usize];
+        Scenario::from_workloads(workloads, label)
+    }
+
+    /// Number of agents.
+    #[must_use]
+    pub fn agents(&self) -> u32 {
+        self.workloads.len() as u32
+    }
+
+    /// Workload of one agent.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` exceeds the scenario size.
+    #[must_use]
+    pub fn workload(&self, id: AgentId) -> &AgentWorkload {
+        &self.workloads[id.index()]
+    }
+
+    /// All workloads, indexed by `AgentId::index()`.
+    #[must_use]
+    pub fn workloads(&self) -> &[AgentWorkload] {
+        &self.workloads
+    }
+
+    /// Sum of per-agent offered loads.
+    #[must_use]
+    pub fn total_offered_load(&self) -> f64 {
+        self.workloads.iter().map(AgentWorkload::offered_load).sum()
+    }
+
+    /// Human-readable scenario description.
+    #[must_use]
+    pub fn label(&self) -> &str {
+        &self.label
+    }
+}
+
+impl fmt::Display for Scenario {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.label)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn id(n: u32) -> AgentId {
+        AgentId::new(n).unwrap()
+    }
+
+    #[test]
+    fn equal_load_splits_evenly() {
+        let s = Scenario::equal_load(30, 1.5, 1.0).unwrap();
+        assert_eq!(s.agents(), 30);
+        let w1 = s.workload(id(1));
+        let w30 = s.workload(id(30));
+        assert_eq!(w1, w30);
+        assert!((w1.offered_load() - 0.05).abs() < 1e-12);
+        assert!((s.total_offered_load() - 1.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rate_multiplied_matches_table_4_4_loads() {
+        // Table 4.4(a): 30 agents, base total 0.25, agent 1 doubled:
+        // reported total offered load is 0.26.
+        let s = Scenario::rate_multiplied(30, 0.25, id(1), 2.0, 1.0).unwrap();
+        let l1 = s.workload(id(1)).offered_load();
+        let l2 = s.workload(id(2)).offered_load();
+        assert!((l1 / l2 - 2.0).abs() < 1e-9);
+        assert!((s.total_offered_load() - 0.2583).abs() < 1e-3);
+
+        // Table 4.4(b): quadruple rate; total 0.28 for base 0.25.
+        let s4 = Scenario::rate_multiplied(30, 0.25, id(1), 4.0, 1.0).unwrap();
+        let ratio = s4.workload(id(1)).offered_load() / s4.workload(id(2)).offered_load();
+        assert!((ratio - 4.0).abs() < 1e-9);
+        assert!((s4.total_offered_load() - 0.275).abs() < 1e-2);
+    }
+
+    #[test]
+    fn rate_multiplied_rejects_overload() {
+        // Boosted load above 1.0 must be rejected.
+        assert!(Scenario::rate_multiplied(10, 6.0, id(1), 2.0, 1.0).is_err());
+        assert!(Scenario::rate_multiplied(10, 1.0, id(11), 2.0, 1.0).is_err());
+    }
+
+    #[test]
+    fn worst_case_rr_means() {
+        let s = Scenario::worst_case_rr(10, id(1), 0.0).unwrap();
+        assert_eq!(s.workload(id(1)).interrequest.mean(), 9.5);
+        assert!((s.workload(id(2)).interrequest.mean() - 6.4).abs() < 1e-12);
+        // Load ratio (n - 2.6) / (n + 0.5): 30 agents -> ~0.90 (paper).
+        let s30 = Scenario::worst_case_rr(30, id(1), 0.0).unwrap();
+        let ratio = s30.workload(id(1)).offered_load() / s30.workload(id(2)).offered_load();
+        assert!((ratio - 27.4 / 30.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn worst_case_rr_rejects_tiny_systems() {
+        assert!(Scenario::worst_case_rr(3, id(1), 0.0).is_err());
+        assert!(Scenario::worst_case_rr(4, id(1), 0.0).is_ok());
+    }
+
+    #[test]
+    fn from_workloads_validation() {
+        assert!(Scenario::from_workloads(Vec::new(), "empty").is_err());
+        let w = AgentWorkload {
+            interrequest: InterrequestTime::from_mean_cv(1.0, 0.0).unwrap(),
+        };
+        assert!(Scenario::from_workloads(vec![w.clone(); 129], "too many").is_err());
+        let s = Scenario::from_workloads(vec![w; 2], "pair").unwrap();
+        assert_eq!(s.agents(), 2);
+        assert_eq!(s.label(), "pair");
+        assert_eq!(format!("{s}"), "pair");
+    }
+
+    #[test]
+    fn workloads_slice_is_indexed_by_agent_index() {
+        let s = Scenario::rate_multiplied(5, 0.5, id(3), 2.0, 0.0).unwrap();
+        assert_eq!(
+            s.workloads()[id(3).index()].offered_load(),
+            s.workload(id(3)).offered_load()
+        );
+        assert!(s.workload(id(3)).offered_load() > s.workload(id(1)).offered_load());
+    }
+}

@@ -1,0 +1,75 @@
+//! Property tests for the workload layer: sampled moments match the
+//! configured mean/CV across the whole parameter space, and scenario
+//! builders preserve offered-load arithmetic.
+
+use busarb_stats::Summary;
+use busarb_types::AgentId;
+use busarb_workload::{load, InterrequestTime, Scenario};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+proptest! {
+    // Moment checks sample a lot; keep the case count moderate.
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn sampled_moments_match_spec(
+        mean in 0.1f64..50.0,
+        cv_index in 0usize..6,
+        seed in any::<u64>(),
+    ) {
+        // Use the paper's CV grid so the Erlang family is exact.
+        let cv = [0.0, 0.1, 0.25, 1.0 / 3.0, 0.5, 1.0][cv_index];
+        let d = InterrequestTime::from_mean_cv(mean, cv).unwrap();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let s: Summary = (0..40_000).map(|_| d.sample(&mut rng).as_f64()).collect();
+        prop_assert!(
+            (s.mean() - mean).abs() < 0.05 * mean + 1e-9,
+            "mean {} vs spec {mean}",
+            s.mean()
+        );
+        let sample_cv = if s.mean() > 0.0 { s.std_dev() / s.mean() } else { 0.0 };
+        prop_assert!(
+            (sample_cv - d.cv()).abs() < 0.05 + 0.05 * d.cv(),
+            "cv {sample_cv} vs spec {}",
+            d.cv()
+        );
+        // Samples are never negative.
+        prop_assert!(s.min().unwrap() >= 0.0);
+    }
+
+    #[test]
+    fn load_roundtrip(per_agent in 0.001f64..1.0) {
+        let mean = load::mean_interrequest(per_agent).unwrap();
+        let back = load::offered_load(mean).unwrap();
+        prop_assert!((back - per_agent).abs() < 1e-12);
+    }
+
+    #[test]
+    fn equal_load_scenarios_sum_to_total(
+        n in 1u32..=128,
+        total_milli in 1u64..2000,
+    ) {
+        let total = total_milli as f64 / 1000.0 * f64::from(n).min(8.0);
+        prop_assume!(total / f64::from(n) <= 1.0 && total > 0.0);
+        let s = Scenario::equal_load(n, total, 1.0).unwrap();
+        prop_assert!((s.total_offered_load() - total).abs() < 1e-9 * (1.0 + total));
+        prop_assert_eq!(s.agents(), n);
+    }
+
+    #[test]
+    fn rate_multiplied_ratio_is_exact(
+        n in 2u32..=64,
+        factor in 1.0f64..6.0,
+        base_milli in 10u64..500,
+    ) {
+        let base = base_milli as f64 / 1000.0;
+        let boosted = AgentId::new(1).unwrap();
+        prop_assume!(base / f64::from(n) * factor <= 1.0);
+        let s = Scenario::rate_multiplied(n, base, boosted, factor, 1.0).unwrap();
+        let ratio = s.workload(boosted).offered_load()
+            / s.workload(AgentId::new(2).unwrap()).offered_load();
+        prop_assert!((ratio - factor).abs() < 1e-9 * factor);
+    }
+}

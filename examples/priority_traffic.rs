@@ -1,0 +1,88 @@
+//! Priority traffic: urgent requests bypass the fairness protocols
+//! (paper §2.4 / §3), cutting ahead of every ordinary request.
+//!
+//! This example mixes 15% urgent traffic into a saturated 16-agent bus
+//! and compares urgent vs ordinary treatment under the FCFS-2 and RR
+//! protocols by instrumenting the arbiters directly.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release --example priority_traffic
+//! ```
+
+use busarb::prelude::*;
+
+/// Drive an arbiter with a deterministic mixed-priority request pattern
+/// and report how many grants each class waited for.
+fn drive(mut arbiter: Box<dyn Arbiter>, label: &str) {
+    let n = arbiter.agents();
+    let mut urgent_delays = Vec::new();
+    let mut ordinary_delays = Vec::new();
+    let mut queued: Vec<(AgentId, Priority, u64)> = Vec::new();
+    let mut grant_index = 0u64;
+
+    // A fixed schedule: every agent requests round after round; agents
+    // whose identity is divisible by 7 issue urgent requests.
+    for round in 0u64..400 {
+        for agent in AgentId::all(n) {
+            if queued.iter().any(|(a, _, _)| *a == agent) {
+                continue;
+            }
+            let priority = if agent.get() % 7 == 0 {
+                Priority::Urgent
+            } else {
+                Priority::Ordinary
+            };
+            arbiter.on_request(Time::from(round as f64), agent, priority);
+            queued.push((agent, priority, grant_index));
+        }
+        // Two grants per round: the bus is oversubscribed.
+        for _ in 0..2 {
+            if let Some(grant) = arbiter.arbitrate(Time::from(round as f64)) {
+                grant_index += 1;
+                if let Some(pos) = queued.iter().position(|(a, _, _)| *a == grant.agent) {
+                    let (_, priority, issued_at) = queued.swap_remove(pos);
+                    let delay = grant_index - issued_at;
+                    match priority {
+                        Priority::Urgent => urgent_delays.push(delay as f64),
+                        Priority::Ordinary => ordinary_delays.push(delay as f64),
+                    }
+                }
+            }
+        }
+    }
+    let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len().max(1) as f64;
+    println!(
+        "{label:<8}  urgent: {:>5.1} grants of queueing ({} served)   ordinary: {:>5.1} ({} served)",
+        mean(&urgent_delays),
+        urgent_delays.len(),
+        mean(&ordinary_delays),
+        ordinary_delays.len(),
+    );
+}
+
+fn main() -> Result<(), busarb::types::Error> {
+    let n = 16u32;
+    println!("mixed-priority treatment on an oversubscribed {n}-agent bus\n");
+    drive(ProtocolKind::Fcfs2.build(n)?, "fcfs-2");
+    drive(ProtocolKind::RoundRobin.build(n)?, "rr");
+    drive(ProtocolKind::AssuredAccessIdleBatch.build(n)?, "aap-1");
+    println!();
+    println!("Urgent requests (agents 7 and 14 here) are served with far less");
+    println!("queueing than ordinary ones under every protocol: the priority bit");
+    println!("is the most significant bit of the arbitration number.");
+
+    // The RR-1 extension: round-robin *within* the urgent class.
+    println!("\nround-robin within the urgent class (RR-1 option):");
+    let mut rr = DistributedRoundRobin::new(4)?.with_rr_within_priority_class();
+    for agent in AgentId::all(4) {
+        rr.on_request(Time::ZERO, agent, Priority::Urgent);
+    }
+    print!("urgent service order:");
+    while let Some(g) = rr.arbitrate(Time::ZERO) {
+        print!(" {}", g.agent);
+    }
+    println!("  (cyclic, not fixed-priority)");
+    Ok(())
+}

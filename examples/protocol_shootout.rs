@@ -1,0 +1,49 @@
+//! Protocol shootout: sweep the offered load and compare every protocol
+//! in the library on mean wait, wait variability, and fairness.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release --example protocol_shootout [agents]
+//! ```
+
+use busarb::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let agents: u32 = std::env::args()
+        .nth(1)
+        .map(|s| s.parse())
+        .transpose()?
+        .unwrap_or(16);
+
+    println!(
+        "{:<14} {:>6} {:>12} {:>8} {:>14} {:>6}",
+        "protocol", "load", "W", "sd(W)", "t[N]/t[1]", "util"
+    );
+    for &load in &[0.5, 1.0, 2.0, 4.0] {
+        let scenario = Scenario::equal_load(agents, load, 1.0)?;
+        for &kind in ProtocolKind::all() {
+            let config = SystemConfig::new(scenario.clone())
+                .with_batches(BatchMeansConfig::quick(1000))
+                .with_seed(7777);
+            let report = Simulation::new(config)?.run(kind.build(agents)?);
+            let fairness = report
+                .throughput_ratio(agents, 1, 0.90)
+                .map_or_else(|| "n/a".to_string(), |r| r.estimate.to_string());
+            println!(
+                "{:<14} {:>6.2} {:>12} {:>8.2} {:>14} {:>6.2}",
+                kind.to_string(),
+                load,
+                report.mean_wait.to_string(),
+                report.wait_summary.std_dev(),
+                fairness,
+                report.utilization,
+            );
+        }
+        println!();
+    }
+    println!("Note the conservation law: within each load block every protocol's W");
+    println!("agrees (within confidence intervals); the protocols differ in variance");
+    println!("and fairness, not in mean delay.");
+    Ok(())
+}

@@ -1,0 +1,100 @@
+//! Cross-validation of the simulator against the analytical models in
+//! `busarb-analysis`: exact agreement at both load extremes, and
+//! MVA-level agreement (documented single-digit-% error) in the middle.
+
+use busarb::analysis::BusModel;
+use busarb::prelude::*;
+
+fn simulate(n: u32, load: f64, seed: u64) -> RunReport {
+    let scenario = Scenario::equal_load(n, load, 1.0).unwrap();
+    let config = SystemConfig::new(scenario)
+        .with_batches(BatchMeansConfig::quick(2000))
+        .with_warmup(1000)
+        .with_seed(seed);
+    Simulation::new(config)
+        .unwrap()
+        .run(ProtocolKind::RoundRobin.build(n).unwrap())
+}
+
+#[test]
+fn exact_at_zero_contention() {
+    let report = simulate(1, 0.2, 7);
+    let model = BusModel::paper(1, 0.2).unwrap();
+    assert_eq!(model.uncontended_wait(), 1.5);
+    assert!((report.mean_wait.mean - model.uncontended_wait()).abs() < 1e-9);
+}
+
+#[test]
+fn exact_at_saturation() {
+    for (n, load) in [(10u32, 5.0), (30, 5.0), (10, 7.52), (64, 7.5)] {
+        let report = simulate(n, load, 11);
+        let model = BusModel::paper(n, load).unwrap();
+        assert!(
+            (report.mean_wait.mean - model.saturated_wait()).abs() < 0.05,
+            "n={n} load={load}: sim {} vs exact {}",
+            report.mean_wait.mean,
+            model.saturated_wait()
+        );
+        assert!((report.utilization - 1.0).abs() < 0.01);
+    }
+}
+
+#[test]
+fn mva_tracks_the_midrange_within_tolerance() {
+    // MVA assumes exponential service; the bus is deterministic, so allow
+    // 15% relative error across the knee of the curve (worst observed is
+    // ~12.5% at load 1.0).
+    for &load in &[0.25, 0.5, 1.0, 1.5, 2.0, 2.5] {
+        let report = simulate(10, load, 23);
+        let model = BusModel::paper(10, load).unwrap();
+        let predicted = model.predicted_wait();
+        let rel = (report.mean_wait.mean - predicted).abs() / report.mean_wait.mean;
+        assert!(
+            rel < 0.15,
+            "load {load}: sim {} vs model {predicted} ({:.1}% off)",
+            report.mean_wait.mean,
+            rel * 100.0
+        );
+    }
+}
+
+#[test]
+fn utilization_agrees_across_the_range() {
+    for &load in &[0.25, 0.5, 1.0, 2.0, 5.0] {
+        let report = simulate(10, load, 31);
+        let model = BusModel::paper(10, load).unwrap();
+        assert!(
+            (report.utilization - model.mva().utilization).abs() < 0.05,
+            "load {load}: sim {} vs mva {}",
+            report.utilization,
+            model.mva().utilization
+        );
+    }
+}
+
+#[test]
+fn conservation_means_model_is_protocol_agnostic() {
+    // The analytical W applies to every work-conserving protocol.
+    let model = BusModel::paper(10, 5.0).unwrap();
+    for kind in [
+        ProtocolKind::Fcfs1,
+        ProtocolKind::AssuredAccessIdleBatch,
+        ProtocolKind::TicketFcfs,
+        ProtocolKind::RotatingRr,
+    ] {
+        let scenario = Scenario::equal_load(10, 5.0, 1.0).unwrap();
+        let config = SystemConfig::new(scenario)
+            .with_batches(BatchMeansConfig::quick(1500))
+            .with_warmup(1000)
+            .with_seed(47);
+        let report = Simulation::new(config)
+            .unwrap()
+            .run(kind.build(10).unwrap());
+        assert!(
+            (report.mean_wait.mean - model.saturated_wait()).abs() < 0.1,
+            "{kind}: {} vs {}",
+            report.mean_wait.mean,
+            model.saturated_wait()
+        );
+    }
+}

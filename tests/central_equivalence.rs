@@ -1,0 +1,237 @@
+//! The paper's headline protocol claims, as property tests:
+//!
+//! * the distributed RR protocol implements **true round-robin
+//!   scheduling, identical to the central round-robin arbiter** (§3.1);
+//! * the FCFS-2 protocol implements FCFS order exactly whenever arrivals
+//!   fall in distinct sensing windows, matching a central FCFS queue
+//!   (§3.2);
+//! * FCFS-1 bounds overtaking: a waiting request is passed at most once
+//!   by each other agent.
+
+use busarb::prelude::*;
+use proptest::prelude::*;
+
+const N: u32 = 8;
+
+#[derive(Clone, Debug)]
+struct Step {
+    request_mask: u32,
+    arbitrations: u8,
+}
+
+fn schedule_strategy(steps: usize) -> impl Strategy<Value = Vec<Step>> {
+    prop::collection::vec(
+        (0u32..(1 << N), 0u8..3).prop_map(|(request_mask, arbitrations)| Step {
+            request_mask,
+            arbitrations,
+        }),
+        1..=steps,
+    )
+}
+
+/// Runs two arbiters through a schedule; asserts identical decisions.
+fn assert_equivalent(schedule: &[Step], mut a: Box<dyn Arbiter>, mut b: Box<dyn Arbiter>) {
+    let mut busy = AgentSet::new();
+    for (i, step) in schedule.iter().enumerate() {
+        let now = Time::from(i as f64);
+        for agent in AgentId::all(N) {
+            if step.request_mask & (1 << (agent.get() - 1)) != 0 && !busy.contains(agent) {
+                busy.insert(agent);
+                a.on_request(now, agent, Priority::Ordinary);
+                b.on_request(now, agent, Priority::Ordinary);
+            }
+        }
+        for _ in 0..step.arbitrations {
+            let ga = a.arbitrate(now).map(|g| g.agent);
+            let gb = b.arbitrate(now).map(|g| g.agent);
+            assert_eq!(ga, gb, "step {i}");
+            if let Some(w) = ga {
+                busy.remove(w);
+            }
+        }
+    }
+    loop {
+        let t = Time::from(schedule.len() as f64);
+        let ga = a.arbitrate(t).map(|g| g.agent);
+        let gb = b.arbitrate(t).map(|g| g.agent);
+        assert_eq!(ga, gb, "drain");
+        if ga.is_none() {
+            break;
+        }
+        busy.remove(ga.unwrap());
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    #[test]
+    fn distributed_rr_is_true_round_robin(schedule in schedule_strategy(30)) {
+        assert_equivalent(
+            &schedule,
+            Box::new(DistributedRoundRobin::new(N).unwrap()),
+            Box::new(CentralRoundRobin::new(N).unwrap()),
+        );
+    }
+
+    #[test]
+    fn all_rr_implementations_are_interchangeable(schedule in schedule_strategy(30)) {
+        assert_equivalent(
+            &schedule,
+            Box::new(
+                DistributedRoundRobin::with_implementation(
+                    N,
+                    RrImplementation::LowRequestLine,
+                )
+                .unwrap(),
+            ),
+            Box::new(
+                DistributedRoundRobin::with_implementation(N, RrImplementation::NoExtraLine)
+                    .unwrap(),
+            ),
+        );
+    }
+
+    #[test]
+    fn fcfs2_matches_central_fcfs_for_distinct_windows(schedule in schedule_strategy(30)) {
+        // Each schedule step is a distinct arrival window, but requests
+        // *within* a step share it. Central FCFS breaks same-instant ties
+        // by identity, exactly like the distributed counters, so the two
+        // must agree even with simultaneous arrivals.
+        assert_equivalent(
+            &schedule,
+            Box::new(DistributedFcfs::new(N, CounterStrategy::PerArrival).unwrap()),
+            Box::new(CentralFcfs::new(N).unwrap()),
+        );
+    }
+
+    #[test]
+    fn fcfs1_overtaking_is_bounded(schedule in schedule_strategy(30)) {
+        // Track, for each grant, how many grants happened since the
+        // winning request arrived vs. how many requests were pending
+        // then: a request can be overtaken at most N-1 times.
+        let mut arbiter = DistributedFcfs::new(N, CounterStrategy::PerLostArbitration).unwrap();
+        let mut busy = AgentSet::new();
+        let mut waiting_since_arbitrations: std::collections::HashMap<u32, u32> =
+            std::collections::HashMap::new();
+        for (i, step) in schedule.iter().enumerate() {
+            let now = Time::from(i as f64);
+            for agent in AgentId::all(N) {
+                if step.request_mask & (1 << (agent.get() - 1)) != 0 && !busy.contains(agent) {
+                    busy.insert(agent);
+                    waiting_since_arbitrations.insert(agent.get(), 0);
+                    arbiter.on_request(now, agent, Priority::Ordinary);
+                }
+            }
+            for _ in 0..step.arbitrations {
+                if let Some(g) = arbiter.arbitrate(now) {
+                    busy.remove(g.agent);
+                    let lost = waiting_since_arbitrations.remove(&g.agent.get()).unwrap();
+                    prop_assert!(
+                        lost <= N,
+                        "request from {} lost {lost} arbitrations",
+                        g.agent
+                    );
+                    for v in waiting_since_arbitrations.values_mut() {
+                        *v += 1;
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn rr_per_agent_grants_differ_by_at_most_one_at_saturation(cycles in 1usize..40) {
+        // Saturated RR: over any run, per-agent grant counts are within
+        // one of each other.
+        let mut arbiter = DistributedRoundRobin::new(N).unwrap();
+        for agent in AgentId::all(N) {
+            arbiter.on_request(Time::ZERO, agent, Priority::Ordinary);
+        }
+        let mut counts = [0u32; N as usize];
+        for _ in 0..(cycles * 3) {
+            let g = arbiter.arbitrate(Time::ZERO).unwrap();
+            counts[g.agent.index()] += 1;
+            arbiter.on_request(Time::ZERO, g.agent, Priority::Ordinary);
+        }
+        let min = counts.iter().min().unwrap();
+        let max = counts.iter().max().unwrap();
+        prop_assert!(max - min <= 1, "{counts:?}");
+    }
+}
+
+/// Like `assert_equivalent`, but injects at most one request per step so
+/// no two arrivals ever share a sensing window.
+fn assert_equivalent_distinct_arrivals(
+    steps: &[(u8, u8)],
+    mut a: Box<dyn Arbiter>,
+    mut b: Box<dyn Arbiter>,
+) {
+    let mut busy = AgentSet::new();
+    for (i, &(agent_byte, arbs)) in steps.iter().enumerate() {
+        let now = Time::from(i as f64);
+        let agent = AgentId::new(u32::from(agent_byte % (N as u8)) + 1).unwrap();
+        if !busy.contains(agent) {
+            busy.insert(agent);
+            a.on_request(now, agent, Priority::Ordinary);
+            b.on_request(now, agent, Priority::Ordinary);
+        }
+        for _ in 0..(arbs % 3) {
+            let ga = a.arbitrate(now).map(|g| g.agent);
+            let gb = b.arbitrate(now).map(|g| g.agent);
+            assert_eq!(ga, gb, "step {i}");
+            if let Some(w) = ga {
+                busy.remove(w);
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    #[test]
+    fn hybrid_equals_fcfs2_without_ties(steps in prop::collection::vec(any::<(u8, u8)>(), 1..60)) {
+        // With every arrival in its own sensing window, counters are
+        // all distinct, the hybrid's rr tie-break bit never decides, and
+        // the schedule is exactly FCFS-2's.
+        assert_equivalent_distinct_arrivals(
+            &steps,
+            Box::new(HybridRrFcfs::new(N).unwrap()),
+            Box::new(DistributedFcfs::new(N, CounterStrategy::PerArrival).unwrap()),
+        );
+    }
+
+    #[test]
+    fn ticket_fcfs_equals_central_fcfs_without_ties(
+        steps in prop::collection::vec(any::<(u8, u8)>(), 1..60),
+    ) {
+        assert_equivalent_distinct_arrivals(
+            &steps,
+            Box::new(TicketFcfs::new(N).unwrap()),
+            Box::new(CentralFcfs::new(N).unwrap()),
+        );
+    }
+
+    #[test]
+    fn rotating_priority_equals_central_rr(schedule in schedule_strategy(30)) {
+        assert_equivalent(
+            &schedule,
+            Box::new(RotatingPriority::new(N).unwrap()),
+            Box::new(CentralRoundRobin::new(N).unwrap()),
+        );
+    }
+
+    #[test]
+    fn adaptive_in_fcfs_regime_equals_fcfs2(
+        steps in prop::collection::vec(any::<(u8, u8)>(), 1..60),
+    ) {
+        // Distinct arrival windows keep the adaptive arbiter's tie
+        // fraction at zero, pinning it in FCFS mode.
+        assert_equivalent_distinct_arrivals(
+            &steps,
+            Box::new(AdaptiveArbiter::new(N).unwrap()),
+            Box::new(DistributedFcfs::new(N, CounterStrategy::PerArrival).unwrap()),
+        );
+    }
+}

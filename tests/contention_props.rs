@@ -1,0 +1,107 @@
+//! Property tests on the wired-OR substrate: the settle dynamics always
+//! find the maximum, within the synchronous round bound, and composite
+//! arbitration numbers round-trip through their layouts.
+
+use busarb::bus::{ArbitrationNumber, LineDiscipline, NumberLayout, ParallelContention};
+use busarb::types::{AgentId, Priority};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn settle_finds_the_maximum(
+        width in 1u32..16,
+        raw in prop::collection::vec(any::<u64>(), 0..12),
+    ) {
+        let mask = (1u64 << width) - 1;
+        let competitors: Vec<u64> = raw.into_iter().map(|v| v & mask).collect();
+        let arbiter = ParallelContention::new(width);
+        let r = arbiter.resolve(&competitors);
+        prop_assert_eq!(r.winner_value, competitors.iter().copied().max().unwrap_or(0));
+        prop_assert!(r.winner_broadcast);
+    }
+
+    #[test]
+    fn settle_round_bound(
+        width in 1u32..16,
+        raw in prop::collection::vec(any::<u64>(), 1..12),
+    ) {
+        let mask = (1u64 << width) - 1;
+        let competitors: Vec<u64> = raw.into_iter().map(|v| v & mask).collect();
+        let r = ParallelContention::new(width).resolve(&competitors);
+        // Synchronous-model bound: at most width + 1 rounds (see DESIGN.md
+        // §3 for the relationship to Taub's analog k/2 bound).
+        prop_assert!(
+            r.rounds <= width + 1,
+            "width {} took {} rounds",
+            width,
+            r.rounds
+        );
+    }
+
+    #[test]
+    fn binary_patterned_is_single_round_no_broadcast(
+        raw in prop::collection::vec(0u64..128, 1..10),
+    ) {
+        let arbiter =
+            ParallelContention::new(7).with_discipline(LineDiscipline::BinaryPatterned);
+        let r = arbiter.resolve(&raw);
+        prop_assert_eq!(r.rounds, 1);
+        prop_assert!(!r.winner_broadcast);
+        prop_assert_eq!(r.winner_value, raw.iter().copied().max().unwrap());
+    }
+
+    #[test]
+    fn arbitration_numbers_roundtrip(
+        id in 1u32..=30,
+        counter in 0u64..32,
+        rr in any::<bool>(),
+        urgent in any::<bool>(),
+    ) {
+        let layout = NumberLayout::for_agents(30)
+            .unwrap()
+            .with_counter_bits(5)
+            .with_rr_bit()
+            .with_priority_bit();
+        let number = ArbitrationNumber::new(AgentId::new(id).unwrap())
+            .with_counter(counter)
+            .with_rr(rr)
+            .with_priority(if urgent { Priority::Urgent } else { Priority::Ordinary });
+        let raw = layout.compose(number);
+        prop_assert_eq!(layout.decode(raw), Some(number));
+        prop_assert_eq!(layout.decode_id(raw), Some(number.id));
+    }
+
+    #[test]
+    fn composite_order_matches_field_significance(
+        a_id in 1u32..=30, a_ctr in 0u64..32, a_rr in any::<bool>(),
+        b_id in 1u32..=30, b_ctr in 0u64..32, b_rr in any::<bool>(),
+    ) {
+        // The raw line values must order by (priority, rr, counter, id)
+        // lexicographically... with the layout [priority | rr | counter | id]
+        // built here.
+        let layout = NumberLayout::for_agents(30)
+            .unwrap()
+            .with_counter_bits(5)
+            .with_rr_bit();
+        let a = ArbitrationNumber::new(AgentId::new(a_id).unwrap())
+            .with_counter(a_ctr)
+            .with_rr(a_rr);
+        let b = ArbitrationNumber::new(AgentId::new(b_id).unwrap())
+            .with_counter(b_ctr)
+            .with_rr(b_rr);
+        let key = |n: &ArbitrationNumber| (n.rr, n.counter, n.id);
+        let raw_order = layout.compose(a).cmp(&layout.compose(b));
+        prop_assert_eq!(raw_order, key(&a).cmp(&key(&b)));
+    }
+}
+
+#[test]
+fn taub_worked_example_rounds() {
+    // The paper's example needs 3 synchronous rounds end to end.
+    let arbiter = ParallelContention::new(7);
+    let (r, trace) = arbiter.resolve_traced(&[0b1010101, 0b0011100]);
+    assert_eq!(r.rounds, 3);
+    assert_eq!(trace, vec![0b1011101, 0b1010000, 0b1010101]);
+}

@@ -1,0 +1,186 @@
+//! Cross-level equivalence: the scheduling-level protocols in
+//! `busarb-core` must make exactly the same decisions as the
+//! register-level models in `busarb_bus::signal`, for arbitrary request
+//! schedules.
+//!
+//! A schedule is a sequence of steps; each step injects a batch of new
+//! requests (same sensing window) and then runs zero or more
+//! arbitrations. Both levels see the identical schedule.
+
+use busarb::bus::signal::{
+    Fcfs1System, Fcfs2System, Rr1System, Rr2System, Rr3System, SignalProtocol,
+};
+use busarb::prelude::*;
+use proptest::prelude::*;
+
+/// One step: which idle agents request (as a bitmask over 1..=N), and how
+/// many arbitrations to run afterwards.
+#[derive(Clone, Debug)]
+struct Step {
+    request_mask: u32,
+    arbitrations: u8,
+}
+
+fn schedule_strategy(n: u32, steps: usize) -> impl Strategy<Value = Vec<Step>> {
+    prop::collection::vec(
+        (0u32..(1 << n), 0u8..3).prop_map(|(request_mask, arbitrations)| Step {
+            request_mask,
+            arbitrations,
+        }),
+        1..=steps,
+    )
+}
+
+/// Drives a signal-level system and a scheduling-level arbiter through
+/// the same schedule, returning both grant sequences.
+fn drive_pair(
+    n: u32,
+    schedule: &[Step],
+    signal: &mut dyn SignalProtocol,
+    arbiter: &mut dyn Arbiter,
+) -> (Vec<u32>, Vec<u32>) {
+    let mut signal_grants = Vec::new();
+    let mut arbiter_grants = Vec::new();
+    // Track who has an outstanding request; both levels reject duplicates.
+    let mut busy = AgentSet::new();
+    for (step_idx, step) in schedule.iter().enumerate() {
+        let now = Time::from(step_idx as f64);
+        let batch: Vec<AgentId> = AgentId::all(n)
+            .filter(|a| step.request_mask & (1 << (a.get() - 1)) != 0 && !busy.contains(*a))
+            .collect();
+        for &a in &batch {
+            busy.insert(a);
+        }
+        signal.on_requests(&batch);
+        for &a in &batch {
+            arbiter.on_request(now, a, Priority::Ordinary);
+        }
+        for _ in 0..step.arbitrations {
+            let s = signal.arbitrate().map(|o| o.winner);
+            let c = arbiter.arbitrate(now).map(|g| g.agent);
+            assert_eq!(s, c, "divergence at step {step_idx}");
+            if let Some(w) = s {
+                busy.remove(w);
+                signal_grants.push(w.get());
+                arbiter_grants.push(w.get());
+            }
+        }
+    }
+    // Drain both.
+    loop {
+        let s = signal.arbitrate().map(|o| o.winner);
+        let c = arbiter
+            .arbitrate(Time::from(schedule.len() as f64))
+            .map(|g| g.agent);
+        assert_eq!(s, c, "divergence while draining");
+        match s {
+            Some(w) => {
+                signal_grants.push(w.get());
+                arbiter_grants.push(w.get());
+            }
+            None => break,
+        }
+    }
+    (signal_grants, arbiter_grants)
+}
+
+const N: u32 = 9;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn rr1_signal_matches_scheduling(schedule in schedule_strategy(N, 24)) {
+        let mut signal = Rr1System::new(N).unwrap();
+        let mut arbiter = DistributedRoundRobin::new(N).unwrap();
+        drive_pair(N, &schedule, &mut signal, &mut arbiter);
+    }
+
+    #[test]
+    fn rr2_signal_matches_scheduling(schedule in schedule_strategy(N, 24)) {
+        let mut signal = Rr2System::new(N).unwrap();
+        let mut arbiter =
+            DistributedRoundRobin::with_implementation(N, RrImplementation::LowRequestLine)
+                .unwrap();
+        drive_pair(N, &schedule, &mut signal, &mut arbiter);
+    }
+
+    #[test]
+    fn rr3_signal_matches_scheduling(schedule in schedule_strategy(N, 24)) {
+        let mut signal = Rr3System::new(N).unwrap();
+        let mut arbiter =
+            DistributedRoundRobin::with_implementation(N, RrImplementation::NoExtraLine)
+                .unwrap();
+        drive_pair(N, &schedule, &mut signal, &mut arbiter);
+    }
+
+    #[test]
+    fn fcfs1_signal_matches_scheduling(schedule in schedule_strategy(N, 24)) {
+        let mut signal = Fcfs1System::new(N).unwrap();
+        let mut arbiter =
+            DistributedFcfs::new(N, CounterStrategy::PerLostArbitration).unwrap();
+        drive_pair(N, &schedule, &mut signal, &mut arbiter);
+    }
+
+    #[test]
+    fn fcfs2_signal_matches_scheduling(schedule in schedule_strategy(N, 24)) {
+        let mut signal = Fcfs2System::new(N).unwrap();
+        let mut arbiter = DistributedFcfs::new(N, CounterStrategy::PerArrival).unwrap();
+        drive_pair(N, &schedule, &mut signal, &mut arbiter);
+    }
+
+    #[test]
+    fn rr3_wraparound_counts_agree(schedule in schedule_strategy(N, 24)) {
+        let mut signal = Rr3System::new(N).unwrap();
+        let mut arbiter =
+            DistributedRoundRobin::with_implementation(N, RrImplementation::NoExtraLine)
+                .unwrap();
+        drive_pair(N, &schedule, &mut signal, &mut arbiter);
+        prop_assert_eq!(signal.empty_arbitrations(), arbiter.empty_arbitrations());
+    }
+}
+
+#[test]
+fn worked_example_all_levels() {
+    // A compact deterministic scenario touched by every protocol pair.
+    let schedule = [
+        Step {
+            request_mask: 0b1_0110_0101,
+            arbitrations: 2,
+        },
+        Step {
+            request_mask: 0b0_0001_1010,
+            arbitrations: 1,
+        },
+        Step {
+            request_mask: 0,
+            arbitrations: 2,
+        },
+        Step {
+            request_mask: 0b1_1111_1111,
+            arbitrations: 4,
+        },
+    ];
+    let mut signal = Rr1System::new(N).unwrap();
+    let mut arbiter = DistributedRoundRobin::new(N).unwrap();
+    let (grants, _) = drive_pair(N, &schedule, &mut signal, &mut arbiter);
+    assert!(!grants.is_empty());
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn aap1_signal_matches_scheduling(schedule in schedule_strategy(N, 24)) {
+        let mut signal = busarb::bus::signal::Aap1System::new(N).unwrap();
+        let mut arbiter = AssuredAccess::new(N, BatchingRule::IdleBatch).unwrap();
+        drive_pair(N, &schedule, &mut signal, &mut arbiter);
+    }
+
+    #[test]
+    fn aap2_signal_matches_scheduling(schedule in schedule_strategy(N, 24)) {
+        let mut signal = busarb::bus::signal::Aap2System::new(N).unwrap();
+        let mut arbiter = AssuredAccess::new(N, BatchingRule::FairnessRelease).unwrap();
+        drive_pair(N, &schedule, &mut signal, &mut arbiter);
+    }
+}

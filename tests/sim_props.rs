@@ -1,0 +1,73 @@
+//! Property tests over the simulator's parameter space: for arbitrary
+//! (size, load, CV, protocol, seed) the model must satisfy its physical
+//! invariants — utilization never exceeds capacity, waits never drop
+//! below the uncontended minimum, throughput accounting balances, and
+//! replay is exact.
+
+use busarb::prelude::*;
+use proptest::prelude::*;
+
+fn small_run(kind: ProtocolKind, n: u32, load: f64, cv: f64, seed: u64) -> RunReport {
+    let scenario = Scenario::equal_load(n, load, cv).unwrap();
+    let config = SystemConfig::new(scenario)
+        .with_batches(BatchMeansConfig::quick(120))
+        .with_warmup(120)
+        .with_seed(seed);
+    Simulation::new(config).unwrap().run(kind.build(n).unwrap())
+}
+
+fn protocol_strategy() -> impl Strategy<Value = ProtocolKind> {
+    prop::sample::select(ProtocolKind::all().to_vec())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn physical_invariants_hold_everywhere(
+        kind in protocol_strategy(),
+        n in 1u32..=24,
+        load_milli in 50u64..3000,
+        cv_index in 0usize..4,
+        seed in any::<u64>(),
+    ) {
+        let cv = [0.0, 0.25, 0.5, 1.0][cv_index];
+        let load = (load_milli as f64 / 1000.0).min(f64::from(n) * 0.9);
+        prop_assume!(load > 0.01);
+        let report = small_run(kind, n, load, cv, seed);
+
+        // Capacity: the bus serves at most one transaction per unit time.
+        prop_assert!(report.utilization <= 1.0 + 1e-9, "util {}", report.utilization);
+        // Minimum wait: arbitration overhead + one service.
+        prop_assert!(
+            report.wait_summary.min().unwrap() >= 1.5 - 1e-9,
+            "min wait {}",
+            report.wait_summary.min().unwrap()
+        );
+        // Mean is bounded by the saturated closed form plus slack.
+        let z = 1.0 / (load / f64::from(n)) - 1.0;
+        let w_sat = f64::from(n) - z;
+        prop_assert!(
+            report.mean_wait.mean <= w_sat.max(1.5) + 3.0,
+            "W {} beyond saturated bound {w_sat}",
+            report.mean_wait.mean
+        );
+        // Accounting: grants cover at least the measured samples.
+        prop_assert!(report.grants as usize >= report.tally.grand_total() as usize);
+        // Per-agent tallies sum to the configured total samples.
+        prop_assert_eq!(report.tally.grand_total() as usize, 1200);
+    }
+
+    #[test]
+    fn replay_is_exact_for_any_configuration(
+        kind in protocol_strategy(),
+        n in 1u32..=16,
+        seed in any::<u64>(),
+    ) {
+        let a = small_run(kind, n, 1.2_f64.min(f64::from(n) * 0.8), 1.0, seed);
+        let b = small_run(kind, n, 1.2_f64.min(f64::from(n) * 0.8), 1.0, seed);
+        prop_assert_eq!(a.mean_wait.mean.to_bits(), b.mean_wait.mean.to_bits());
+        prop_assert_eq!(a.grants, b.grants);
+        prop_assert_eq!(a.end_time, b.end_time);
+    }
+}

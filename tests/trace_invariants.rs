@@ -1,0 +1,152 @@
+//! Causal invariants of the bus model, checked against the execution
+//! trace: the bus is never double-booked, every transfer lasts exactly
+//! one transaction time, masters are elected before they drive the bus,
+//! and arbitration is overlapped with service whenever possible.
+
+use busarb::prelude::*;
+use busarb::sim::{TraceEvent, TraceKind};
+
+fn traced_run(kind: ProtocolKind, load: f64) -> Vec<TraceEvent> {
+    let scenario = Scenario::equal_load(8, load, 1.0).unwrap();
+    let config = SystemConfig::new(scenario)
+        .with_batches(BatchMeansConfig::quick(200))
+        .with_warmup(0)
+        .with_seed(1234)
+        .with_trace(100_000);
+    let report = Simulation::new(config).unwrap().run(kind.build(8).unwrap());
+    assert_eq!(report.trace.dropped(), 0, "trace limit too small for test");
+    report.trace.events().to_vec()
+}
+
+#[test]
+fn timestamps_are_nondecreasing() {
+    for kind in [ProtocolKind::RoundRobin, ProtocolKind::Fcfs2] {
+        let events = traced_run(kind, 2.0);
+        assert!(!events.is_empty());
+        for w in events.windows(2) {
+            assert!(w[0].at <= w[1].at, "{:?} then {:?}", w[0], w[1]);
+        }
+    }
+}
+
+#[test]
+fn bus_is_never_double_booked_and_transfers_last_one_unit() {
+    for load in [0.5, 2.0, 5.0] {
+        let events = traced_run(ProtocolKind::RoundRobin, load);
+        let mut current: Option<(busarb::types::AgentId, busarb::types::Time)> = None;
+        for e in &events {
+            match e.kind {
+                TraceKind::TransferStart { agent } => {
+                    assert!(
+                        current.is_none(),
+                        "transfer started at {} while the bus was busy",
+                        e.at
+                    );
+                    current = Some((agent, e.at));
+                }
+                TraceKind::TransferEnd { agent, .. } => {
+                    let (master, started) = current.take().expect("transfer end without a start");
+                    assert_eq!(agent, master, "wrong master finished at {}", e.at);
+                    assert!(
+                        (e.at - started).abs_diff(busarb::types::Time::TRANSACTION)
+                            < busarb::types::Time::from(1e-9),
+                        "transfer length {} != 1",
+                        e.at - started
+                    );
+                }
+                _ => {}
+            }
+        }
+    }
+}
+
+#[test]
+fn masters_are_elected_before_they_drive() {
+    let events = traced_run(ProtocolKind::Fcfs1, 2.0);
+    // For every TransferStart there must be a preceding ArbitrationStart
+    // for that agent whose settle time has passed.
+    let mut pending_settle: Option<(busarb::types::AgentId, busarb::types::Time)> = None;
+    for e in &events {
+        match e.kind {
+            TraceKind::ArbitrationStart { winner, completes } => {
+                pending_settle = Some((winner, completes));
+            }
+            TraceKind::TransferStart { agent } => {
+                let (winner, completes) =
+                    pending_settle.take().expect("transfer without arbitration");
+                assert_eq!(agent, winner, "unelected master at {}", e.at);
+                assert!(
+                    completes <= e.at,
+                    "master took over at {} before the lines settled at {completes}",
+                    e.at
+                );
+            }
+            _ => {}
+        }
+    }
+}
+
+#[test]
+fn arbitration_overlaps_service_at_saturation() {
+    // At deep saturation almost every arbitration should start exactly at
+    // a transfer start (fully overlapped), so grants are back-to-back:
+    // consecutive TransferStart events one unit apart.
+    let events = traced_run(ProtocolKind::RoundRobin, 5.0);
+    let starts: Vec<_> = events
+        .iter()
+        .filter(|e| matches!(e.kind, TraceKind::TransferStart { .. }))
+        .map(|e| e.at)
+        .collect();
+    // Skip the start-up transient, then require wall-to-wall service.
+    let steady = &starts[20..starts.len() - 1];
+    let mut back_to_back = 0usize;
+    for w in steady.windows(2) {
+        if (w[1] - w[0]).abs_diff(busarb::types::Time::TRANSACTION)
+            < busarb::types::Time::from(1e-9)
+        {
+            back_to_back += 1;
+        }
+    }
+    let frac = back_to_back as f64 / (steady.len() - 1) as f64;
+    assert!(frac > 0.99, "only {frac:.3} of grants were back-to-back");
+}
+
+#[test]
+fn requests_precede_their_completions() {
+    let events = traced_run(ProtocolKind::CentralFcfs, 1.0);
+    let mut outstanding = std::collections::HashMap::new();
+    for e in &events {
+        match e.kind {
+            TraceKind::Request { agent } => {
+                *outstanding.entry(agent).or_insert(0u32) += 1;
+            }
+            TraceKind::TransferEnd { agent, wait } => {
+                let pending = outstanding.get_mut(&agent).copied().unwrap_or(0);
+                assert!(pending > 0, "completion without a request at {}", e.at);
+                *outstanding.get_mut(&agent).unwrap() -= 1;
+                assert!(wait >= 1.0, "waiting time {wait} below one service time");
+            }
+            _ => {}
+        }
+    }
+}
+
+#[test]
+fn tracing_is_off_by_default_and_bounded_when_on() {
+    let scenario = Scenario::equal_load(4, 1.0, 1.0).unwrap();
+    let base = SystemConfig::new(scenario)
+        .with_batches(BatchMeansConfig::quick(50))
+        .with_warmup(0)
+        .with_seed(5);
+    let plain = Simulation::new(base.clone())
+        .unwrap()
+        .run(ProtocolKind::RoundRobin.build(4).unwrap());
+    assert!(plain.trace.is_empty());
+
+    let tiny = Simulation::new(base.with_trace(10))
+        .unwrap()
+        .run(ProtocolKind::RoundRobin.build(4).unwrap());
+    assert_eq!(tiny.trace.events().len(), 10);
+    assert!(tiny.trace.dropped() > 0);
+    assert!(!tiny.trace.render().is_empty());
+}
