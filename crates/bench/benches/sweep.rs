@@ -1,0 +1,46 @@
+//! Parallel sweep executor bench: the Smoke-scale grid sweep (the kernel
+//! behind Tables 4.1–4.3 and Figure 4.1) run through `run_cells_with` at
+//! several worker-pool sizes. The 1-worker case is the serial baseline;
+//! the multi-worker cases measure the fan-out speedup on this host. The
+//! results are byte-identical at every pool size (see the determinism
+//! regression test in `busarb-experiments`), so this bench measures pure
+//! scheduling overhead/speedup.
+
+use busarb_experiments::common::{paper_loads, PAPER_SIZES};
+use busarb_experiments::{grid::Grid, run_cells_with, Scale};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+fn grid_points() -> Vec<(u32, f64)> {
+    PAPER_SIZES
+        .iter()
+        .flat_map(|&n| paper_loads(n).into_iter().map(move |load| (n, load)))
+        .collect()
+}
+
+fn bench_grid_sweep(c: &mut Criterion) {
+    let points = grid_points();
+    let mut group = c.benchmark_group("grid_sweep_smoke");
+    group.throughput(Throughput::Elements(points.len() as u64));
+    for workers in [1usize, 2, 4] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(workers),
+            &workers,
+            |b, &workers| {
+                b.iter(|| {
+                    black_box(run_cells_with(workers, points.clone(), |(n, load)| {
+                        Grid::compute_cell(n, load, Scale::Smoke)
+                    }))
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = sweep;
+    config = Criterion::default().sample_size(10);
+    targets = bench_grid_sweep
+}
+criterion_main!(sweep);

@@ -1,0 +1,135 @@
+//! `bench_sweep` — times the Smoke-scale grid sweep at several worker
+//! counts and writes the results to `BENCH_sweep.json`.
+//!
+//! ```text
+//! bench_sweep [--out PATH] [--reps N]
+//! ```
+//!
+//! The JSON records, per worker count, the minimum and mean wall-clock of
+//! `reps` full sweeps, plus the speedup of the minimum over the 1-worker
+//! (serial) minimum. Because every cell is independently seeded, the
+//! sweep output is identical at every worker count — the timings below
+//! are the only thing that changes.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+use std::time::Instant;
+
+use busarb_experiments::common::{paper_loads, PAPER_SIZES};
+use busarb_experiments::{grid::Grid, run_cells_with, Scale};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct WorkerTiming {
+    workers: usize,
+    reps: usize,
+    min_seconds: f64,
+    mean_seconds: f64,
+    speedup_vs_serial: f64,
+}
+
+#[derive(Serialize)]
+struct BenchReport {
+    bench: String,
+    scale: String,
+    cells: usize,
+    host_parallelism: usize,
+    timings: Vec<WorkerTiming>,
+}
+
+fn parse_args() -> Result<(PathBuf, usize), String> {
+    let mut out = PathBuf::from("BENCH_sweep.json");
+    let mut reps = 3usize;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--out" => out = PathBuf::from(args.next().ok_or("--out needs a path")?),
+            "--reps" => {
+                reps = args
+                    .next()
+                    .ok_or("--reps needs a value")?
+                    .parse()
+                    .map_err(|e| format!("invalid --reps: {e}"))?;
+            }
+            other => return Err(format!("unexpected argument '{other}'")),
+        }
+    }
+    if reps == 0 {
+        return Err("--reps must be at least 1".to_string());
+    }
+    Ok((out, reps))
+}
+
+fn time_sweep(workers: usize, points: &[(u32, f64)]) -> f64 {
+    let start = Instant::now();
+    let cells = run_cells_with(workers, points.to_vec(), |(n, load)| {
+        Grid::compute_cell(n, load, Scale::Smoke)
+    });
+    let elapsed = start.elapsed().as_secs_f64();
+    assert_eq!(cells.len(), points.len());
+    elapsed
+}
+
+fn main() -> ExitCode {
+    let (out, reps) = match parse_args() {
+        Ok(v) => v,
+        Err(msg) => {
+            eprintln!("error: {msg}\nusage: bench_sweep [--out PATH] [--reps N]");
+            return ExitCode::FAILURE;
+        }
+    };
+    let points: Vec<(u32, f64)> = PAPER_SIZES
+        .iter()
+        .flat_map(|&n| paper_loads(n).into_iter().map(move |load| (n, load)))
+        .collect();
+    let host_parallelism = std::thread::available_parallelism().map_or(1, std::num::NonZero::get);
+
+    // One untimed warm-up sweep so first-touch costs (page faults, lazy
+    // statics) don't land on the serial baseline.
+    let _ = time_sweep(1, &points);
+
+    let mut timings = Vec::new();
+    let mut serial_min = f64::NAN;
+    for workers in [1usize, 2, 4, 8] {
+        let samples: Vec<f64> = (0..reps).map(|_| time_sweep(workers, &points)).collect();
+        let min = samples.iter().copied().fold(f64::INFINITY, f64::min);
+        let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+        if workers == 1 {
+            serial_min = min;
+        }
+        let timing = WorkerTiming {
+            workers,
+            reps,
+            min_seconds: min,
+            mean_seconds: mean,
+            speedup_vs_serial: serial_min / min,
+        };
+        eprintln!(
+            "workers {:>2}: min {:.3}s mean {:.3}s speedup {:.2}x",
+            workers, timing.min_seconds, timing.mean_seconds, timing.speedup_vs_serial
+        );
+        timings.push(timing);
+    }
+
+    let report = BenchReport {
+        bench: "grid_sweep_smoke".to_string(),
+        scale: "smoke".to_string(),
+        cells: points.len(),
+        host_parallelism,
+        timings,
+    };
+    match serde_json::to_string_pretty(&report) {
+        Ok(json) => {
+            if let Err(e) = std::fs::write(&out, json + "\n") {
+                eprintln!("error: cannot write {}: {e}", out.display());
+                return ExitCode::FAILURE;
+            }
+            eprintln!("wrote {}", out.display());
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("error: cannot serialize report: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,6 +1,8 @@
 //! The distributed maximum-finding settle dynamics.
 
 use core::fmt;
+use core::hash::{Hash, Hasher};
+use std::sync::Mutex;
 
 /// How the arbitration lines resolve contention.
 #[derive(Clone, Copy, Default, PartialEq, Eq, Hash, Debug)]
@@ -70,10 +72,48 @@ pub struct Resolution {
 /// assert_eq!(r.winner_value, 0b1001);
 /// assert!(r.rounds <= 4);
 /// ```
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+#[derive(Debug)]
 pub struct ParallelContention {
     width: u32,
     discipline: LineDiscipline,
+    /// Reusable per-round pattern buffer: `settle` is the innermost loop of
+    /// every simulated arbitration, and re-allocating one `Vec` per resolve
+    /// dominated its profile. The buffer grows to the competitor count once
+    /// and is reused for every subsequent resolve (zero steady-state heap
+    /// traffic). The `Mutex` keeps `resolve(&self)` — the arbiter is
+    /// logically immutable hardware and must stay `Sync`; the scratch space
+    /// is not part of its identity, and the lock is never contended
+    /// (resolves are serialized by the borrow of the owning system).
+    scratch: Mutex<Vec<u64>>,
+}
+
+/// The scratch buffer is transient (and `Mutex` is not `Clone`): a clone
+/// is a fresh arbiter with the same hardware configuration.
+impl Clone for ParallelContention {
+    fn clone(&self) -> Self {
+        ParallelContention {
+            width: self.width,
+            discipline: self.discipline,
+            scratch: Mutex::new(Vec::new()),
+        }
+    }
+}
+
+/// Identity is the hardware configuration (width, discipline); the scratch
+/// buffer is transient state and excluded.
+impl PartialEq for ParallelContention {
+    fn eq(&self, other: &Self) -> bool {
+        self.width == other.width && self.discipline == other.discipline
+    }
+}
+
+impl Eq for ParallelContention {}
+
+impl Hash for ParallelContention {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        self.width.hash(state);
+        self.discipline.hash(state);
+    }
 }
 
 impl ParallelContention {
@@ -92,6 +132,7 @@ impl ParallelContention {
         ParallelContention {
             width,
             discipline: LineDiscipline::FullBroadcast,
+            scratch: Mutex::new(Vec::new()),
         }
     }
 
@@ -167,8 +208,11 @@ impl ParallelContention {
 
     /// Iterates the withdraw/reapply dynamics to a fixpoint.
     fn settle(&self, competitors: &[u64], mut trace: Option<&mut Vec<u64>>) -> Resolution {
-        // Round 0: every competitor applies its full pattern.
-        let mut applied: Vec<u64> = competitors.to_vec();
+        // Round 0: every competitor applies its full pattern (into the
+        // reusable scratch buffer; see the field comment).
+        let mut applied = self.scratch.lock().expect("scratch lock poisoned");
+        applied.clear();
+        applied.extend_from_slice(competitors);
         let mut lines: u64 = applied.iter().fold(0, |acc, &p| acc | p);
         if let Some(t) = trace.as_deref_mut() {
             t.push(lines);

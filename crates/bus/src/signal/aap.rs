@@ -47,6 +47,9 @@ pub struct Aap1System {
     asserting: AgentSet,
     /// Agents holding a request, waiting for the line to drop.
     deferred: AgentSet,
+    /// Reusable competitor-pattern buffer so steady-state arbitration
+    /// performs no heap allocation.
+    scratch: Vec<u64>,
 }
 
 impl Aap1System {
@@ -64,6 +67,7 @@ impl Aap1System {
             contention: ParallelContention::new(layout.width()),
             asserting: AgentSet::new(),
             deferred: AgentSet::new(),
+            scratch: Vec::new(),
         })
     }
 
@@ -99,12 +103,15 @@ impl SignalProtocol for Aap1System {
         if self.asserting.is_empty() {
             return None;
         }
-        let competitors: Vec<u64> = self
-            .asserting
-            .iter()
-            .map(|id| self.layout.compose(ArbitrationNumber::new(id)))
-            .collect();
+        let mut competitors = core::mem::take(&mut self.scratch);
+        competitors.clear();
+        competitors.extend(
+            self.asserting
+                .iter()
+                .map(|id| self.layout.compose(ArbitrationNumber::new(id))),
+        );
         let resolution = self.contention.resolve(&competitors);
+        self.scratch = competitors;
         let winner = self
             .layout
             .decode_id(resolution.winner_value)
@@ -160,6 +167,9 @@ pub struct Aap2System {
     /// fairness-release cycle).
     inhibited: AgentSet,
     releases: u64,
+    /// Reusable competitor-pattern buffer so steady-state arbitration
+    /// performs no heap allocation.
+    scratch: Vec<u64>,
 }
 
 impl Aap2System {
@@ -178,6 +188,7 @@ impl Aap2System {
             requesting: AgentSet::new(),
             inhibited: AgentSet::new(),
             releases: 0,
+            scratch: Vec::new(),
         })
     }
 
@@ -222,11 +233,15 @@ impl SignalProtocol for Aap2System {
             arbitrations = 2;
             eligible = self.requesting;
         }
-        let competitors: Vec<u64> = eligible
-            .iter()
-            .map(|id| self.layout.compose(ArbitrationNumber::new(id)))
-            .collect();
+        let mut competitors = core::mem::take(&mut self.scratch);
+        competitors.clear();
+        competitors.extend(
+            eligible
+                .iter()
+                .map(|id| self.layout.compose(ArbitrationNumber::new(id))),
+        );
         let resolution = self.contention.resolve(&competitors);
+        self.scratch = competitors;
         let winner = self
             .layout
             .decode_id(resolution.winner_value)

@@ -46,6 +46,9 @@ pub struct Fcfs1System {
     requesting: AgentSet,
     counters: Vec<u64>,
     policy: CounterPolicy,
+    /// Reusable competitor-pattern buffer so steady-state arbitration
+    /// performs no heap allocation.
+    scratch: Vec<u64>,
 }
 
 impl Fcfs1System {
@@ -81,6 +84,7 @@ impl Fcfs1System {
             requesting: AgentSet::new(),
             counters: vec![0; n as usize],
             policy,
+            scratch: Vec::new(),
         })
     }
 
@@ -117,15 +121,14 @@ impl SignalProtocol for Fcfs1System {
         if self.requesting.is_empty() {
             return None;
         }
-        let competitors: Vec<u64> = self
-            .requesting
-            .iter()
-            .map(|id| {
-                self.layout
-                    .compose(ArbitrationNumber::new(id).with_counter(self.counters[id.index()]))
-            })
-            .collect();
+        let mut competitors = core::mem::take(&mut self.scratch);
+        competitors.clear();
+        competitors.extend(self.requesting.iter().map(|id| {
+            self.layout
+                .compose(ArbitrationNumber::new(id).with_counter(self.counters[id.index()]))
+        }));
         let resolution = self.contention.resolve(&competitors);
+        self.scratch = competitors;
         let winner = self
             .layout
             .decode_id(resolution.winner_value)

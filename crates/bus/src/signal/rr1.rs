@@ -45,6 +45,9 @@ pub struct Rr1System {
     /// arbitration's broadcast winner (the protocol self-heals; see
     /// [`Rr1System::corrupt_register`]).
     winner_registers: Vec<u32>,
+    /// Reusable competitor-pattern buffer so steady-state arbitration
+    /// performs no heap allocation.
+    scratch: Vec<u64>,
 }
 
 impl Rr1System {
@@ -64,6 +67,7 @@ impl Rr1System {
             // Initial register value N+1: every identity is "below" it, so
             // the first arbitration is a plain maximum among competitors.
             winner_registers: vec![n + 1; n as usize],
+            scratch: Vec::new(),
         })
     }
 
@@ -134,16 +138,15 @@ impl SignalProtocol for Rr1System {
         if self.requesting.is_empty() {
             return None;
         }
-        let competitors: Vec<u64> = self
-            .requesting
-            .iter()
-            .map(|id| {
-                // Each competitor consults ITS OWN register copy.
-                let rr = id.get() < self.winner_registers[id.index()];
-                self.layout.compose(ArbitrationNumber::new(id).with_rr(rr))
-            })
-            .collect();
+        let mut competitors = core::mem::take(&mut self.scratch);
+        competitors.clear();
+        competitors.extend(self.requesting.iter().map(|id| {
+            // Each competitor consults ITS OWN register copy.
+            let rr = id.get() < self.winner_registers[id.index()];
+            self.layout.compose(ArbitrationNumber::new(id).with_rr(rr))
+        }));
         let resolution = self.contention.resolve(&competitors);
+        self.scratch = competitors;
         let winner = self
             .layout
             .decode_id(resolution.winner_value)

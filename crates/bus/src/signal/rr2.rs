@@ -36,6 +36,9 @@ pub struct Rr2System {
     contention: ParallelContention,
     requesting: AgentSet,
     last_winner: u32,
+    /// Reusable competitor-pattern buffer so steady-state arbitration
+    /// performs no heap allocation.
+    scratch: Vec<u64>,
 }
 
 impl Rr2System {
@@ -53,6 +56,7 @@ impl Rr2System {
             contention: ParallelContention::new(layout.width()),
             requesting: AgentSet::new(),
             last_winner: n + 1,
+            scratch: Vec::new(),
         })
     }
 
@@ -97,11 +101,15 @@ impl SignalProtocol for Rr2System {
         } else {
             self.requesting
         };
-        let competitors: Vec<u64> = eligible
-            .iter()
-            .map(|id| self.layout.compose(ArbitrationNumber::new(id)))
-            .collect();
+        let mut competitors = core::mem::take(&mut self.scratch);
+        competitors.clear();
+        competitors.extend(
+            eligible
+                .iter()
+                .map(|id| self.layout.compose(ArbitrationNumber::new(id))),
+        );
         let resolution = self.contention.resolve(&competitors);
+        self.scratch = competitors;
         let winner = self
             .layout
             .decode_id(resolution.winner_value)

@@ -42,6 +42,9 @@ pub struct Rr3System {
     requesting: AgentSet,
     last_winner: u32,
     empty_arbitrations: u64,
+    /// Reusable competitor-pattern buffer so steady-state arbitration
+    /// performs no heap allocation.
+    scratch: Vec<u64>,
 }
 
 impl Rr3System {
@@ -60,6 +63,7 @@ impl Rr3System {
             requesting: AgentSet::new(),
             last_winner: n + 1,
             empty_arbitrations: 0,
+            scratch: Vec::new(),
         })
     }
 
@@ -78,13 +82,16 @@ impl Rr3System {
 
     /// Runs one line arbitration among requesters below the register.
     fn arbitrate_below(&mut self) -> (u64, u32) {
-        let eligible: Vec<u64> = self
-            .requesting
-            .iter()
-            .filter(|id| id.get() < self.last_winner)
-            .map(|id| self.layout.compose(ArbitrationNumber::new(id)))
-            .collect();
+        let mut eligible = core::mem::take(&mut self.scratch);
+        eligible.clear();
+        eligible.extend(
+            self.requesting
+                .iter()
+                .filter(|id| id.get() < self.last_winner)
+                .map(|id| self.layout.compose(ArbitrationNumber::new(id))),
+        );
         let r = self.contention.resolve(&eligible);
+        self.scratch = eligible;
         (r.winner_value, r.rounds)
     }
 }

@@ -1,0 +1,107 @@
+//! Allocation regression: steady-state arbitration must not touch the
+//! heap.
+//!
+//! `ParallelContention::settle` and every signal system's competitor
+//! collection run once per simulated arbitration — the hot path of the
+//! whole simulator. Each keeps a reusable scratch buffer that grows to
+//! the competitor count once and is then reused, so after a warm-up
+//! resolve the steady-state path performs zero heap allocations. This
+//! test pins that with a counting global allocator.
+//!
+//! All checks live in ONE `#[test]` function: the test harness runs tests
+//! on separate threads, and a concurrently running test would perturb the
+//! process-wide allocation counter.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use busarb_bus::signal::{
+    Aap1System, Aap2System, Fcfs1System, Fcfs2System, Rr1System, Rr2System, Rr3System,
+    SignalProtocol,
+};
+use busarb_bus::ParallelContention;
+use busarb_types::AgentId;
+
+struct CountingAllocator;
+
+static ALLOCATIONS: AtomicUsize = AtomicUsize::new(0);
+
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAllocator = CountingAllocator;
+
+/// Heap allocations performed while running `f`.
+fn allocations_in(f: impl FnOnce()) -> usize {
+    let before = ALLOCATIONS.load(Ordering::Relaxed);
+    f();
+    ALLOCATIONS.load(Ordering::Relaxed) - before
+}
+
+/// Warms a signal system (the scratch buffer grows to the largest
+/// competitor set it sees — for the AAP systems that takes a full batch
+/// cycle, since the first batch can be a single agent), then counts
+/// allocations across a saturated grant loop in which every winner
+/// immediately re-requests.
+fn steady_state_allocations(sys: &mut dyn SignalProtocol, n: u32, grants: usize) -> usize {
+    let ids: Vec<AgentId> = AgentId::all(n).collect();
+    sys.on_requests(&ids);
+    for _ in 0..2 * n {
+        let out = sys.arbitrate().expect("saturated system grants");
+        sys.on_requests(&[out.winner]);
+    }
+    allocations_in(|| {
+        for _ in 0..grants {
+            let out = sys.arbitrate().expect("saturated system grants");
+            sys.on_requests(&[out.winner]);
+        }
+    })
+}
+
+#[test]
+fn steady_state_arbitration_does_not_allocate() {
+    // Raw settle dynamics: after one warm-up resolve the scratch buffer
+    // holds enough capacity for any same-size competitor set.
+    let arbiter = ParallelContention::new(7);
+    let sets: Vec<Vec<u64>> = (0..64u64)
+        .map(|i| vec![i & 0x7f, (i * 37) & 0x7f, (i * 91) & 0x7f])
+        .collect();
+    let _ = arbiter.resolve(&sets[0]);
+    let allocs = allocations_in(|| {
+        for set in &sets {
+            let _ = arbiter.resolve(set);
+        }
+    });
+    assert_eq!(allocs, 0, "ParallelContention::resolve allocated");
+
+    // Every signal-level protocol system, saturated at 32 agents.
+    let n = 32;
+    let mut systems: Vec<Box<dyn SignalProtocol>> = vec![
+        Box::new(Rr1System::new(n).unwrap()),
+        Box::new(Rr2System::new(n).unwrap()),
+        Box::new(Rr3System::new(n).unwrap()),
+        Box::new(Fcfs1System::new(n).unwrap()),
+        Box::new(Fcfs2System::new(n).unwrap()),
+        Box::new(Aap1System::new(n).unwrap()),
+        Box::new(Aap2System::new(n).unwrap()),
+    ];
+    for sys in &mut systems {
+        let name = sys.name();
+        let allocs = steady_state_allocations(sys.as_mut(), n, 256);
+        assert_eq!(allocs, 0, "{name}: steady-state arbitration allocated");
+    }
+}

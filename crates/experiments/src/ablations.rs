@@ -28,7 +28,7 @@ use busarb_types::Time;
 use busarb_workload::Scenario;
 use serde::Serialize;
 
-use crate::common::{run_cell, EstimateJson, Scale};
+use crate::common::{run_cell, run_cells, EstimateJson, Scale};
 
 /// A (label, metrics) row shared by the ablation tables.
 #[derive(Clone, Debug, Serialize)]
@@ -79,31 +79,36 @@ fn row(label: impl Into<String>, n: u32, report: &RunReport) -> AblationRow {
 pub fn counter_bits(scale: Scale) -> Ablation {
     let n = 30u32;
     let scenario = Scenario::equal_load(n, 2.0, 1.0).expect("valid scenario");
-    let mut rows = Vec::new();
-    for bits in 1..=6 {
-        let config = FcfsConfig {
-            counter_bits: bits,
-            ..FcfsConfig::for_agents(n, CounterStrategy::PerArrival)
-        };
-        let arbiter: Box<dyn Arbiter> =
-            Box::new(DistributedFcfs::with_config(n, config).expect("valid config"));
-        let report = run_cell(
-            scenario.clone(),
-            arbiter,
-            scale,
-            &format!("abl-bits-{bits}"),
-            false,
-        );
-        rows.push(row(format!("{bits} counter bit(s)"), n, &report));
-    }
-    let central = run_cell(
-        scenario,
-        ProtocolKind::CentralFcfs.build(n).expect("valid size"),
-        scale,
-        "abl-bits-central",
-        false,
-    );
-    rows.push(row("central FCFS (ideal)", n, &central));
+    // `None` is the central-FCFS reference row; `Some(bits)` the sweep.
+    let points: Vec<Option<u32>> = (1..=6).map(Some).chain([None]).collect();
+    let rows = run_cells(points, |point| match point {
+        Some(bits) => {
+            let config = FcfsConfig {
+                counter_bits: bits,
+                ..FcfsConfig::for_agents(n, CounterStrategy::PerArrival)
+            };
+            let arbiter: Box<dyn Arbiter> =
+                Box::new(DistributedFcfs::with_config(n, config).expect("valid config"));
+            let report = run_cell(
+                scenario.clone(),
+                arbiter,
+                scale,
+                &format!("abl-bits-{bits}"),
+                false,
+            );
+            row(format!("{bits} counter bit(s)"), n, &report)
+        }
+        None => {
+            let central = run_cell(
+                scenario.clone(),
+                ProtocolKind::CentralFcfs.build(n).expect("valid size"),
+                scale,
+                "abl-bits-central",
+                false,
+            );
+            row("central FCFS (ideal)", n, &central)
+        }
+    });
     Ablation {
         name: "ablation.counters".to_string(),
         setting: "30 agents, load 2.0, cv 1.0, FCFS-2".to_string(),
@@ -117,8 +122,8 @@ pub fn counter_bits(scale: Scale) -> Ablation {
 pub fn tie_window(scale: Scale) -> Ablation {
     let n = 30u32;
     let scenario = Scenario::equal_load(n, 2.0, 1.0).expect("valid scenario");
-    let mut rows = Vec::new();
-    for window in [0.0, 0.01, 0.05, 0.1, 0.25, 0.5, 1.0] {
+    let windows = vec![0.0, 0.01, 0.05, 0.1, 0.25, 0.5, 1.0];
+    let rows = run_cells(windows, |window| {
         let config = FcfsConfig {
             tie_window: Time::from(window),
             ..FcfsConfig::for_agents(n, CounterStrategy::PerArrival)
@@ -132,8 +137,8 @@ pub fn tie_window(scale: Scale) -> Ablation {
             &format!("abl-window-{window}"),
             false,
         );
-        rows.push(row(format!("window {window}"), n, &report));
-    }
+        row(format!("window {window}"), n, &report)
+    });
     Ablation {
         name: "ablation.window".to_string(),
         setting: "30 agents, load 2.0, cv 1.0, FCFS-2".to_string(),
@@ -147,27 +152,30 @@ pub fn tie_window(scale: Scale) -> Ablation {
 #[must_use]
 pub fn rr3_overhead(scale: Scale) -> Ablation {
     let n = 10u32;
-    let mut rows = Vec::new();
-    for load in [0.25, 0.5, 1.0, 2.0, 5.0] {
+    let points: Vec<(f64, &str, RrImplementation)> = [0.25, 0.5, 1.0, 2.0, 5.0]
+        .iter()
+        .flat_map(|&load| {
+            [
+                (load, "rr-1", RrImplementation::PriorityBit),
+                (load, "rr-3", RrImplementation::NoExtraLine),
+            ]
+        })
+        .collect();
+    let rows = run_cells(points, |(load, label, implementation)| {
         let scenario = Scenario::equal_load(n, load, 1.0).expect("valid scenario");
-        for (label, implementation) in [
-            ("rr-1", RrImplementation::PriorityBit),
-            ("rr-3", RrImplementation::NoExtraLine),
-        ] {
-            let arbiter: Box<dyn Arbiter> = Box::new(
-                busarb_core::DistributedRoundRobin::with_implementation(n, implementation)
-                    .expect("valid size"),
-            );
-            let report = run_cell(
-                scenario.clone(),
-                arbiter,
-                scale,
-                &format!("abl-rr3-{label}-{load}"),
-                false,
-            );
-            rows.push(row(format!("{label} @ load {load}"), n, &report));
-        }
-    }
+        let arbiter: Box<dyn Arbiter> = Box::new(
+            busarb_core::DistributedRoundRobin::with_implementation(n, implementation)
+                .expect("valid size"),
+        );
+        let report = run_cell(
+            scenario,
+            arbiter,
+            scale,
+            &format!("abl-rr3-{label}-{load}"),
+            false,
+        );
+        row(format!("{label} @ load {load}"), n, &report)
+    });
     Ablation {
         name: "ablation.rr3".to_string(),
         setting: "10 agents, cv 1.0, RR-1 vs RR-3".to_string(),
@@ -181,26 +189,29 @@ pub fn rr3_overhead(scale: Scale) -> Ablation {
 pub fn start_rule(scale: Scale) -> Ablation {
     use busarb_sim::{ArbitrationStartRule, Simulation, SystemConfig};
     let n = 10u32;
-    let mut rows = Vec::new();
-    for load in [0.25, 1.0, 2.5] {
+    let points: Vec<(f64, &str, ArbitrationStartRule)> = [0.25, 1.0, 2.5]
+        .iter()
+        .flat_map(|&load| {
+            [
+                (load, "greedy", ArbitrationStartRule::Greedy),
+                (load, "aligned", ArbitrationStartRule::TransactionAligned),
+            ]
+        })
+        .collect();
+    let rows = run_cells(points, |(load, label, rule)| {
         let scenario = Scenario::equal_load(n, load, 1.0).expect("valid scenario");
-        for (label, rule) in [
-            ("greedy", ArbitrationStartRule::Greedy),
-            ("aligned", ArbitrationStartRule::TransactionAligned),
-        ] {
-            let config = SystemConfig::new(scenario.clone())
-                .with_batches(scale.batches())
-                .with_warmup(scale.warmup())
-                .with_seed(crate::common::seed_for(&format!(
-                    "abl-start-{label}-{load}"
-                )))
-                .with_start_rule(rule);
-            let report = Simulation::new(config)
-                .expect("valid config")
-                .run(ProtocolKind::RoundRobin.build(n).expect("valid size"));
-            rows.push(row(format!("{label} @ load {load}"), n, &report));
-        }
-    }
+        let config = SystemConfig::new(scenario)
+            .with_batches(scale.batches())
+            .with_warmup(scale.warmup())
+            .with_seed(crate::common::seed_for(&format!(
+                "abl-start-{label}-{load}"
+            )))
+            .with_start_rule(rule);
+        let report = Simulation::new(config)
+            .expect("valid config")
+            .run(ProtocolKind::RoundRobin.build(n).expect("valid size"));
+        row(format!("{label} @ load {load}"), n, &report)
+    });
     Ablation {
         name: "ablation.start-rule".to_string(),
         setting: "10 agents, cv 1.0, RR".to_string(),
@@ -215,21 +226,22 @@ pub fn start_rule(scale: Scale) -> Ablation {
 pub fn overhead(scale: Scale) -> Ablation {
     use busarb_sim::{Simulation, SystemConfig};
     let n = 10u32;
-    let mut rows = Vec::new();
-    for load in [0.25, 1.0, 2.5] {
+    let points: Vec<(f64, f64)> = [0.25, 1.0, 2.5]
+        .iter()
+        .flat_map(|&load| [0.0, 0.25, 0.5, 0.75, 1.0].map(|a| (load, a)))
+        .collect();
+    let rows = run_cells(points, |(load, a)| {
         let scenario = Scenario::equal_load(n, load, 1.0).expect("valid scenario");
-        for a in [0.0, 0.25, 0.5, 0.75, 1.0] {
-            let config = SystemConfig::new(scenario.clone())
-                .with_batches(scale.batches())
-                .with_warmup(scale.warmup())
-                .with_seed(crate::common::seed_for(&format!("abl-ovh-{a}-{load}")))
-                .with_arbitration_overhead(Time::from(a));
-            let report = Simulation::new(config)
-                .expect("valid config")
-                .run(ProtocolKind::RoundRobin.build(n).expect("valid size"));
-            rows.push(row(format!("overhead {a} @ load {load}"), n, &report));
-        }
-    }
+        let config = SystemConfig::new(scenario)
+            .with_batches(scale.batches())
+            .with_warmup(scale.warmup())
+            .with_seed(crate::common::seed_for(&format!("abl-ovh-{a}-{load}")))
+            .with_arbitration_overhead(Time::from(a));
+        let report = Simulation::new(config)
+            .expect("valid config")
+            .run(ProtocolKind::RoundRobin.build(n).expect("valid size"));
+        row(format!("overhead {a} @ load {load}"), n, &report)
+    });
     Ablation {
         name: "ablation.overhead".to_string(),
         setting: "10 agents, cv 1.0, RR".to_string(),
@@ -260,32 +272,35 @@ pub fn width_overhead(scale: Scale) -> Ablation {
     // the dynamic (counter) part plus a single end-to-end propagation
     // for the static part.
     let fcfs_bp_overhead = base + per_line * (k / 2.0) + per_line;
-    let mut rows = Vec::new();
-    for load in [0.25, 1.0, 2.5] {
+    let points: Vec<(f64, String, ProtocolKind, OverheadModel)> = [0.25, 1.0, 2.5]
+        .iter()
+        .flat_map(|&load| {
+            [
+                (load, "rr (full lines)".to_string(), ProtocolKind::RoundRobin, scaled),
+                (load, "fcfs-1 (full lines)".to_string(), ProtocolKind::Fcfs1, scaled),
+                (
+                    load,
+                    "fcfs-1 (binary-patterned static)".to_string(),
+                    ProtocolKind::Fcfs1,
+                    OverheadModel::Fixed(Time::from(fcfs_bp_overhead)),
+                ),
+            ]
+        })
+        .collect();
+    let rows = run_cells(points, |(load, label, kind, model)| {
         let scenario = Scenario::equal_load(n, load, 1.0).expect("valid scenario");
-        let cases: Vec<(String, ProtocolKind, OverheadModel)> = vec![
-            ("rr (full lines)".into(), ProtocolKind::RoundRobin, scaled),
-            ("fcfs-1 (full lines)".into(), ProtocolKind::Fcfs1, scaled),
-            (
-                "fcfs-1 (binary-patterned static)".into(),
-                ProtocolKind::Fcfs1,
-                OverheadModel::Fixed(Time::from(fcfs_bp_overhead)),
-            ),
-        ];
-        for (label, kind, model) in cases {
-            let config = SystemConfig::new(scenario.clone())
-                .with_batches(scale.batches())
-                .with_warmup(scale.warmup())
-                .with_seed(crate::common::seed_for(&format!(
-                    "abl-width-{label}-{load}"
-                )))
-                .with_overhead_model(model);
-            let report = Simulation::new(config)
-                .expect("valid config")
-                .run(kind.build(n).expect("valid size"));
-            rows.push(row(format!("{label} @ load {load}"), n, &report));
-        }
-    }
+        let config = SystemConfig::new(scenario)
+            .with_batches(scale.batches())
+            .with_warmup(scale.warmup())
+            .with_seed(crate::common::seed_for(&format!(
+                "abl-width-{label}-{load}"
+            )))
+            .with_overhead_model(model);
+        let report = Simulation::new(config)
+            .expect("valid config")
+            .run(kind.build(n).expect("valid size"));
+        row(format!("{label} @ load {load}"), n, &report)
+    });
     Ablation {
         name: "ablation.width-overhead".to_string(),
         setting: format!(
@@ -301,32 +316,29 @@ pub fn width_overhead(scale: Scale) -> Ablation {
 #[must_use]
 pub fn hybrid(scale: Scale) -> Ablation {
     let n = 16u32;
-    let mut rows = Vec::new();
-    for cv in [0.0, 1.0] {
+    // Arbiters are built inside each cell: `Box<dyn Arbiter>` need not
+    // cross threads.
+    let points: Vec<(f64, &str)> = [0.0, 1.0]
+        .iter()
+        .flat_map(|&cv| ["rr", "fcfs-2", "hybrid", "adaptive"].map(|label| (cv, label)))
+        .collect();
+    let rows = run_cells(points, |(cv, label)| {
         let scenario = Scenario::equal_load(n, 2.0, cv).expect("valid scenario");
-        let arbiters: Vec<(&str, Box<dyn Arbiter>)> = vec![
-            ("rr", ProtocolKind::RoundRobin.build(n).expect("valid size")),
-            ("fcfs-2", ProtocolKind::Fcfs2.build(n).expect("valid size")),
-            (
-                "hybrid",
-                Box::new(HybridRrFcfs::new(n).expect("valid size")),
-            ),
-            (
-                "adaptive",
-                Box::new(busarb_core::AdaptiveArbiter::new(n).expect("valid size")),
-            ),
-        ];
-        for (label, arbiter) in arbiters {
-            let report = run_cell(
-                scenario.clone(),
-                arbiter,
-                scale,
-                &format!("abl-hybrid-{label}-{cv}"),
-                false,
-            );
-            rows.push(row(format!("{label} @ cv {cv}"), n, &report));
-        }
-    }
+        let arbiter: Box<dyn Arbiter> = match label {
+            "rr" => ProtocolKind::RoundRobin.build(n).expect("valid size"),
+            "fcfs-2" => ProtocolKind::Fcfs2.build(n).expect("valid size"),
+            "hybrid" => Box::new(HybridRrFcfs::new(n).expect("valid size")),
+            _ => Box::new(busarb_core::AdaptiveArbiter::new(n).expect("valid size")),
+        };
+        let report = run_cell(
+            scenario,
+            arbiter,
+            scale,
+            &format!("abl-hybrid-{label}-{cv}"),
+            false,
+        );
+        row(format!("{label} @ cv {cv}"), n, &report)
+    });
     Ablation {
         name: "hybrid".to_string(),
         setting: "16 agents, load 2.0".to_string(),
@@ -340,19 +352,16 @@ pub fn hybrid(scale: Scale) -> Ablation {
 pub fn conservation(scale: Scale) -> Ablation {
     let n = 10u32;
     let scenario = Scenario::equal_load(n, 1.5, 1.0).expect("valid scenario");
-    let rows = ProtocolKind::work_conserving()
-        .iter()
-        .map(|&kind| {
-            let report = run_cell(
-                scenario.clone(),
-                kind.build(n).expect("valid size"),
-                scale,
-                &format!("abl-cons-{kind}"),
-                false,
-            );
-            row(kind.to_string(), n, &report)
-        })
-        .collect();
+    let rows = run_cells(ProtocolKind::work_conserving().to_vec(), |kind| {
+        let report = run_cell(
+            scenario.clone(),
+            kind.build(n).expect("valid size"),
+            scale,
+            &format!("abl-cons-{kind}"),
+            false,
+        );
+        row(kind.to_string(), n, &report)
+    });
     Ablation {
         name: "conservation".to_string(),
         setting: "10 agents, load 1.5, cv 1.0".to_string(),

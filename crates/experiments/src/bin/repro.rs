@@ -2,7 +2,7 @@
 //! (ISCA 1988).
 //!
 //! ```text
-//! repro [--scale paper|quick|smoke] [--json DIR] <command>
+//! repro [--scale paper|quick|smoke] [--json DIR] [--jobs N] <command>
 //!
 //! commands:
 //!   table4.1            bandwidth allocation, equal request rates
@@ -41,12 +41,14 @@ use serde::Serialize;
 struct Options {
     scale: Scale,
     json_dir: Option<PathBuf>,
+    jobs: usize,
     command: String,
 }
 
 fn parse_args() -> Result<Options, String> {
     let mut scale = Scale::Paper;
     let mut json_dir = None;
+    let mut jobs = 0;
     let mut command = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -60,6 +62,12 @@ fn parse_args() -> Result<Options, String> {
                 let value = args.next().ok_or("--json needs a directory")?;
                 json_dir = Some(PathBuf::from(value));
             }
+            "--jobs" => {
+                let value = args.next().ok_or("--jobs needs a value")?;
+                jobs = value
+                    .parse()
+                    .map_err(|e| format!("invalid --jobs '{value}': {e}"))?;
+            }
             "--help" | "-h" => return Err(String::new()),
             other if command.is_none() => command = Some(other.to_string()),
             other => return Err(format!("unexpected argument '{other}'")),
@@ -68,12 +76,13 @@ fn parse_args() -> Result<Options, String> {
     Ok(Options {
         scale,
         json_dir,
+        jobs,
         command: command.ok_or("missing command; try --help")?,
     })
 }
 
 fn usage() -> &'static str {
-    "usage: repro [--scale paper|quick|smoke] [--json DIR] <command>\n\
+    "usage: repro [--scale paper|quick|smoke] [--json DIR] [--jobs N] <command>\n\
      commands: table4.1 table4.2 fig4.1 table4.3 table4.4 table4.5\n\
      \u{20}         ablation.counters ablation.window ablation.rr3\n\
      \u{20}         ablation.start-rule ablation.overhead ablation.width-overhead\n\
@@ -119,10 +128,12 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    busarb_experiments::set_jobs(opts.jobs);
     eprintln!("scale: {} ({} samples per run)", opts.scale, {
         let b = opts.scale.batches();
         b.total_samples()
     });
+    eprintln!("jobs: {}", busarb_experiments::jobs());
 
     match opts.command.as_str() {
         "table4.1" => {

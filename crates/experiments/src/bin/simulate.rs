@@ -17,6 +17,7 @@
 //!   --overhead A       arbitration overhead (default 0.5)
 //!   --trace K          print the first K trace events
 //!   --compare          run ALL protocols on the scenario instead of one
+//!   --jobs N           worker threads for --compare (0 = all cores)
 //!
 //! scenario variants (default: equal loads):
 //!   --boost FACTOR     agent 1 offers FACTOR x the common load (Table 4.4)
@@ -55,6 +56,7 @@ struct Options {
     overhead: f64,
     trace: usize,
     compare: bool,
+    jobs: usize,
     variant: Variant,
 }
 
@@ -72,6 +74,7 @@ impl Default for Options {
             overhead: 0.5,
             trace: 0,
             compare: false,
+            jobs: 0,
             variant: Variant::EqualLoad,
         }
     }
@@ -113,6 +116,7 @@ fn parse_args() -> Result<Options, String> {
             }
             "--trace" => opts.trace = value("--trace")?.parse().map_err(|e| format!("{e}"))?,
             "--compare" => opts.compare = true,
+            "--jobs" => opts.jobs = value("--jobs")?.parse().map_err(|e| format!("{e}"))?,
             "--boost" => {
                 opts.variant =
                     Variant::Boost(value("--boost")?.parse().map_err(|e| format!("{e}"))?);
@@ -133,7 +137,7 @@ fn parse_args() -> Result<Options, String> {
 fn usage() -> &'static str {
     "usage: simulate [--protocol NAME] [--agents N] [--load X] [--cv C]\n\
      \u{20}               [--samples S] [--seed S] [--urgent P] [--outstanding R]\n\
-     \u{20}               [--overhead A] [--trace K] [--compare]\n\
+     \u{20}               [--overhead A] [--trace K] [--compare] [--jobs N]\n\
      \u{20}               [--boost F | --worst-case-rr | --worst-case-fcfs | --bursty B]\n\
      protocols: fixed-priority aap-1 aap-2 aap-2m rr fcfs-1 fcfs-2\n\
      \u{20}          central-rr central-fcfs hybrid adaptive rotating-rr ticket-fcfs"
@@ -221,13 +225,17 @@ fn main() -> ExitCode {
         "scenario: {} agents, total load {}, cv {}, seed {}, variant {:?}",
         opts.agents, opts.load, opts.cv, opts.seed, opts.variant
     );
+    busarb_experiments::set_jobs(opts.jobs);
     let kinds: Vec<ProtocolKind> = if opts.compare {
         ProtocolKind::all().to_vec()
     } else {
         vec![opts.protocol]
     };
-    for kind in kinds {
-        match run_one(&opts, kind) {
+    // Each protocol is an independent cell (same scenario, same seed), so
+    // --compare fans out across workers; reports print in protocol order.
+    let reports = busarb_experiments::run_cells(kinds, |kind| run_one(&opts, kind));
+    for report in reports {
+        match report {
             Ok(report) => {
                 print_report(&opts, &report);
                 if opts.trace > 0 && !opts.compare {

@@ -16,7 +16,7 @@ use busarb_core::ProtocolKind;
 use busarb_workload::{BurstyTrace, Scenario};
 use serde::Serialize;
 
-use crate::common::{run_cell, seed_for, EstimateJson, Scale};
+use crate::common::{run_cell, run_cells, seed_for, EstimateJson, Scale};
 
 /// One (burstiness, protocol) row.
 #[derive(Clone, Debug, Serialize)]
@@ -62,8 +62,14 @@ pub fn run(scale: Scale) -> Bursty {
     let n = 16u32;
     let load = 2.0;
     let per_agent_mean = 1.0 / (load / f64::from(n)) - 1.0;
-    let mut rows = Vec::new();
-    for burstiness in [1.0, 10.0, 40.0] {
+    // Trace synthesis is seeded from the burstiness tag, so re-deriving
+    // the trace inside each (burstiness, protocol) cell is deterministic
+    // and keeps the cells fully independent for the parallel fan-out.
+    let points: Vec<(f64, ProtocolKind)> = [1.0, 10.0, 40.0]
+        .iter()
+        .flat_map(|&burstiness| PROTOCOLS.map(|kind| (burstiness, kind)))
+        .collect();
+    let rows = run_cells(points, |(burstiness, kind)| {
         let config = BurstyTrace {
             burstiness,
             ..BurstyTrace::with_mean(per_agent_mean)
@@ -76,25 +82,23 @@ pub fn run(scale: Scale) -> Bursty {
             .workload(busarb_types::AgentId::new(1).expect("agent 1 exists"))
             .interrequest
             .cv();
-        for kind in PROTOCOLS {
-            let report = run_cell(
-                scenario.clone(),
-                kind.build(n).expect("valid size"),
-                scale,
-                &format!("bursty-{kind}-{burstiness}"),
-                false,
-            );
-            rows.push(Row {
-                burstiness,
-                trace_cv,
-                protocol: kind.to_string(),
-                mean_wait: report.mean_wait.into(),
-                sd_wait: report.wait_summary.std_dev(),
-                fairness_ratio: report.throughput_ratio(n, 1, 0.90).map(Into::into),
-                utilization: report.utilization,
-            });
+        let report = run_cell(
+            scenario,
+            kind.build(n).expect("valid size"),
+            scale,
+            &format!("bursty-{kind}-{burstiness}"),
+            false,
+        );
+        Row {
+            burstiness,
+            trace_cv,
+            protocol: kind.to_string(),
+            mean_wait: report.mean_wait.into(),
+            sd_wait: report.wait_summary.std_dev(),
+            fairness_ratio: report.throughput_ratio(n, 1, 0.90).map(Into::into),
+            utilization: report.utilization,
         }
-    }
+    });
     Bursty {
         agents: n,
         load,

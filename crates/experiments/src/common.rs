@@ -2,6 +2,8 @@
 
 use std::collections::hash_map::DefaultHasher;
 use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 
 use busarb_core::Arbiter;
 use busarb_sim::{RunReport, Simulation, SystemConfig};
@@ -98,6 +100,102 @@ pub fn run_cell(
         .run(arbiter)
 }
 
+/// Configured sweep parallelism: 0 means "auto" (one worker per
+/// available core).
+static JOBS: AtomicUsize = AtomicUsize::new(0);
+
+/// Sets the worker count used by [`run_cells`]. `0` restores the
+/// default of one worker per available core. Called by the `repro` and
+/// `simulate` binaries when `--jobs N` is given.
+pub fn set_jobs(n: usize) {
+    JOBS.store(n, Ordering::Relaxed);
+}
+
+/// The resolved worker count [`run_cells`] will use (always ≥ 1).
+#[must_use]
+pub fn jobs() -> usize {
+    match JOBS.load(Ordering::Relaxed) {
+        0 => std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get),
+        n => n,
+    }
+}
+
+/// Executes independent sweep cells across worker threads, preserving
+/// input order in the output.
+///
+/// Every experiment cell derives its RNG seed from [`seed_for`] on a
+/// per-cell tag, so cells are fully independent of execution order: the
+/// result vector is **identical** to a serial `map` at any worker
+/// count. Workers claim cells from a shared atomic cursor, so uneven
+/// cell costs balance automatically.
+///
+/// (The usual crate for this is rayon; this build environment is fully
+/// offline, so the fan-out is built on `std::thread::scope` instead.)
+pub fn run_cells<I, T, F>(inputs: Vec<I>, f: F) -> Vec<T>
+where
+    I: Send,
+    T: Send,
+    F: Fn(I) -> T + Sync,
+{
+    run_cells_with(jobs(), inputs, f)
+}
+
+/// [`run_cells`] with an explicit worker count (used directly by the
+/// determinism regression tests; experiments go through [`run_cells`]).
+///
+/// # Panics
+///
+/// Panics if a worker thread panics (the cell's panic is propagated).
+pub fn run_cells_with<I, T, F>(workers: usize, inputs: Vec<I>, f: F) -> Vec<T>
+where
+    I: Send,
+    T: Send,
+    F: Fn(I) -> T + Sync,
+{
+    let workers = workers.max(1).min(inputs.len().max(1));
+    if workers <= 1 {
+        return inputs.into_iter().map(f).collect();
+    }
+
+    let pending: Vec<Mutex<Option<I>>> = inputs.into_iter().map(|i| Mutex::new(Some(i))).collect();
+    let done: Vec<Mutex<Option<T>>> = pending.iter().map(|_| Mutex::new(None)).collect();
+    let cursor = AtomicUsize::new(0);
+    let f = &f;
+
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                scope.spawn(|| loop {
+                    let idx = cursor.fetch_add(1, Ordering::Relaxed);
+                    if idx >= pending.len() {
+                        return;
+                    }
+                    let input = pending[idx]
+                        .lock()
+                        .expect("cell input lock")
+                        .take()
+                        .expect("each cell is claimed exactly once");
+                    let output = f(input);
+                    *done[idx].lock().expect("cell output lock") = Some(output);
+                })
+            })
+            .collect();
+        for handle in handles {
+            if let Err(panic) = handle.join() {
+                std::panic::resume_unwind(panic);
+            }
+        }
+    });
+
+    done.into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("cell output lock")
+                .expect("every claimed cell produced output")
+        })
+        .collect()
+}
+
 /// A serializable `value ± halfwidth` estimate.
 #[derive(Clone, Copy, PartialEq, Debug, Serialize)]
 pub struct EstimateJson {
@@ -178,6 +276,32 @@ mod tests {
         );
         assert!(report.mean_wait.mean > 0.0);
         assert!(report.cdf.is_none());
+    }
+
+    #[test]
+    fn run_cells_preserves_order_at_any_worker_count() {
+        let inputs: Vec<u64> = (0..37).collect();
+        let serial: Vec<u64> = inputs.iter().map(|&x| x * x + 1).collect();
+        for workers in [1, 2, 3, 8, 64] {
+            let parallel = run_cells_with(workers, inputs.clone(), |x| x * x + 1);
+            assert_eq!(parallel, serial, "workers={workers}");
+        }
+    }
+
+    #[test]
+    fn run_cells_handles_empty_input() {
+        let out: Vec<u32> = run_cells_with(4, Vec::<u32>::new(), |x| x);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn jobs_setter_round_trips() {
+        // Restore the default afterwards: other tests in this process may
+        // consult the global.
+        set_jobs(3);
+        assert_eq!(jobs(), 3);
+        set_jobs(0);
+        assert!(jobs() >= 1);
     }
 
     #[test]

@@ -11,7 +11,7 @@ use busarb_core::{BatchingRule, ProtocolKind};
 use busarb_sim::RunReport;
 use busarb_workload::Scenario;
 
-use crate::common::{paper_loads, run_cell, Scale, PAPER_SIZES};
+use crate::common::{paper_loads, run_cell, run_cells, Scale, PAPER_SIZES};
 
 /// One (size, load) cell: matched RR and FCFS runs, plus AAP-1 for the
 /// 30-agent system (the comparison column in Table 4.1(b)).
@@ -41,14 +41,15 @@ pub struct Grid {
 impl Grid {
     /// Runs the sweep: every paper size and load, RR and FCFS-1 (plus
     /// AAP-1 at 30 agents), CV = 1 (exponential interrequest times).
+    /// Cells execute in parallel (see [`run_cells`]); every cell seeds
+    /// from its own tag, so the result is identical at any worker count.
     #[must_use]
     pub fn compute(scale: Scale) -> Grid {
-        let mut cells = Vec::new();
-        for &n in &PAPER_SIZES {
-            for &load in &paper_loads(n) {
-                cells.push(Self::compute_cell(n, load, scale));
-            }
-        }
+        let points: Vec<(u32, f64)> = PAPER_SIZES
+            .iter()
+            .flat_map(|&n| paper_loads(n).into_iter().map(move |load| (n, load)))
+            .collect();
+        let cells = run_cells(points, |(n, load)| Self::compute_cell(n, load, scale));
         Grid { cells, scale }
     }
 

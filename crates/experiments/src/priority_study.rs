@@ -34,7 +34,7 @@ use busarb_sim::{Simulation, SystemConfig};
 use busarb_workload::Scenario;
 use serde::Serialize;
 
-use crate::common::{seed_for, EstimateJson, Scale};
+use crate::common::{run_cells, seed_for, EstimateJson, Scale};
 
 /// One (urgent fraction, rule, width) row.
 #[derive(Clone, Debug, Serialize)]
@@ -73,41 +73,43 @@ pub struct PriorityStudy {
 pub fn run(scale: Scale) -> PriorityStudy {
     let n = 16u32;
     let load = 2.0;
-    let scenario = Scenario::equal_load(n, load, 1.0).expect("valid scenario");
     let paper_bits = busarb_types::AgentId::lines_required(n);
-    let mut rows = Vec::new();
+    let mut points: Vec<(f64, PriorityCounterRule, &str, u32)> = Vec::new();
     for &urgent in &[0.0, 0.25, 0.5] {
         for &(rule, rule_name) in &[
             (PriorityCounterRule::Always, "overflow"),
             (PriorityCounterRule::MatchingClassOnly, "matching-class"),
         ] {
             for &bits in &[2u32, paper_bits] {
-                let fcfs_config = FcfsConfig {
-                    counter_bits: bits,
-                    priority_rule: rule,
-                    ..FcfsConfig::for_agents(n, CounterStrategy::PerLostArbitration)
-                };
-                let arbiter: Box<dyn Arbiter> =
-                    Box::new(DistributedFcfs::with_config(n, fcfs_config).expect("valid config"));
-                let config = SystemConfig::new(scenario.clone())
-                    .with_batches(scale.batches())
-                    .with_warmup(scale.warmup())
-                    .with_seed(seed_for(&format!("prio-{urgent}-{rule_name}-{bits}")))
-                    .with_urgent_fraction(urgent);
-                let report = Simulation::new(config).expect("valid config").run(arbiter);
-                rows.push(Row {
-                    urgent_fraction: urgent,
-                    rule: rule_name.to_string(),
-                    counter_bits: bits,
-                    ordinary_wait: report.ordinary_wait.mean(),
-                    ordinary_sd: report.ordinary_wait.std_dev(),
-                    urgent_wait: (report.urgent_wait.count() > 0)
-                        .then(|| report.urgent_wait.mean()),
-                    fairness: report.throughput_ratio(n, 1, 0.90).map(Into::into),
-                });
+                points.push((urgent, rule, rule_name, bits));
             }
         }
     }
+    let rows = run_cells(points, |(urgent, rule, rule_name, bits)| {
+        let scenario = Scenario::equal_load(n, load, 1.0).expect("valid scenario");
+        let fcfs_config = FcfsConfig {
+            counter_bits: bits,
+            priority_rule: rule,
+            ..FcfsConfig::for_agents(n, CounterStrategy::PerLostArbitration)
+        };
+        let arbiter: Box<dyn Arbiter> =
+            Box::new(DistributedFcfs::with_config(n, fcfs_config).expect("valid config"));
+        let config = SystemConfig::new(scenario)
+            .with_batches(scale.batches())
+            .with_warmup(scale.warmup())
+            .with_seed(seed_for(&format!("prio-{urgent}-{rule_name}-{bits}")))
+            .with_urgent_fraction(urgent);
+        let report = Simulation::new(config).expect("valid config").run(arbiter);
+        Row {
+            urgent_fraction: urgent,
+            rule: rule_name.to_string(),
+            counter_bits: bits,
+            ordinary_wait: report.ordinary_wait.mean(),
+            ordinary_sd: report.ordinary_wait.std_dev(),
+            urgent_wait: (report.urgent_wait.count() > 0).then(|| report.urgent_wait.mean()),
+            fairness: report.throughput_ratio(n, 1, 0.90).map(Into::into),
+        }
+    });
     PriorityStudy {
         agents: n,
         load,

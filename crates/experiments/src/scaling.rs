@@ -16,7 +16,7 @@ use busarb_core::ProtocolKind;
 use busarb_workload::Scenario;
 use serde::Serialize;
 
-use crate::common::{run_cell, EstimateJson, Scale};
+use crate::common::{run_cell, run_cells, EstimateJson, Scale};
 
 /// One system-size row.
 #[derive(Clone, Debug, Serialize)]
@@ -49,34 +49,31 @@ pub const SIZES: [u32; 7] = [4, 8, 16, 24, 32, 48, 64];
 #[must_use]
 pub fn run(scale: Scale) -> Scaling {
     let load = 2.0;
-    let rows = SIZES
-        .iter()
-        .map(|&n| {
-            let scenario = Scenario::equal_load(n, load, 1.0).expect("valid scenario");
-            let rr = run_cell(
-                scenario.clone(),
-                ProtocolKind::RoundRobin.build(n).expect("valid size"),
-                scale,
-                &format!("scaling-rr-{n}"),
-                false,
-            );
-            let fcfs = run_cell(
-                scenario,
-                ProtocolKind::Fcfs1.build(n).expect("valid size"),
-                scale,
-                &format!("scaling-fcfs-{n}"),
-                false,
-            );
-            let model = BusModel::paper(n, load).expect("valid model");
-            Row {
-                agents: n,
-                mean_wait: 0.5 * (rr.mean_wait.mean + fcfs.mean_wait.mean),
-                predicted_wait: model.saturated_wait(),
-                sd_ratio: rr.wait_summary.std_dev() / fcfs.wait_summary.std_dev(),
-                fcfs_fairness: fcfs.throughput_ratio(n, 1, 0.90).map(Into::into),
-            }
-        })
-        .collect();
+    let rows = run_cells(SIZES.to_vec(), |n| {
+        let scenario = Scenario::equal_load(n, load, 1.0).expect("valid scenario");
+        let rr = run_cell(
+            scenario.clone(),
+            ProtocolKind::RoundRobin.build(n).expect("valid size"),
+            scale,
+            &format!("scaling-rr-{n}"),
+            false,
+        );
+        let fcfs = run_cell(
+            scenario,
+            ProtocolKind::Fcfs1.build(n).expect("valid size"),
+            scale,
+            &format!("scaling-fcfs-{n}"),
+            false,
+        );
+        let model = BusModel::paper(n, load).expect("valid model");
+        Row {
+            agents: n,
+            mean_wait: 0.5 * (rr.mean_wait.mean + fcfs.mean_wait.mean),
+            predicted_wait: model.saturated_wait(),
+            sd_ratio: rr.wait_summary.std_dev() / fcfs.wait_summary.std_dev(),
+            fcfs_fairness: fcfs.throughput_ratio(n, 1, 0.90).map(Into::into),
+        }
+    });
     Scaling { load, rows }
 }
 

@@ -12,7 +12,7 @@ use busarb_types::AgentId;
 use busarb_workload::Scenario;
 use serde::Serialize;
 
-use crate::common::{run_cell, EstimateJson, Scale};
+use crate::common::{run_cell, run_cells, EstimateJson, Scale};
 
 /// One load row.
 #[derive(Clone, Debug, Serialize)]
@@ -58,48 +58,49 @@ pub const BASE_LOADS: [f64; 7] = [0.25, 0.50, 1.00, 1.50, 2.00, 2.50, 5.00];
 #[must_use]
 pub fn run(scale: Scale) -> Table44 {
     let n = 30u32;
-    let boosted = AgentId::new(1).expect("agent 1 exists");
-    let sections = [2.0f64, 4.0]
-        .into_iter()
-        .map(|factor| {
-            let rows = BASE_LOADS
-                .iter()
-                .map(|&base| {
-                    let scenario = Scenario::rate_multiplied(n, base, boosted, factor, 1.0)
-                        .expect("valid scenario");
-                    let load = scenario.total_offered_load();
-                    let load_ratio = scenario.workload(boosted).offered_load()
-                        / scenario
-                            .workload(AgentId::new(2).expect("agent 2 exists"))
-                            .offered_load();
-                    let rr = run_cell(
-                        scenario.clone(),
-                        ProtocolKind::RoundRobin.build(n).expect("valid size"),
-                        scale,
-                        &format!("t44-rr-{factor}-{base}"),
-                        false,
-                    );
-                    let fcfs = run_cell(
-                        scenario,
-                        ProtocolKind::Fcfs1.build(n).expect("valid size"),
-                        scale,
-                        &format!("t44-fcfs-{factor}-{base}"),
-                        false,
-                    );
-                    Row {
-                        load,
-                        utilization: rr.utilization,
-                        load_ratio,
-                        rr: rr.throughput_ratio(1, 2, 0.90).map(Into::into),
-                        fcfs: fcfs.throughput_ratio(1, 2, 0.90).map(Into::into),
-                    }
-                })
-                .collect();
-            Section {
-                agents: n,
-                factor,
-                rows,
-            }
+    const FACTORS: [f64; 2] = [2.0, 4.0];
+    let points: Vec<(f64, f64)> = FACTORS
+        .iter()
+        .flat_map(|&factor| BASE_LOADS.iter().map(move |&base| (factor, base)))
+        .collect();
+    let mut rows = run_cells(points, |(factor, base)| {
+        let boosted = AgentId::new(1).expect("agent 1 exists");
+        let scenario =
+            Scenario::rate_multiplied(n, base, boosted, factor, 1.0).expect("valid scenario");
+        let load = scenario.total_offered_load();
+        let load_ratio = scenario.workload(boosted).offered_load()
+            / scenario
+                .workload(AgentId::new(2).expect("agent 2 exists"))
+                .offered_load();
+        let rr = run_cell(
+            scenario.clone(),
+            ProtocolKind::RoundRobin.build(n).expect("valid size"),
+            scale,
+            &format!("t44-rr-{factor}-{base}"),
+            false,
+        );
+        let fcfs = run_cell(
+            scenario,
+            ProtocolKind::Fcfs1.build(n).expect("valid size"),
+            scale,
+            &format!("t44-fcfs-{factor}-{base}"),
+            false,
+        );
+        Row {
+            load,
+            utilization: rr.utilization,
+            load_ratio,
+            rr: rr.throughput_ratio(1, 2, 0.90).map(Into::into),
+            fcfs: fcfs.throughput_ratio(1, 2, 0.90).map(Into::into),
+        }
+    })
+    .into_iter();
+    let sections = FACTORS
+        .iter()
+        .map(|&factor| Section {
+            agents: n,
+            factor,
+            rows: rows.by_ref().take(BASE_LOADS.len()).collect(),
         })
         .collect();
     Table44 { sections }

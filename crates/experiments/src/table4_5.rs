@@ -13,7 +13,7 @@ use busarb_types::AgentId;
 use busarb_workload::Scenario;
 use serde::Serialize;
 
-use crate::common::{run_cell, EstimateJson, Scale};
+use crate::common::{run_cell, run_cells, EstimateJson, Scale};
 
 /// One CV row.
 #[derive(Clone, Debug, Serialize)]
@@ -73,57 +73,68 @@ fn slow_to_other_ratio(report: &busarb_sim::RunReport, n: u32) -> Option<Estimat
     Some(Estimate::from_batch_values(&per_batch, 0.90))
 }
 
-fn section(n: u32, cvs: &[f64], scale: Scale) -> Section {
+fn row_for(n: u32, cv: f64, scale: Scale) -> Row {
     let slow = AgentId::new(1).expect("agent 1 exists");
-    let rows = cvs
-        .iter()
-        .map(|&cv| {
-            let scenario = Scenario::worst_case_rr(n, slow, cv).expect("valid scenario");
-            let load_ratio = scenario.workload(slow).offered_load()
-                / scenario
-                    .workload(AgentId::new(2).expect("agent 2 exists"))
-                    .offered_load();
-            let rr = run_cell(
-                scenario.clone(),
-                ProtocolKind::RoundRobin.build(n).expect("valid size"),
-                scale,
-                &format!("t45-rr-{n}-{cv}"),
-                false,
-            );
-            let fcfs = run_cell(
-                scenario,
-                ProtocolKind::Fcfs1.build(n).expect("valid size"),
-                scale,
-                &format!("t45-fcfs-{n}-{cv}"),
-                false,
-            );
-            Row {
-                cv,
-                load_ratio,
-                utilization: rr.utilization,
-                rr: slow_to_other_ratio(&rr, n)
-                    .expect("saturated batches are non-empty")
-                    .into(),
-                fcfs: slow_to_other_ratio(&fcfs, n)
-                    .expect("saturated batches are non-empty")
-                    .into(),
-            }
-        })
-        .collect();
+    let scenario = Scenario::worst_case_rr(n, slow, cv).expect("valid scenario");
+    let load_ratio = scenario.workload(slow).offered_load()
+        / scenario
+            .workload(AgentId::new(2).expect("agent 2 exists"))
+            .offered_load();
+    let rr = run_cell(
+        scenario.clone(),
+        ProtocolKind::RoundRobin.build(n).expect("valid size"),
+        scale,
+        &format!("t45-rr-{n}-{cv}"),
+        false,
+    );
+    let fcfs = run_cell(
+        scenario,
+        ProtocolKind::Fcfs1.build(n).expect("valid size"),
+        scale,
+        &format!("t45-fcfs-{n}-{cv}"),
+        false,
+    );
+    Row {
+        cv,
+        load_ratio,
+        utilization: rr.utilization,
+        rr: slow_to_other_ratio(&rr, n)
+            .expect("saturated batches are non-empty")
+            .into(),
+        fcfs: slow_to_other_ratio(&fcfs, n)
+            .expect("saturated batches are non-empty")
+            .into(),
+    }
+}
+
+#[cfg(test)]
+fn section(n: u32, cvs: &[f64], scale: Scale) -> Section {
+    let rows = run_cells(cvs.to_vec(), |cv| row_for(n, cv, scale));
     Section { agents: n, rows }
 }
 
 /// Runs the experiment: the full CV sweep for 10 agents and the CV = 0
-/// point for 30 and 64 agents, as in the paper.
+/// point for 30 and 64 agents, as in the paper. All nine (size, CV)
+/// cells execute in one parallel fan-out.
 #[must_use]
 pub fn run(scale: Scale) -> Table45 {
-    Table45 {
-        sections: vec![
-            section(10, &CV_SWEEP_10, scale),
-            section(30, &[0.0], scale),
-            section(64, &[0.0], scale),
-        ],
+    let points: Vec<(u32, f64)> = CV_SWEEP_10
+        .iter()
+        .map(|&cv| (10u32, cv))
+        .chain([(30, 0.0), (64, 0.0)])
+        .collect();
+    let rows = run_cells(points.clone(), |(n, cv)| row_for(n, cv, scale));
+    let mut sections: Vec<Section> = Vec::new();
+    for ((n, _), row) in points.into_iter().zip(rows) {
+        match sections.last_mut() {
+            Some(s) if s.agents == n => s.rows.push(row),
+            _ => sections.push(Section {
+                agents: n,
+                rows: vec![row],
+            }),
+        }
     }
+    Table45 { sections }
 }
 
 /// Renders the paper-style text table.

@@ -12,7 +12,7 @@ use busarb_core::ProtocolKind;
 use busarb_workload::Scenario;
 use serde::Serialize;
 
-use crate::common::{run_cell, Scale};
+use crate::common::{run_cell, run_cells, Scale};
 
 /// Percentiles for one (protocol, load) cell.
 #[derive(Clone, Debug, Serialize)]
@@ -58,30 +58,31 @@ pub const LOADS: [f64; 4] = [1.0, 1.5, 2.0, 2.5];
 #[must_use]
 pub fn run(scale: Scale) -> Tails {
     let n = 30u32;
-    let mut rows = Vec::new();
-    for &load in &LOADS {
+    let points: Vec<(f64, ProtocolKind)> = LOADS
+        .iter()
+        .flat_map(|&load| PROTOCOLS.map(|kind| (load, kind)))
+        .collect();
+    let rows = run_cells(points, |(load, kind)| {
         let scenario = Scenario::equal_load(n, load, 1.0).expect("valid scenario");
-        for kind in PROTOCOLS {
-            let report = run_cell(
-                scenario.clone(),
-                kind.build(n).expect("valid size"),
-                scale,
-                &format!("tails-{kind}-{load}"),
-                true,
-            );
-            let mut cdf = report.cdf.expect("cdf collection enabled");
-            let q = |p: f64, cdf: &mut busarb_stats::Cdf| cdf.quantile(p).unwrap_or(0.0);
-            rows.push(Row {
-                protocol: kind.to_string(),
-                load,
-                mean: report.wait_summary.mean(),
-                p50: q(0.50, &mut cdf),
-                p90: q(0.90, &mut cdf),
-                p99: q(0.99, &mut cdf),
-                max: report.wait_summary.max().unwrap_or(0.0),
-            });
+        let report = run_cell(
+            scenario,
+            kind.build(n).expect("valid size"),
+            scale,
+            &format!("tails-{kind}-{load}"),
+            true,
+        );
+        let mut cdf = report.cdf.expect("cdf collection enabled");
+        let q = |p: f64, cdf: &mut busarb_stats::Cdf| cdf.quantile(p).unwrap_or(0.0);
+        Row {
+            protocol: kind.to_string(),
+            load,
+            mean: report.wait_summary.mean(),
+            p50: q(0.50, &mut cdf),
+            p90: q(0.90, &mut cdf),
+            p99: q(0.99, &mut cdf),
+            max: report.wait_summary.max().unwrap_or(0.0),
         }
-    }
+    });
     Tails { agents: n, rows }
 }
 

@@ -1,0 +1,171 @@
+//! Offline stand-in for the subset of `serde` this workspace uses.
+//!
+//! The real `serde` cannot be fetched in this build environment, and the
+//! workspace only ever derives `Serialize` on plain structs/enums and
+//! feeds them to `serde_json::to_string{,_pretty}`. This crate models
+//! serialization as conversion to an in-memory [`Value`] tree; the
+//! companion `serde_json` shim renders that tree as JSON with the same
+//! formatting conventions as the real crate (compact `"k":v`, pretty
+//! 2-space indent, `null` for non-finite floats).
+
+pub use serde_derive::Serialize;
+
+/// An in-memory serialization tree (a superset of JSON's data model).
+#[derive(Clone, Debug, PartialEq)]
+pub enum Value {
+    /// JSON `null`.
+    Null,
+    /// JSON boolean.
+    Bool(bool),
+    /// Unsigned integer.
+    UInt(u64),
+    /// Signed integer.
+    Int(i64),
+    /// Floating-point number.
+    Float(f64),
+    /// String.
+    Str(String),
+    /// Ordered sequence.
+    Array(Vec<Value>),
+    /// Ordered key/value map (field declaration order is preserved).
+    Object(Vec<(String, Value)>),
+}
+
+/// Conversion into a [`Value`] tree. Derivable via `#[derive(Serialize)]`.
+pub trait Serialize {
+    /// Converts `self` into the serialization tree.
+    fn to_value(&self) -> Value;
+}
+
+macro_rules! impl_serialize_uint {
+    ($($ty:ty),*) => {$(
+        impl Serialize for $ty {
+            fn to_value(&self) -> Value {
+                Value::UInt(u64::from(*self))
+            }
+        }
+    )*};
+}
+
+impl_serialize_uint!(u8, u16, u32, u64);
+
+impl Serialize for usize {
+    fn to_value(&self) -> Value {
+        Value::UInt(*self as u64)
+    }
+}
+
+macro_rules! impl_serialize_int {
+    ($($ty:ty),*) => {$(
+        impl Serialize for $ty {
+            fn to_value(&self) -> Value {
+                Value::Int(i64::from(*self))
+            }
+        }
+    )*};
+}
+
+impl_serialize_int!(i8, i16, i32, i64);
+
+impl Serialize for isize {
+    fn to_value(&self) -> Value {
+        Value::Int(*self as i64)
+    }
+}
+
+impl Serialize for f32 {
+    fn to_value(&self) -> Value {
+        Value::Float(f64::from(*self))
+    }
+}
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        Value::Float(*self)
+    }
+}
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(v) => v.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<A: Serialize, B: Serialize> Serialize for (A, B) {
+    fn to_value(&self) -> Value {
+        Value::Array(vec![self.0.to_value(), self.1.to_value()])
+    }
+}
+
+impl<K: ToString, V: Serialize> Serialize for std::collections::BTreeMap<K, V> {
+    fn to_value(&self) -> Value {
+        Value::Object(
+            self.iter()
+                .map(|(k, v)| (k.to_string(), v.to_value()))
+                .collect(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::{Serialize, Value};
+
+    #[test]
+    fn primitives_map_to_expected_variants() {
+        assert_eq!(3u32.to_value(), Value::UInt(3));
+        assert_eq!((-4i32).to_value(), Value::Int(-4));
+        assert_eq!(true.to_value(), Value::Bool(true));
+        assert_eq!("hi".to_value(), Value::Str("hi".into()));
+        assert_eq!(Option::<u32>::None.to_value(), Value::Null);
+        assert_eq!(
+            vec![1u32, 2].to_value(),
+            Value::Array(vec![Value::UInt(1), Value::UInt(2)])
+        );
+    }
+}

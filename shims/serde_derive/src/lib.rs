@@ -1,0 +1,189 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Derives the shim `serde::Serialize` trait (`fn to_value(&self) ->
+//! serde::Value`) for the shapes this workspace actually uses: structs
+//! with named fields and enums whose variants are all unit variants. No
+//! `#[serde(...)]` attributes, generics, or tuple structs — the derive
+//! reports a compile error for anything it does not understand rather
+//! than silently mis-serializing.
+//!
+//! Implemented with raw `proc_macro` token walking because `syn`/`quote`
+//! are equally unfetchable in this environment.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    match generate(input) {
+        Ok(code) => code.parse().expect("generated impl parses"),
+        Err(msg) => format!("compile_error!({msg:?});").parse().unwrap(),
+    }
+}
+
+fn generate(input: TokenStream) -> Result<String, String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+
+    skip_attributes_and_visibility(&tokens, &mut i);
+
+    let kind = match &tokens.get(i) {
+        Some(TokenTree::Ident(id)) if id.to_string() == "struct" => "struct",
+        Some(TokenTree::Ident(id)) if id.to_string() == "enum" => "enum",
+        other => return Err(format!("derive(Serialize) shim: expected struct or enum, found {other:?}")),
+    };
+    i += 1;
+
+    let name = match &tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("derive(Serialize) shim: expected type name, found {other:?}")),
+    };
+    i += 1;
+
+    if matches!(&tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        return Err(format!("derive(Serialize) shim: generics on `{name}` are not supported"));
+    }
+
+    let body = match &tokens.get(i) {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+        other => {
+            return Err(format!(
+                "derive(Serialize) shim: `{name}` must have a braced body (tuple/unit structs unsupported), found {other:?}"
+            ))
+        }
+    };
+
+    if kind == "struct" {
+        struct_impl(&name, body)
+    } else {
+        enum_impl(&name, body)
+    }
+}
+
+fn struct_impl(name: &str, body: TokenStream) -> Result<String, String> {
+    let fields = named_fields(body)?;
+    let mut pushes = String::new();
+    for f in &fields {
+        pushes.push_str(&format!(
+            "fields.push(({f:?}.to_string(), ::serde::Serialize::to_value(&self.{f})));\n"
+        ));
+    }
+    Ok(format!(
+        "impl ::serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> ::serde::Value {{\n\
+                 let mut fields: ::std::vec::Vec<(::std::string::String, ::serde::Value)> = ::std::vec::Vec::new();\n\
+                 {pushes}\
+                 ::serde::Value::Object(fields)\n\
+             }}\n\
+         }}"
+    ))
+}
+
+fn enum_impl(name: &str, body: TokenStream) -> Result<String, String> {
+    let variants = unit_variants(name, body)?;
+    let mut arms = String::new();
+    for v in &variants {
+        arms.push_str(&format!(
+            "{name}::{v} => ::serde::Value::Str({v:?}.to_string()),\n"
+        ));
+    }
+    Ok(format!(
+        "impl ::serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> ::serde::Value {{\n\
+                 match self {{\n{arms}}}\n\
+             }}\n\
+         }}"
+    ))
+}
+
+/// Extracts field names from the token stream of a named-field struct body.
+fn named_fields(body: TokenStream) -> Result<Vec<String>, String> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attributes_and_visibility(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        let field = match &tokens[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => return Err(format!("derive(Serialize) shim: expected field name, found {other:?}")),
+        };
+        i += 1;
+        match &tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            other => return Err(format!("derive(Serialize) shim: expected `:` after `{field}`, found {other:?}")),
+        }
+        fields.push(field);
+        // Skip the type, tracking angle-bracket depth so commas inside
+        // generic arguments are not mistaken for field separators.
+        let mut angle_depth = 0i32;
+        while i < tokens.len() {
+            match &tokens[i] {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                    i += 1;
+                    break;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+    }
+    Ok(fields)
+}
+
+/// Extracts variant names from an enum body, requiring all-unit variants.
+fn unit_variants(name: &str, body: TokenStream) -> Result<Vec<String>, String> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attributes_and_visibility(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        let variant = match &tokens[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => return Err(format!("derive(Serialize) shim: expected variant name in `{name}`, found {other:?}")),
+        };
+        i += 1;
+        match &tokens.get(i) {
+            None => {}
+            Some(TokenTree::Punct(p)) if p.as_char() == ',' => i += 1,
+            Some(other) => {
+                return Err(format!(
+                    "derive(Serialize) shim: only unit variants are supported; `{name}::{variant}` is followed by {other:?}"
+                ))
+            }
+        }
+        variants.push(variant);
+    }
+    Ok(variants)
+}
+
+/// Advances past `#[...]` attributes (including doc comments) and
+/// `pub`/`pub(...)` visibility markers.
+fn skip_attributes_and_visibility(tokens: &[TokenTree], i: &mut usize) {
+    loop {
+        match tokens.get(*i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                *i += 1;
+                if matches!(tokens.get(*i), Some(TokenTree::Group(_))) {
+                    *i += 1;
+                }
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                *i += 1;
+                if matches!(
+                    tokens.get(*i),
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis
+                ) {
+                    *i += 1;
+                }
+            }
+            _ => return,
+        }
+    }
+}

@@ -1,0 +1,173 @@
+//! Offline stand-in for the subset of `serde_json` this workspace uses:
+//! [`to_string`] and [`to_string_pretty`] over the shim `serde`'s value
+//! tree, with the real crate's formatting conventions — compact output
+//! has no whitespace, pretty output indents with two spaces, floats that
+//! happen to be integral keep a trailing `.0`, and non-finite floats
+//! serialize as `null`.
+
+use std::fmt;
+
+use serde::{Serialize, Value};
+
+/// Serialization error (the shim serializer is total, so this is only
+/// here to keep call sites' `Result` handling compiling unchanged).
+#[derive(Debug)]
+pub struct Error(String);
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Serializes `value` as compact JSON (`{"k":1,"v":[2,3]}`).
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&mut out, &value.to_value(), None, 0);
+    Ok(out)
+}
+
+/// Serializes `value` as pretty JSON with two-space indentation.
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&mut out, &value.to_value(), Some("  "), 0);
+    Ok(out)
+}
+
+fn write_value(out: &mut String, value: &Value, indent: Option<&str>, depth: usize) {
+    match value {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::UInt(u) => out.push_str(&u.to_string()),
+        Value::Int(i) => out.push_str(&i.to_string()),
+        Value::Float(x) => write_float(out, *x),
+        Value::Str(s) => write_string(out, s),
+        Value::Array(items) => {
+            if items.is_empty() {
+                out.push_str("[]");
+                return;
+            }
+            out.push('[');
+            for (k, item) in items.iter().enumerate() {
+                if k > 0 {
+                    out.push(',');
+                }
+                newline_indent(out, indent, depth + 1);
+                write_value(out, item, indent, depth + 1);
+            }
+            newline_indent(out, indent, depth);
+            out.push(']');
+        }
+        Value::Object(fields) => {
+            if fields.is_empty() {
+                out.push_str("{}");
+                return;
+            }
+            out.push('{');
+            for (k, (key, item)) in fields.iter().enumerate() {
+                if k > 0 {
+                    out.push(',');
+                }
+                newline_indent(out, indent, depth + 1);
+                write_string(out, key);
+                out.push(':');
+                if indent.is_some() {
+                    out.push(' ');
+                }
+                write_value(out, item, indent, depth + 1);
+            }
+            newline_indent(out, indent, depth);
+            out.push('}');
+        }
+    }
+}
+
+fn newline_indent(out: &mut String, indent: Option<&str>, depth: usize) {
+    if let Some(pad) = indent {
+        out.push('\n');
+        for _ in 0..depth {
+            out.push_str(pad);
+        }
+    }
+}
+
+/// JSON has no NaN/Infinity; like `serde_json`, emit `null`. Integral
+/// finite values keep a `.0` suffix so they read back as floats.
+fn write_float(out: &mut String, x: f64) {
+    if !x.is_finite() {
+        out.push_str("null");
+        return;
+    }
+    let s = format!("{x}");
+    out.push_str(&s);
+    if !s.contains('.') && !s.contains('e') && !s.contains('E') {
+        out.push_str(".0");
+    }
+}
+
+fn write_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use serde::Value;
+
+    struct Sample;
+
+    impl Serialize for Sample {
+        fn to_value(&self) -> Value {
+            Value::Object(vec![
+                ("agents".to_string(), Value::UInt(10)),
+                ("load".to_string(), Value::Float(7.5)),
+                ("whole".to_string(), Value::Float(2.0)),
+                ("bad".to_string(), Value::Float(f64::NAN)),
+                (
+                    "rows".to_string(),
+                    Value::Array(vec![Value::UInt(1), Value::UInt(2)]),
+                ),
+                ("empty".to_string(), Value::Array(vec![])),
+            ])
+        }
+    }
+
+    #[test]
+    fn compact_matches_serde_json_conventions() {
+        let json = to_string(&Sample).unwrap();
+        assert_eq!(
+            json,
+            "{\"agents\":10,\"load\":7.5,\"whole\":2.0,\"bad\":null,\"rows\":[1,2],\"empty\":[]}"
+        );
+    }
+
+    #[test]
+    fn pretty_uses_two_space_indent() {
+        let json = to_string_pretty(&Sample).unwrap();
+        assert!(json.starts_with("{\n  \"agents\": 10,\n  \"load\": 7.5"));
+        assert!(json.contains("\"rows\": [\n    1,\n    2\n  ]"));
+        assert!(json.ends_with("\"empty\": []\n}"));
+    }
+
+    #[test]
+    fn strings_are_escaped() {
+        let v = "a\"b\\c\nd".to_string();
+        assert_eq!(to_string(&v).unwrap(), "\"a\\\"b\\\\c\\nd\"");
+    }
+}
