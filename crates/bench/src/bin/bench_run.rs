@@ -1,0 +1,195 @@
+//! `bench_run` — times one simulation cell per protocol through both
+//! dispatch paths and writes the results to `BENCH_run.json`.
+//!
+//! ```text
+//! bench_run [--out PATH] [--reps N] [--smoke]
+//! ```
+//!
+//! Each protocol runs the same Quick-scale cell (30 agents, load 2.0,
+//! deterministic per-protocol seed) through the monomorphized entry
+//! ([`Simulation::run_kind`]) and the boxed `dyn Arbiter` entry. The JSON
+//! records, per protocol, the event count, minimum wall-clock of `reps`
+//! runs per path, the derived events/sec and ns/arbitration figures, and
+//! the static-over-dynamic dispatch speedup. Both paths produce
+//! bit-for-bit identical reports (pinned by the `dispatch_equivalence`
+//! regression test), so only the timings differ.
+//!
+//! `--smoke` drops to the Smoke scale with a single rep — a CI-friendly
+//! end-to-end check that the binary runs, not a measurement.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+use std::time::Instant;
+
+use busarb_core::ProtocolKind;
+use busarb_experiments::common::seed_for;
+use busarb_experiments::Scale;
+use busarb_sim::{RunReport, Simulation, SystemConfig};
+use busarb_workload::Scenario;
+use serde::Serialize;
+
+const AGENTS: u32 = 30;
+const LOAD: f64 = 2.0;
+
+/// The protocols timed — one per family (static priority, assured
+/// access, RR, both FCFS counter strategies, a central reference, and
+/// the hybrid).
+const PROTOCOLS: [ProtocolKind; 7] = [
+    ProtocolKind::FixedPriority,
+    ProtocolKind::AssuredAccessIdleBatch,
+    ProtocolKind::RoundRobin,
+    ProtocolKind::Fcfs1,
+    ProtocolKind::Fcfs2,
+    ProtocolKind::CentralFcfs,
+    ProtocolKind::Hybrid,
+];
+
+#[derive(Serialize)]
+struct ProtocolTiming {
+    protocol: String,
+    events: u64,
+    arbitrations: u64,
+    mono_min_seconds: f64,
+    dyn_min_seconds: f64,
+    mono_events_per_sec: f64,
+    dyn_events_per_sec: f64,
+    mono_ns_per_arbitration: f64,
+    dyn_ns_per_arbitration: f64,
+    mono_speedup_vs_dyn: f64,
+}
+
+#[derive(Serialize)]
+struct BenchReport {
+    bench: String,
+    scale: String,
+    agents: u32,
+    load: f64,
+    reps: usize,
+    timings: Vec<ProtocolTiming>,
+}
+
+struct Args {
+    out: PathBuf,
+    reps: usize,
+    scale: Scale,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut out = PathBuf::from("BENCH_run.json");
+    let mut reps = 7usize;
+    let mut scale = Scale::Quick;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--out" => out = PathBuf::from(args.next().ok_or("--out needs a path")?),
+            "--reps" => {
+                reps = args
+                    .next()
+                    .ok_or("--reps needs a value")?
+                    .parse()
+                    .map_err(|e| format!("invalid --reps: {e}"))?;
+            }
+            "--smoke" => {
+                scale = Scale::Smoke;
+                reps = 1;
+            }
+            other => return Err(format!("unexpected argument '{other}'")),
+        }
+    }
+    if reps == 0 {
+        return Err("--reps must be at least 1".to_string());
+    }
+    Ok(Args { out, reps, scale })
+}
+
+fn cell_config(kind: ProtocolKind, scale: Scale) -> SystemConfig {
+    let scenario = Scenario::equal_load(AGENTS, LOAD, 1.0).expect("valid scenario");
+    SystemConfig::new(scenario)
+        .with_batches(scale.batches())
+        .with_warmup(scale.warmup())
+        .with_seed(seed_for(&format!("bench-run/{kind}")))
+}
+
+/// Minimum wall-clock of `reps` runs of `f`, after one untimed warm-up.
+fn time_min(reps: usize, mut f: impl FnMut() -> RunReport) -> (f64, RunReport) {
+    let mut report = f();
+    let mut min = f64::INFINITY;
+    for _ in 0..reps {
+        let start = Instant::now();
+        report = f();
+        min = min.min(start.elapsed().as_secs_f64());
+    }
+    (min, report)
+}
+
+fn time_protocol(kind: ProtocolKind, scale: Scale, reps: usize) -> ProtocolTiming {
+    let sim = Simulation::new(cell_config(kind, scale)).expect("valid config");
+    let (mono_min, mono_report) = time_min(reps, || sim.run_kind(kind).expect("valid system size"));
+    let (dyn_min, dyn_report) = time_min(reps, || sim.run(kind.build(AGENTS).expect("valid size")));
+    assert_eq!(
+        mono_report.events, dyn_report.events,
+        "{kind}: dispatch paths disagree on event count"
+    );
+    let events = mono_report.events;
+    let arbitrations = mono_report.arbitrations;
+    ProtocolTiming {
+        protocol: kind.to_string(),
+        events,
+        arbitrations,
+        mono_min_seconds: mono_min,
+        dyn_min_seconds: dyn_min,
+        mono_events_per_sec: events as f64 / mono_min,
+        dyn_events_per_sec: events as f64 / dyn_min,
+        mono_ns_per_arbitration: mono_min * 1e9 / arbitrations as f64,
+        dyn_ns_per_arbitration: dyn_min * 1e9 / arbitrations as f64,
+        mono_speedup_vs_dyn: dyn_min / mono_min,
+    }
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(v) => v,
+        Err(msg) => {
+            eprintln!("error: {msg}\nusage: bench_run [--out PATH] [--reps N] [--smoke]");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let mut timings = Vec::new();
+    for &kind in &PROTOCOLS {
+        let t = time_protocol(kind, args.scale, args.reps);
+        eprintln!(
+            "{:>14}: mono {:.4}s ({:.2}M events/s, {:.0} ns/arb)  dyn {:.4}s  mono/dyn {:.2}x",
+            t.protocol,
+            t.mono_min_seconds,
+            t.mono_events_per_sec / 1e6,
+            t.mono_ns_per_arbitration,
+            t.dyn_min_seconds,
+            t.mono_speedup_vs_dyn
+        );
+        timings.push(t);
+    }
+
+    let report = BenchReport {
+        bench: "single_cell_by_protocol".to_string(),
+        scale: args.scale.to_string(),
+        agents: AGENTS,
+        load: LOAD,
+        reps: args.reps,
+        timings,
+    };
+    match serde_json::to_string_pretty(&report) {
+        Ok(json) => {
+            if let Err(e) = std::fs::write(&args.out, json + "\n") {
+                eprintln!("error: cannot write {}: {e}", args.out.display());
+                return ExitCode::FAILURE;
+            }
+            eprintln!("wrote {}", args.out.display());
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("error: cannot serialize report: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

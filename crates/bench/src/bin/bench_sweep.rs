@@ -10,6 +10,12 @@
 //! (serial) minimum. Because every cell is independently seeded, the
 //! sweep output is identical at every worker count — the timings below
 //! are the only thing that changes.
+//!
+//! Worker counts above the host's available parallelism are **skipped**
+//! (listed in the JSON's `skipped_workers`): oversubscribed workers on a
+//! constrained host only time-slice one another, so their "speedups"
+//! come out just below 1.0 and misread as a parallelism defect rather
+//! than the scheduling overhead they actually are.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -34,6 +40,10 @@ struct BenchReport {
     scale: String,
     cells: usize,
     host_parallelism: usize,
+    /// Worker counts not timed because they exceed `host_parallelism`
+    /// (oversubscription measures scheduler time-slicing, not sweep
+    /// scaling).
+    skipped_workers: Vec<usize>,
     timings: Vec<WorkerTiming>,
 }
 
@@ -89,8 +99,14 @@ fn main() -> ExitCode {
     let _ = time_sweep(1, &points);
 
     let mut timings = Vec::new();
+    let mut skipped_workers = Vec::new();
     let mut serial_min = f64::NAN;
     for workers in [1usize, 2, 4, 8] {
+        if workers > host_parallelism {
+            eprintln!("workers {workers:>2}: skipped (host parallelism is {host_parallelism})");
+            skipped_workers.push(workers);
+            continue;
+        }
         let samples: Vec<f64> = (0..reps).map(|_| time_sweep(workers, &points)).collect();
         let min = samples.iter().copied().fold(f64::INFINITY, f64::min);
         let mean = samples.iter().sum::<f64>() / samples.len() as f64;
@@ -116,6 +132,7 @@ fn main() -> ExitCode {
         scale: "smoke".to_string(),
         cells: points.len(),
         host_parallelism,
+        skipped_workers,
         timings,
     };
     match serde_json::to_string_pretty(&report) {

@@ -155,7 +155,9 @@ impl ParallelContention {
         self.discipline
     }
 
-    /// Mask of valid line bits.
+    /// Mask of valid line bits (consulted only by the debug-build
+    /// competitor validation in `resolve_inner`).
+    #[cfg(debug_assertions)]
     fn mask(&self) -> u64 {
         (1u64 << self.width) - 1
     }
@@ -165,7 +167,11 @@ impl ParallelContention {
     ///
     /// # Panics
     ///
-    /// Panics if any competitor value does not fit in the configured width.
+    /// In debug builds, panics if any competitor value does not fit in the
+    /// configured width. (Patterns are produced by the signal systems'
+    /// number layouts, which are width-checked at construction; re-checking
+    /// every pattern on every resolve was measurable in the simulation hot
+    /// loop, so release builds trust the layout invariant.)
     #[must_use]
     pub fn resolve(&self, competitors: &[u64]) -> Resolution {
         self.resolve_inner(competitors, None)
@@ -181,6 +187,7 @@ impl ParallelContention {
     }
 
     fn resolve_inner(&self, competitors: &[u64], mut trace: Option<&mut Vec<u64>>) -> Resolution {
+        #[cfg(debug_assertions)]
         for &c in competitors {
             assert!(
                 c <= self.mask(),
@@ -208,6 +215,22 @@ impl ParallelContention {
 
     /// Iterates the withdraw/reapply dynamics to a fixpoint.
     fn settle(&self, competitors: &[u64], mut trace: Option<&mut Vec<u64>>) -> Resolution {
+        // With 0 or 1 competitors the lines settle in the initial
+        // application round — there is no conflicting bit to withdraw from
+        // — so skip the scratch-buffer lock and the fixpoint iteration
+        // entirely. Uncontended arbitrations dominate low-load cells, which
+        // makes this the most common resolve shape in a sweep.
+        if competitors.len() <= 1 {
+            let winner = competitors.first().copied().unwrap_or(0);
+            if let Some(t) = trace.as_deref_mut() {
+                t.push(winner);
+            }
+            return Resolution {
+                winner_value: winner,
+                rounds: 1,
+                winner_broadcast: true,
+            };
+        }
         // Round 0: every competitor applies its full pattern (into the
         // reusable scratch buffer; see the field comment).
         let mut applied = self.scratch.lock().expect("scratch lock poisoned");
@@ -359,6 +382,7 @@ mod tests {
     }
 
     #[test]
+    #[cfg(debug_assertions)]
     #[should_panic(expected = "exceeds arbitration width")]
     fn oversized_competitor_panics() {
         let arbiter = ParallelContention::new(3);

@@ -85,6 +85,35 @@ pub trait Arbiter {
     fn pending(&self) -> usize;
 }
 
+/// Boxed arbiters delegate to their contents, so `Box<dyn Arbiter>` can be
+/// handed to code that is generic over `A: Arbiter` (the simulator's
+/// monomorphized runner) without a separate dynamic entry point.
+impl<A: Arbiter + ?Sized> Arbiter for Box<A> {
+    fn name(&self) -> &'static str {
+        (**self).name()
+    }
+
+    fn agents(&self) -> u32 {
+        (**self).agents()
+    }
+
+    fn layout(&self) -> Option<NumberLayout> {
+        (**self).layout()
+    }
+
+    fn on_request(&mut self, now: Time, agent: AgentId, priority: Priority) {
+        (**self).on_request(now, agent, priority);
+    }
+
+    fn arbitrate(&mut self, now: Time) -> Option<Grant> {
+        (**self).arbitrate(now)
+    }
+
+    fn pending(&self) -> usize {
+        (**self).pending()
+    }
+}
+
 /// Enumeration of every protocol in the library, for building arbiters
 /// from experiment configuration.
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]

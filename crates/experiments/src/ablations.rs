@@ -28,7 +28,7 @@ use busarb_types::Time;
 use busarb_workload::Scenario;
 use serde::Serialize;
 
-use crate::common::{run_cell, run_cells, EstimateJson, Scale};
+use crate::common::{run_cell, run_cell_kind, run_cells, EstimateJson, Scale};
 
 /// A (label, metrics) row shared by the ablation tables.
 #[derive(Clone, Debug, Serialize)]
@@ -99,9 +99,9 @@ pub fn counter_bits(scale: Scale) -> Ablation {
             row(format!("{bits} counter bit(s)"), n, &report)
         }
         None => {
-            let central = run_cell(
+            let central = run_cell_kind(
                 scenario.clone(),
-                ProtocolKind::CentralFcfs.build(n).expect("valid size"),
+                ProtocolKind::CentralFcfs,
                 scale,
                 "abl-bits-central",
                 false,
@@ -209,7 +209,8 @@ pub fn start_rule(scale: Scale) -> Ablation {
             .with_start_rule(rule);
         let report = Simulation::new(config)
             .expect("valid config")
-            .run(ProtocolKind::RoundRobin.build(n).expect("valid size"));
+            .run_kind(ProtocolKind::RoundRobin)
+            .expect("valid size");
         row(format!("{label} @ load {load}"), n, &report)
     });
     Ablation {
@@ -239,7 +240,8 @@ pub fn overhead(scale: Scale) -> Ablation {
             .with_arbitration_overhead(Time::from(a));
         let report = Simulation::new(config)
             .expect("valid config")
-            .run(ProtocolKind::RoundRobin.build(n).expect("valid size"));
+            .run_kind(ProtocolKind::RoundRobin)
+            .expect("valid size");
         row(format!("overhead {a} @ load {load}"), n, &report)
     });
     Ablation {
@@ -276,8 +278,18 @@ pub fn width_overhead(scale: Scale) -> Ablation {
         .iter()
         .flat_map(|&load| {
             [
-                (load, "rr (full lines)".to_string(), ProtocolKind::RoundRobin, scaled),
-                (load, "fcfs-1 (full lines)".to_string(), ProtocolKind::Fcfs1, scaled),
+                (
+                    load,
+                    "rr (full lines)".to_string(),
+                    ProtocolKind::RoundRobin,
+                    scaled,
+                ),
+                (
+                    load,
+                    "fcfs-1 (full lines)".to_string(),
+                    ProtocolKind::Fcfs1,
+                    scaled,
+                ),
                 (
                     load,
                     "fcfs-1 (binary-patterned static)".to_string(),
@@ -298,7 +310,8 @@ pub fn width_overhead(scale: Scale) -> Ablation {
             .with_overhead_model(model);
         let report = Simulation::new(config)
             .expect("valid config")
-            .run(kind.build(n).expect("valid size"));
+            .run_kind(kind)
+            .expect("valid size");
         row(format!("{label} @ load {load}"), n, &report)
     });
     Ablation {
@@ -353,9 +366,9 @@ pub fn conservation(scale: Scale) -> Ablation {
     let n = 10u32;
     let scenario = Scenario::equal_load(n, 1.5, 1.0).expect("valid scenario");
     let rows = run_cells(ProtocolKind::work_conserving().to_vec(), |kind| {
-        let report = run_cell(
+        let report = run_cell_kind(
             scenario.clone(),
-            kind.build(n).expect("valid size"),
+            kind,
             scale,
             &format!("abl-cons-{kind}"),
             false,

@@ -16,7 +16,7 @@ use busarb_core::ProtocolKind;
 use busarb_workload::{BurstyTrace, Scenario};
 use serde::Serialize;
 
-use crate::common::{run_cell, run_cells, seed_for, EstimateJson, Scale};
+use crate::common::{run_cell_kind, run_cells, seed_for, EstimateJson, Scale};
 
 /// One (burstiness, protocol) row.
 #[derive(Clone, Debug, Serialize)]
@@ -82,9 +82,9 @@ pub fn run(scale: Scale) -> Bursty {
             .workload(busarb_types::AgentId::new(1).expect("agent 1 exists"))
             .interrequest
             .cv();
-        let report = run_cell(
+        let report = run_cell_kind(
             scenario,
-            kind.build(n).expect("valid size"),
+            kind,
             scale,
             &format!("bursty-{kind}-{burstiness}"),
             false,

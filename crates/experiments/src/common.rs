@@ -5,7 +5,7 @@ use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
-use busarb_core::Arbiter;
+use busarb_core::{Arbiter, ProtocolKind};
 use busarb_sim::{RunReport, Simulation, SystemConfig};
 use busarb_stats::{BatchMeansConfig, Estimate, RatioEstimate};
 use busarb_workload::Scenario;
@@ -98,6 +98,41 @@ pub fn run_cell(
     Simulation::new(config)
         .expect("experiment configs are valid")
         .run(arbiter)
+}
+
+/// Runs one simulation cell for a default-parameter protocol of `kind`
+/// through the **monomorphized** event loop ([`Simulation::run_kind`]).
+///
+/// This is the static-dispatch sibling of [`run_cell`]: sweeps over
+/// [`ProtocolKind`] should use it (the event loop is specialized per
+/// protocol — no virtual call per arbiter operation); cells that need a
+/// custom-configured arbiter keep using [`run_cell`] with a box. Both
+/// paths produce bit-for-bit identical reports for the same cell (pinned
+/// by the `dispatch_equivalence` regression test).
+///
+/// # Panics
+///
+/// Panics on internal configuration errors (experiment code constructs
+/// only valid configurations).
+#[must_use]
+pub fn run_cell_kind(
+    scenario: Scenario,
+    kind: ProtocolKind,
+    scale: Scale,
+    tag: &str,
+    collect_cdf: bool,
+) -> RunReport {
+    let mut config = SystemConfig::new(scenario)
+        .with_batches(scale.batches())
+        .with_warmup(scale.warmup())
+        .with_seed(seed_for(tag));
+    if collect_cdf {
+        config = config.with_cdf();
+    }
+    Simulation::new(config)
+        .expect("experiment configs are valid")
+        .run_kind(kind)
+        .expect("experiment scenarios use valid system sizes")
 }
 
 /// Configured sweep parallelism: 0 means "auto" (one worker per

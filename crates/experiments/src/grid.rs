@@ -11,7 +11,7 @@ use busarb_core::{BatchingRule, ProtocolKind};
 use busarb_sim::RunReport;
 use busarb_workload::Scenario;
 
-use crate::common::{paper_loads, run_cell, run_cells, Scale, PAPER_SIZES};
+use crate::common::{paper_loads, run_cell, run_cell_kind, run_cells, Scale, PAPER_SIZES};
 
 /// One (size, load) cell: matched RR and FCFS runs, plus AAP-1 for the
 /// 30-agent system (the comparison column in Table 4.1(b)).
@@ -57,16 +57,16 @@ impl Grid {
     #[must_use]
     pub fn compute_cell(n: u32, load: f64, scale: Scale) -> GridCell {
         let scenario = Scenario::equal_load(n, load, 1.0).expect("valid equal-load scenario");
-        let rr = run_cell(
+        let rr = run_cell_kind(
             scenario.clone(),
-            ProtocolKind::RoundRobin.build(n).expect("valid size"),
+            ProtocolKind::RoundRobin,
             scale,
             &format!("grid-rr-{n}-{load}"),
             true,
         );
-        let fcfs = run_cell(
+        let fcfs = run_cell_kind(
             scenario.clone(),
-            ProtocolKind::Fcfs1.build(n).expect("valid size"),
+            ProtocolKind::Fcfs1,
             scale,
             &format!("grid-fcfs-{n}-{load}"),
             true,

@@ -16,7 +16,7 @@ use busarb_core::ProtocolKind;
 use busarb_workload::Scenario;
 use serde::Serialize;
 
-use crate::common::{run_cell, run_cells, EstimateJson, Scale};
+use crate::common::{run_cell_kind, run_cells, EstimateJson, Scale};
 
 /// One system-size row.
 #[derive(Clone, Debug, Serialize)]
@@ -51,16 +51,16 @@ pub fn run(scale: Scale) -> Scaling {
     let load = 2.0;
     let rows = run_cells(SIZES.to_vec(), |n| {
         let scenario = Scenario::equal_load(n, load, 1.0).expect("valid scenario");
-        let rr = run_cell(
+        let rr = run_cell_kind(
             scenario.clone(),
-            ProtocolKind::RoundRobin.build(n).expect("valid size"),
+            ProtocolKind::RoundRobin,
             scale,
             &format!("scaling-rr-{n}"),
             false,
         );
-        let fcfs = run_cell(
+        let fcfs = run_cell_kind(
             scenario,
-            ProtocolKind::Fcfs1.build(n).expect("valid size"),
+            ProtocolKind::Fcfs1,
             scale,
             &format!("scaling-fcfs-{n}"),
             false,

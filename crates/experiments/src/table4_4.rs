@@ -12,7 +12,7 @@ use busarb_types::AgentId;
 use busarb_workload::Scenario;
 use serde::Serialize;
 
-use crate::common::{run_cell, run_cells, EstimateJson, Scale};
+use crate::common::{run_cell_kind, run_cells, EstimateJson, Scale};
 
 /// One load row.
 #[derive(Clone, Debug, Serialize)]
@@ -72,16 +72,16 @@ pub fn run(scale: Scale) -> Table44 {
             / scenario
                 .workload(AgentId::new(2).expect("agent 2 exists"))
                 .offered_load();
-        let rr = run_cell(
+        let rr = run_cell_kind(
             scenario.clone(),
-            ProtocolKind::RoundRobin.build(n).expect("valid size"),
+            ProtocolKind::RoundRobin,
             scale,
             &format!("t44-rr-{factor}-{base}"),
             false,
         );
-        let fcfs = run_cell(
+        let fcfs = run_cell_kind(
             scenario,
-            ProtocolKind::Fcfs1.build(n).expect("valid size"),
+            ProtocolKind::Fcfs1,
             scale,
             &format!("t44-fcfs-{factor}-{base}"),
             false,
@@ -152,16 +152,16 @@ mod tests {
             .map(|&base| {
                 let scenario = Scenario::rate_multiplied(n, base, boosted, factor, 1.0).unwrap();
                 let load = scenario.total_offered_load();
-                let rr = run_cell(
+                let rr = run_cell_kind(
                     scenario.clone(),
-                    ProtocolKind::RoundRobin.build(n).unwrap(),
+                    ProtocolKind::RoundRobin,
                     Scale::Smoke,
                     &format!("t44-test-rr-{factor}-{base}"),
                     false,
                 );
-                let fcfs = run_cell(
+                let fcfs = run_cell_kind(
                     scenario,
-                    ProtocolKind::Fcfs1.build(n).unwrap(),
+                    ProtocolKind::Fcfs1,
                     Scale::Smoke,
                     &format!("t44-test-fcfs-{factor}-{base}"),
                     false,

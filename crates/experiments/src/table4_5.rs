@@ -13,7 +13,7 @@ use busarb_types::AgentId;
 use busarb_workload::Scenario;
 use serde::Serialize;
 
-use crate::common::{run_cell, run_cells, EstimateJson, Scale};
+use crate::common::{run_cell_kind, run_cells, EstimateJson, Scale};
 
 /// One CV row.
 #[derive(Clone, Debug, Serialize)]
@@ -80,16 +80,16 @@ fn row_for(n: u32, cv: f64, scale: Scale) -> Row {
         / scenario
             .workload(AgentId::new(2).expect("agent 2 exists"))
             .offered_load();
-    let rr = run_cell(
+    let rr = run_cell_kind(
         scenario.clone(),
-        ProtocolKind::RoundRobin.build(n).expect("valid size"),
+        ProtocolKind::RoundRobin,
         scale,
         &format!("t45-rr-{n}-{cv}"),
         false,
     );
-    let fcfs = run_cell(
+    let fcfs = run_cell_kind(
         scenario,
-        ProtocolKind::Fcfs1.build(n).expect("valid size"),
+        ProtocolKind::Fcfs1,
         scale,
         &format!("t45-fcfs-{n}-{cv}"),
         false,

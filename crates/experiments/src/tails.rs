@@ -12,7 +12,7 @@ use busarb_core::ProtocolKind;
 use busarb_workload::Scenario;
 use serde::Serialize;
 
-use crate::common::{run_cell, run_cells, Scale};
+use crate::common::{run_cell_kind, run_cells, Scale};
 
 /// Percentiles for one (protocol, load) cell.
 #[derive(Clone, Debug, Serialize)]
@@ -64,13 +64,7 @@ pub fn run(scale: Scale) -> Tails {
         .collect();
     let rows = run_cells(points, |(load, kind)| {
         let scenario = Scenario::equal_load(n, load, 1.0).expect("valid scenario");
-        let report = run_cell(
-            scenario,
-            kind.build(n).expect("valid size"),
-            scale,
-            &format!("tails-{kind}-{load}"),
-            true,
-        );
+        let report = run_cell_kind(scenario, kind, scale, &format!("tails-{kind}-{load}"), true);
         let mut cdf = report.cdf.expect("cdf collection enabled");
         let q = |p: f64, cdf: &mut busarb_stats::Cdf| cdf.quantile(p).unwrap_or(0.0);
         Row {

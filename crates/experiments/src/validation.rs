@@ -51,7 +51,8 @@ pub fn ci_coverage(scale: Scale, replications: usize) -> CiCoverage {
             .with_seed(seed_for(&format!("ci-coverage-{r}")));
         let report = Simulation::new(config)
             .expect("valid config")
-            .run(ProtocolKind::RoundRobin.build(n).expect("valid size"));
+            .run_kind(ProtocolKind::RoundRobin)
+            .expect("valid size");
         estimates.push(report.mean_wait);
     }
     let grand_mean = estimates.iter().map(|e| e.mean).sum::<f64>() / replications as f64;
@@ -99,7 +100,8 @@ pub fn batch_diagnostics(scale: Scale) -> BatchDiagnostics {
                 .with_seed(seed_for(&format!("diag-{load}")));
             let report = Simulation::new(config)
                 .expect("valid config")
-                .run(ProtocolKind::Fcfs1.build(n).expect("valid size"));
+                .run_kind(ProtocolKind::Fcfs1)
+                .expect("valid size");
             DiagnosticsRow {
                 load,
                 lag1: lag1_autocorrelation(&report.wait_batch_means),

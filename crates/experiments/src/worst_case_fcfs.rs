@@ -81,7 +81,8 @@ pub fn run(scale: Scale) -> WorstCaseFcfs {
                 .without_initial_stagger();
             let report = Simulation::new(config)
                 .expect("valid config")
-                .run(kind.build(n).expect("valid size"));
+                .run_kind(kind)
+                .expect("valid size");
             Row {
                 protocol: kind.to_string(),
                 wait_agent_1: report.agent_wait(1).mean(),

@@ -22,10 +22,7 @@ fn grid_cells_identical_at_any_worker_count() {
     let points: Vec<(u32, f64)> = vec![(10, 1.5), (30, 0.5), (64, 2.0), (10, 0.25)];
     let compute = |(n, load): (u32, f64)| Grid::compute_cell(n, load, Scale::Smoke);
 
-    let serial: Vec<String> = points
-        .iter()
-        .map(|&p| fingerprint(&compute(p)))
-        .collect();
+    let serial: Vec<String> = points.iter().map(|&p| fingerprint(&compute(p))).collect();
 
     for workers in [2, 4] {
         let parallel: Vec<String> = run_cells_with(workers, points.clone(), compute)

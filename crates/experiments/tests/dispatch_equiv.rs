@@ -1,0 +1,38 @@
+//! Dispatch-equivalence regression: the monomorphized event loop
+//! ([`busarb_sim::Simulation::run_kind`]) must produce bit-for-bit the
+//! same report as the boxed `dyn Arbiter` entry point for every protocol.
+//!
+//! The two paths share one generic `Runner`, so divergence would mean the
+//! `ProtocolKind` dispatcher built a differently-configured arbiter than
+//! `ProtocolKind::build` — exactly the bug class this pins. Comparison is
+//! by `Debug` string: `RunReport` fans out into floats, vectors,
+//! summaries, and the trace, and the derived `Debug` format covers every
+//! field of that tree.
+
+use busarb_core::ProtocolKind;
+use busarb_experiments::common::{run_cell, run_cell_kind};
+use busarb_experiments::Scale;
+use busarb_workload::Scenario;
+
+#[test]
+fn mono_and_dyn_dispatch_produce_identical_reports() {
+    let n = 10;
+    for &kind in ProtocolKind::all() {
+        let tag = format!("dispatch-equiv/{kind}");
+        let scenario = || Scenario::equal_load(n, 2.0, 1.0).expect("valid scenario");
+        let dynamic = run_cell(
+            scenario(),
+            kind.build(n).expect("valid size"),
+            Scale::Smoke,
+            &tag,
+            true,
+        );
+        let mono = run_cell_kind(scenario(), kind, Scale::Smoke, &tag, true);
+        assert_eq!(
+            format!("{dynamic:?}"),
+            format!("{mono:?}"),
+            "{kind}: dyn and monomorphized runs diverged"
+        );
+        assert!(dynamic.events > 0, "{kind}: no events simulated");
+    }
+}

@@ -1,7 +1,21 @@
 //! The event queue.
-
-use std::cmp::Ordering;
-use std::collections::BinaryHeap;
+//!
+//! The simulator's future-event population is structurally tiny and
+//! bounded: at most **one** pending [`Event::RequestArrival`] per agent
+//! (an agent's next arrival is scheduled only when its previous one has
+//! been consumed), at most one [`Event::ArbitrationComplete`] (arbitration
+//! is exclusive on the lines), and at most one [`Event::TransactionEnd`]
+//! (the bus carries one transaction at a time). [`EventQueue`] exploits
+//! that bound with a **fixed-slot calendar** — one optional timestamp per
+//! agent plus two singleton slots — popping by indexed minimum instead of
+//! maintaining a general-purpose heap. An occupancy bitmask keeps the
+//! minimum scan proportional to the number of *pending* arrivals, not the
+//! agent count: away from light load most agents are blocked waiting for
+//! the bus with no arrival scheduled, so the scan typically touches only
+//! a handful of slots. The legacy `BinaryHeap`
+//! implementation is retained as `HeapEventQueue` (test builds and the
+//! `queue-ref` feature only) and serves as the reference oracle for the
+//! equivalence property tests below.
 
 use busarb_types::{AgentId, Time};
 
@@ -25,7 +39,10 @@ pub enum Event {
 }
 
 impl Event {
-    /// Tie-break rank at equal timestamps (lower runs first).
+    /// Tie-break rank at equal timestamps (lower runs first). The calendar
+    /// encodes these ranks positionally in `EventQueue::min_entry`; only
+    /// the reference heap consults this method.
+    #[cfg(any(test, feature = "queue-ref"))]
     fn rank(&self) -> u8 {
         match self {
             Event::ArbitrationComplete => 0,
@@ -35,42 +52,21 @@ impl Event {
     }
 }
 
-/// A scheduled event (internal heap entry).
-#[derive(Clone, Copy, Debug)]
-struct Scheduled {
-    at: Time,
-    rank: u8,
-    seq: u64,
-    event: Event,
-}
+/// One occupied calendar slot: when the event fires, and the insertion
+/// sequence number that breaks ties among equal-timestamp arrivals.
+type Slot = Option<(Time, u64)>;
 
-impl PartialEq for Scheduled {
-    fn eq(&self, other: &Self) -> bool {
-        self.cmp(other) == Ordering::Equal
-    }
-}
-
-impl Eq for Scheduled {}
-
-impl Ord for Scheduled {
-    fn cmp(&self, other: &Self) -> Ordering {
-        // BinaryHeap is a max-heap; reverse so the earliest event pops
-        // first.
-        (other.at, other.rank, other.seq).cmp(&(self.at, self.rank, self.seq))
-    }
-}
-
-impl PartialOrd for Scheduled {
-    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.cmp(other))
-    }
-}
-
-/// A deterministic future-event list.
+/// A deterministic future-event list, stored as a fixed-slot calendar.
 ///
 /// Events pop in timestamp order; ties resolve by event kind (see
 /// [`Event`]) and then by insertion order, so identically seeded runs
-/// replay identically.
+/// replay identically — the pop order is bit-for-bit the order the legacy
+/// heap implementation (`HeapEventQueue`) produces.
+///
+/// Because each slot holds at most one event, scheduling a second
+/// `ArbitrationComplete`, a second `TransactionEnd`, or a second arrival
+/// for the same agent before the first has popped is a bug in the caller
+/// and panics.
 ///
 /// # Examples
 ///
@@ -90,58 +86,224 @@ impl PartialOrd for Scheduled {
 /// ```
 #[derive(Debug, Default)]
 pub struct EventQueue {
-    heap: BinaryHeap<Scheduled>,
+    /// Singleton slot for the in-flight arbitration's completion.
+    completion: Slot,
+    /// Singleton slot for the current transaction's end.
+    end: Slot,
+    /// One slot per agent (indexed by `AgentId::index()`), grown on first
+    /// use; the simulator schedules at most one pending arrival per agent.
+    arrivals: Vec<Slot>,
+    /// Occupancy bitmask over `arrivals`, in 64-slot words: bit
+    /// `idx % 64` of word `idx / 64` is set iff `arrivals[idx]` is
+    /// `Some`. The minimum scan walks set bits only, so its cost tracks
+    /// the pending-arrival count rather than the agent count.
+    occupied: Vec<u64>,
     next_seq: u64,
+    len: usize,
 }
 
 impl EventQueue {
     /// Creates an empty queue.
     #[must_use]
     pub fn new() -> Self {
-        EventQueue {
-            heap: BinaryHeap::new(),
-            next_seq: 0,
-        }
+        EventQueue::default()
     }
 
     /// Schedules `event` at absolute time `at`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the event's calendar slot is already occupied (two
+    /// pending arrivals for one agent, or a second pending singleton
+    /// event) — the simulator never does this; see the type docs.
     pub fn schedule(&mut self, at: Time, event: Event) {
-        self.heap.push(Scheduled {
-            at,
-            rank: event.rank(),
-            seq: self.next_seq,
-            event,
-        });
+        let seq = self.next_seq;
         self.next_seq += 1;
+        let slot = match event {
+            Event::ArbitrationComplete => &mut self.completion,
+            Event::TransactionEnd => &mut self.end,
+            Event::RequestArrival(agent) => {
+                let idx = agent.index();
+                if idx >= self.arrivals.len() {
+                    self.arrivals.resize(idx + 1, None);
+                    self.occupied.resize(self.arrivals.len().div_ceil(64), 0);
+                }
+                self.occupied[idx / 64] |= 1 << (idx % 64);
+                &mut self.arrivals[idx]
+            }
+        };
+        assert!(
+            slot.is_none(),
+            "calendar slot for {event:?} already occupied"
+        );
+        *slot = Some((at, seq));
+        self.len += 1;
+    }
+
+    /// The earliest pending event as `(time, tie-break rank, seq, event)`,
+    /// by scanning the two singleton slots and the *occupied* arrival
+    /// slots (walking set bits of the occupancy mask).
+    fn min_entry(&self) -> Option<(Time, u8, u64, Event)> {
+        let mut best: Option<(Time, u8, u64, Event)> = None;
+        if let Some((t, seq)) = self.completion {
+            best = Some((t, 0, seq, Event::ArbitrationComplete));
+        }
+        if let Some((t, seq)) = self.end {
+            if best.is_none_or(|(bt, br, bs, _)| (t, 1, seq) < (bt, br, bs)) {
+                best = Some((t, 1, seq, Event::TransactionEnd));
+            }
+        }
+        for (word_idx, &word) in self.occupied.iter().enumerate() {
+            let mut word = word;
+            while word != 0 {
+                let idx = word_idx * 64 + word.trailing_zeros() as usize;
+                word &= word - 1;
+                let (t, seq) = self.arrivals[idx].expect("occupancy bit set for an empty slot");
+                if best.is_none_or(|(bt, br, bs, _)| (t, 2, seq) < (bt, br, bs)) {
+                    let agent = AgentId::new(idx as u32 + 1).expect("slot index + 1 is nonzero");
+                    best = Some((t, 2, seq, Event::RequestArrival(agent)));
+                }
+            }
+        }
+        best
     }
 
     /// Pops the earliest event.
     pub fn pop(&mut self) -> Option<(Time, Event)> {
-        self.heap.pop().map(|s| (s.at, s.event))
+        let (t, _, _, event) = self.min_entry()?;
+        match event {
+            Event::ArbitrationComplete => self.completion = None,
+            Event::TransactionEnd => self.end = None,
+            Event::RequestArrival(agent) => {
+                let idx = agent.index();
+                self.arrivals[idx] = None;
+                self.occupied[idx / 64] &= !(1 << (idx % 64));
+            }
+        }
+        self.len -= 1;
+        Some((t, event))
     }
 
     /// Timestamp of the earliest pending event.
     #[must_use]
     pub fn peek_time(&self) -> Option<Time> {
-        self.heap.peek().map(|s| s.at)
+        self.min_entry().map(|(t, _, _, _)| t)
     }
 
     /// Number of pending events.
     #[must_use]
     pub fn len(&self) -> usize {
-        self.heap.len()
+        self.len
     }
 
     /// Whether the queue is empty.
     #[must_use]
     pub fn is_empty(&self) -> bool {
-        self.heap.is_empty()
+        self.len == 0
     }
 }
+
+/// The pre-calendar `BinaryHeap` event queue, kept as the reference
+/// implementation the slot calendar is property-tested against (and for
+/// ad-hoc A/B timing with `--features queue-ref`). Same pop order,
+/// bit-for-bit; unlike [`EventQueue`] it accepts arbitrarily many pending
+/// events of each kind.
+#[cfg(any(test, feature = "queue-ref"))]
+pub mod reference {
+    use std::cmp::Ordering;
+    use std::collections::BinaryHeap;
+
+    use super::Event;
+    use busarb_types::Time;
+
+    /// A scheduled event (internal heap entry).
+    #[derive(Clone, Copy, Debug)]
+    struct Scheduled {
+        at: Time,
+        rank: u8,
+        seq: u64,
+        event: Event,
+    }
+
+    impl PartialEq for Scheduled {
+        fn eq(&self, other: &Self) -> bool {
+            self.cmp(other) == Ordering::Equal
+        }
+    }
+
+    impl Eq for Scheduled {}
+
+    impl Ord for Scheduled {
+        fn cmp(&self, other: &Self) -> Ordering {
+            // BinaryHeap is a max-heap; reverse so the earliest event pops
+            // first.
+            (other.at, other.rank, other.seq).cmp(&(self.at, self.rank, self.seq))
+        }
+    }
+
+    impl PartialOrd for Scheduled {
+        fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+            Some(self.cmp(other))
+        }
+    }
+
+    /// The legacy heap-backed deterministic future-event list.
+    #[derive(Debug, Default)]
+    pub struct HeapEventQueue {
+        heap: BinaryHeap<Scheduled>,
+        next_seq: u64,
+    }
+
+    impl HeapEventQueue {
+        /// Creates an empty queue.
+        #[must_use]
+        pub fn new() -> Self {
+            HeapEventQueue::default()
+        }
+
+        /// Schedules `event` at absolute time `at`.
+        pub fn schedule(&mut self, at: Time, event: Event) {
+            self.heap.push(Scheduled {
+                at,
+                rank: event.rank(),
+                seq: self.next_seq,
+                event,
+            });
+            self.next_seq += 1;
+        }
+
+        /// Pops the earliest event.
+        pub fn pop(&mut self) -> Option<(Time, Event)> {
+            self.heap.pop().map(|s| (s.at, s.event))
+        }
+
+        /// Timestamp of the earliest pending event.
+        #[must_use]
+        pub fn peek_time(&self) -> Option<Time> {
+            self.heap.peek().map(|s| s.at)
+        }
+
+        /// Number of pending events.
+        #[must_use]
+        pub fn len(&self) -> usize {
+            self.heap.len()
+        }
+
+        /// Whether the queue is empty.
+        #[must_use]
+        pub fn is_empty(&self) -> bool {
+            self.heap.is_empty()
+        }
+    }
+}
+
+#[cfg(any(test, feature = "queue-ref"))]
+pub use reference::HeapEventQueue;
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use proptest::prelude::*;
 
     fn id(n: u32) -> AgentId {
         AgentId::new(n).unwrap()
@@ -187,8 +349,99 @@ mod tests {
         assert!(q.is_empty());
         assert_eq!(q.peek_time(), None);
         q.schedule(Time::from(4.0), Event::TransactionEnd);
-        q.schedule(Time::from(2.0), Event::TransactionEnd);
+        q.schedule(Time::from(2.0), Event::ArbitrationComplete);
         assert_eq!(q.peek_time(), Some(Time::from(2.0)));
         assert_eq!(q.len(), 2);
+    }
+
+    #[test]
+    fn slot_frees_on_pop_and_can_be_rescheduled() {
+        let mut q = EventQueue::new();
+        q.schedule(Time::from(1.0), Event::TransactionEnd);
+        assert_eq!(q.pop().unwrap().1, Event::TransactionEnd);
+        q.schedule(Time::from(2.0), Event::TransactionEnd);
+        assert_eq!(q.pop().unwrap().0, Time::from(2.0));
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "already occupied")]
+    fn double_scheduling_a_slot_panics() {
+        let mut q = EventQueue::new();
+        q.schedule(Time::from(1.0), Event::RequestArrival(id(3)));
+        q.schedule(Time::from(2.0), Event::RequestArrival(id(3)));
+    }
+
+    /// Shadow occupancy for generating valid calendar traces.
+    #[derive(Default)]
+    struct Occupancy {
+        completion: bool,
+        end: bool,
+        arrivals: [bool; 8],
+    }
+
+    impl Occupancy {
+        fn slot(&mut self, event: Event) -> &mut bool {
+            match event {
+                Event::ArbitrationComplete => &mut self.completion,
+                Event::TransactionEnd => &mut self.end,
+                Event::RequestArrival(a) => &mut self.arrivals[a.index()],
+            }
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(256))]
+
+        /// The calendar pops the identical `(Time, Event)` sequence the
+        /// legacy heap pops, for arbitrary interleaved schedule/pop traces
+        /// — including equal-timestamp ties (times are quantized to halves
+        /// so collisions are common).
+        #[test]
+        fn calendar_matches_reference_heap(
+            ops in prop::collection::vec(
+                (any::<bool>(), 0u8..3, 1u32..=8, 0u32..12),
+                0..120,
+            ),
+        ) {
+            let mut calendar = EventQueue::new();
+            let mut heap = HeapEventQueue::new();
+            let mut busy = Occupancy::default();
+            for (is_pop, kind, agent, half_ticks) in ops {
+                if is_pop {
+                    let got = calendar.pop();
+                    prop_assert_eq!(got, heap.pop());
+                    if let Some((_, event)) = got {
+                        *busy.slot(event) = false;
+                    }
+                } else {
+                    let event = match kind {
+                        0 => Event::ArbitrationComplete,
+                        1 => Event::TransactionEnd,
+                        _ => Event::RequestArrival(id(agent)),
+                    };
+                    // Respect the calendar's one-event-per-slot invariant
+                    // (which the simulator upholds by construction).
+                    let slot = busy.slot(event);
+                    if *slot {
+                        continue;
+                    }
+                    *slot = true;
+                    let at = Time::from(f64::from(half_ticks) * 0.5);
+                    calendar.schedule(at, event);
+                    heap.schedule(at, event);
+                }
+                prop_assert_eq!(calendar.len(), heap.len());
+                prop_assert_eq!(calendar.peek_time(), heap.peek_time());
+            }
+            // Drain: the full remaining pop sequences must also agree.
+            loop {
+                let (a, b) = (calendar.pop(), heap.pop());
+                prop_assert_eq!(a, b);
+                if a.is_none() {
+                    break;
+                }
+            }
+        }
     }
 }

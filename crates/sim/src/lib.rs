@@ -50,6 +50,8 @@ mod system;
 mod trace;
 
 pub use config::{ArbitrationStartRule, OverheadModel, SystemConfig};
+#[cfg(any(test, feature = "queue-ref"))]
+pub use event::HeapEventQueue;
 pub use event::{Event, EventQueue};
 pub use report::RunReport;
 pub use system::Simulation;

@@ -37,6 +37,10 @@ pub struct RunReport {
     /// Empirical CDF of the waiting time, if collection was enabled
     /// (Figure 4.1 / Table 4.3).
     pub cdf: Option<Cdf>,
+    /// Total simulation events processed by the run (arrivals,
+    /// arbitration completions, transaction ends) — the denominator of the
+    /// engine's events/sec throughput figure.
+    pub events: u64,
     /// Total grants issued during measurement.
     pub grants: u64,
     /// Total line arbitrations, including RR-3 wraparounds and

@@ -84,9 +84,13 @@ impl BenchmarkGroup<'_> {
         mut f: F,
     ) -> &mut Self {
         let id = id.into();
-        run_one(&format!("{}/{}", self.name, id.0), self.throughput, &mut |b| {
-            f(b, input);
-        });
+        run_one(
+            &format!("{}/{}", self.name, id.0),
+            self.throughput,
+            &mut |b| {
+                f(b, input);
+            },
+        );
         self
     }
 
@@ -201,7 +205,10 @@ fn run_one(name: &str, throughput: Option<Throughput>, f: &mut dyn FnMut(&mut Be
             format!("  {:.2} Melem/s", n as f64 / ns_per_iter * 1e3)
         }
         Some(Throughput::Bytes(n)) => {
-            format!("  {:.2} MiB/s", n as f64 / ns_per_iter * 1e9 / (1024.0 * 1024.0))
+            format!(
+                "  {:.2} MiB/s",
+                n as f64 / ns_per_iter * 1e9 / (1024.0 * 1024.0)
+            )
         }
         None => String::new(),
     };

@@ -29,18 +29,28 @@ fn generate(input: TokenStream) -> Result<String, String> {
     let kind = match &tokens.get(i) {
         Some(TokenTree::Ident(id)) if id.to_string() == "struct" => "struct",
         Some(TokenTree::Ident(id)) if id.to_string() == "enum" => "enum",
-        other => return Err(format!("derive(Serialize) shim: expected struct or enum, found {other:?}")),
+        other => {
+            return Err(format!(
+                "derive(Serialize) shim: expected struct or enum, found {other:?}"
+            ))
+        }
     };
     i += 1;
 
     let name = match &tokens.get(i) {
         Some(TokenTree::Ident(id)) => id.to_string(),
-        other => return Err(format!("derive(Serialize) shim: expected type name, found {other:?}")),
+        other => {
+            return Err(format!(
+                "derive(Serialize) shim: expected type name, found {other:?}"
+            ))
+        }
     };
     i += 1;
 
     if matches!(&tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
-        return Err(format!("derive(Serialize) shim: generics on `{name}` are not supported"));
+        return Err(format!(
+            "derive(Serialize) shim: generics on `{name}` are not supported"
+        ));
     }
 
     let body = match &tokens.get(i) {
@@ -107,12 +117,20 @@ fn named_fields(body: TokenStream) -> Result<Vec<String>, String> {
         }
         let field = match &tokens[i] {
             TokenTree::Ident(id) => id.to_string(),
-            other => return Err(format!("derive(Serialize) shim: expected field name, found {other:?}")),
+            other => {
+                return Err(format!(
+                    "derive(Serialize) shim: expected field name, found {other:?}"
+                ))
+            }
         };
         i += 1;
         match &tokens.get(i) {
             Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
-            other => return Err(format!("derive(Serialize) shim: expected `:` after `{field}`, found {other:?}")),
+            other => {
+                return Err(format!(
+                    "derive(Serialize) shim: expected `:` after `{field}`, found {other:?}"
+                ))
+            }
         }
         fields.push(field);
         // Skip the type, tracking angle-bracket depth so commas inside
@@ -146,7 +164,11 @@ fn unit_variants(name: &str, body: TokenStream) -> Result<Vec<String>, String> {
         }
         let variant = match &tokens[i] {
             TokenTree::Ident(id) => id.to_string(),
-            other => return Err(format!("derive(Serialize) shim: expected variant name in `{name}`, found {other:?}")),
+            other => {
+                return Err(format!(
+                    "derive(Serialize) shim: expected variant name in `{name}`, found {other:?}"
+                ))
+            }
         };
         i += 1;
         match &tokens.get(i) {
