@@ -31,17 +31,23 @@ use serde::Serialize;
 const AGENTS: u32 = 30;
 const LOAD: f64 = 2.0;
 
-/// The protocols timed — one per family (static priority, assured
-/// access, RR, both FCFS counter strategies, a central reference, and
-/// the hybrid).
-const PROTOCOLS: [ProtocolKind; 7] = [
+/// The protocols timed — every [`ProtocolKind`], so the report covers the
+/// full dispatch surface (`cargo xtask lint` checks this roster stays
+/// complete).
+const PROTOCOLS: [ProtocolKind; 13] = [
     ProtocolKind::FixedPriority,
     ProtocolKind::AssuredAccessIdleBatch,
+    ProtocolKind::AssuredAccessFairnessRelease,
+    ProtocolKind::AssuredAccessClosedBatch,
     ProtocolKind::RoundRobin,
     ProtocolKind::Fcfs1,
     ProtocolKind::Fcfs2,
+    ProtocolKind::CentralRoundRobin,
     ProtocolKind::CentralFcfs,
     ProtocolKind::Hybrid,
+    ProtocolKind::Adaptive,
+    ProtocolKind::RotatingRr,
+    ProtocolKind::TicketFcfs,
 ];
 
 #[derive(Serialize)]

@@ -76,6 +76,14 @@ impl Aap1System {
     pub fn request_line(&self) -> bool {
         !self.asserting.is_empty()
     }
+
+    /// Appends a normalized fingerprint of the arbitration-relevant state
+    /// (asserting and deferred sets) to `out`.
+    #[doc(hidden)]
+    pub fn verify_signature(&self, out: &mut Vec<u64>) {
+        busarb_types::fingerprint::push_set(out, self.asserting);
+        busarb_types::fingerprint::push_set(out, self.deferred);
+    }
 }
 
 impl SignalProtocol for Aap1System {
@@ -196,6 +204,15 @@ impl Aap2System {
     #[must_use]
     pub fn releases(&self) -> u64 {
         self.releases
+    }
+
+    /// Appends a normalized fingerprint of the arbitration-relevant state
+    /// (request set and inhibited flip-flops) to `out`. The release
+    /// statistic is excluded: it never influences a grant decision.
+    #[doc(hidden)]
+    pub fn verify_signature(&self, out: &mut Vec<u64>) {
+        busarb_types::fingerprint::push_set(out, self.requesting);
+        busarb_types::fingerprint::push_set(out, self.inhibited);
     }
 }
 

@@ -97,6 +97,16 @@ impl Fcfs1System {
     pub fn counter(&self, id: AgentId) -> u64 {
         self.counters[id.index()]
     }
+
+    /// Appends a normalized fingerprint of the arbitration-relevant state
+    /// to `out`: the request set and the counters of requesting agents in
+    /// identity order. A non-requesting agent's counter is reset before it
+    /// is ever read again, so stale values are excluded.
+    #[doc(hidden)]
+    pub fn verify_signature(&self, out: &mut Vec<u64>) {
+        busarb_types::fingerprint::push_set(out, self.requesting);
+        out.extend(self.requesting.iter().map(|id| self.counters[id.index()]));
+    }
 }
 
 impl SignalProtocol for Fcfs1System {

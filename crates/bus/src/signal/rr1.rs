@@ -116,6 +116,14 @@ impl Rr1System {
     pub fn registers_converged(&self) -> bool {
         self.winner_registers.windows(2).all(|w| w[0] == w[1])
     }
+
+    /// Appends a normalized fingerprint of the arbitration-relevant state
+    /// (request set and every winner-register replica) to `out`.
+    #[doc(hidden)]
+    pub fn verify_signature(&self, out: &mut Vec<u64>) {
+        busarb_types::fingerprint::push_set(out, self.requesting);
+        out.extend(self.winner_registers.iter().map(|&r| u64::from(r)));
+    }
 }
 
 impl SignalProtocol for Rr1System {

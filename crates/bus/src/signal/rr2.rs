@@ -71,6 +71,14 @@ impl Rr2System {
     pub fn low_request_asserted(&self) -> bool {
         self.requesting.iter().any(|id| id.get() < self.last_winner)
     }
+
+    /// Appends a normalized fingerprint of the arbitration-relevant state
+    /// (request set and winner register) to `out`.
+    #[doc(hidden)]
+    pub fn verify_signature(&self, out: &mut Vec<u64>) {
+        busarb_types::fingerprint::push_set(out, self.requesting);
+        out.push(u64::from(self.last_winner));
+    }
 }
 
 impl SignalProtocol for Rr2System {

@@ -80,6 +80,28 @@ impl Rr3System {
         self.empty_arbitrations
     }
 
+    /// Appends a normalized fingerprint of the arbitration-relevant state
+    /// (request set and winner register) to `out`. The empty-arbitration
+    /// statistic is excluded.
+    #[doc(hidden)]
+    pub fn verify_signature(&self, out: &mut Vec<u64>) {
+        busarb_types::fingerprint::push_set(out, self.requesting);
+        out.push(u64::from(self.last_winner));
+    }
+
+    /// The empty-arbitration recovery transition (paper §3.1): a winning
+    /// value of zero told every agent that nobody competed, so each one
+    /// records `N+1` as the winner. All requesters have identities below
+    /// `N+1`, so the arbitration that follows this transition admits every
+    /// requester and cannot be empty again.
+    ///
+    /// This is the *only* transition that writes a value other than a real
+    /// winner identity into the register.
+    fn record_empty_arbitration(&mut self) {
+        self.empty_arbitrations += 1;
+        self.last_winner = self.n + 1;
+    }
+
     /// Runs one line arbitration among requesters below the register.
     fn arbitrate_below(&mut self) -> (u64, u32) {
         let mut eligible = core::mem::take(&mut self.scratch);
@@ -118,11 +140,9 @@ impl SignalProtocol for Rr3System {
         }
         let (value, rounds) = self.arbitrate_below();
         let (value, total_rounds, arbitrations) = if value == 0 {
-            // Nobody below the register competed: record N+1 and start a
-            // new arbitration immediately. All requesters are below N+1, so
-            // the second arbitration cannot be empty.
-            self.empty_arbitrations += 1;
-            self.last_winner = self.n + 1;
+            // Nobody below the register competed: take the recovery
+            // transition, then start a new arbitration immediately.
+            self.record_empty_arbitration();
             let (v2, r2) = self.arbitrate_below();
             (v2, rounds + r2, 2)
         } else {
@@ -241,5 +261,53 @@ mod tests {
         let mut sys = Rr3System::new(2).unwrap();
         assert!(sys.arbitrate().is_none());
         assert_eq!(sys.empty_arbitrations(), 0);
+    }
+
+    #[test]
+    fn recovery_transition_records_sentinel_and_counts() {
+        let mut sys = Rr3System::new(4).unwrap();
+        sys.on_requests(&ids(&[2]));
+        sys.arbitrate().unwrap(); // register = 2
+        sys.on_requests(&ids(&[3]));
+        // Nobody below the register: the first line arbitration is empty.
+        let (value, _) = sys.arbitrate_below();
+        assert_eq!(value, 0);
+        // The recovery transition records N+1 and counts the overhead.
+        sys.record_empty_arbitration();
+        assert_eq!(sys.last_winner(), 5);
+        assert_eq!(sys.empty_arbitrations(), 1);
+        // The arbitration that follows admits every requester.
+        let (value, _) = sys.arbitrate_below();
+        assert_eq!(sys.layout.decode_id(value).unwrap(), id(3));
+    }
+
+    #[test]
+    fn recovery_arbitration_is_never_empty() {
+        // Exhaustively: for every non-empty request subset and every
+        // register value a grant sequence can produce, an empty first
+        // arbitration is always followed by a successful one, and the
+        // wraparound happens exactly when no requester is below the
+        // register.
+        let n = 4u32;
+        for mask in 1u32..(1 << n) {
+            for register in 1..=n + 1 {
+                let mut sys = Rr3System::new(n).unwrap();
+                sys.last_winner = register;
+                let batch: Vec<AgentId> = (1..=n)
+                    .filter(|&a| mask & (1 << (a - 1)) != 0)
+                    .map(id)
+                    .collect();
+                sys.on_requests(&batch);
+                let expect_wrap = !batch.iter().any(|a| a.get() < register);
+                let out = sys.arbitrate().expect("requesters pending");
+                assert_eq!(
+                    out.arbitrations,
+                    if expect_wrap { 2 } else { 1 },
+                    "mask {mask:#b} register {register}"
+                );
+                assert_eq!(sys.empty_arbitrations(), u64::from(expect_wrap));
+                assert_eq!(sys.last_winner(), out.winner.get());
+            }
+        }
     }
 }

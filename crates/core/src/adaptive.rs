@@ -178,6 +178,40 @@ impl AdaptiveArbiter {
         }
     }
 
+    /// Appends a normalized fingerprint of the arbitration-relevant state
+    /// to `out`: outstanding entries in arrival order (sequence numbers
+    /// rank-normalized away), the winner register, the mode, and the
+    /// tie-history ring (chunked into 64-bit words). The switch statistic
+    /// and the `last_pulse` stamp are excluded — the bounded model checker
+    /// drives the arbiter with strictly increasing times and a zero tie
+    /// window, so a past pulse can never merge with a future arrival.
+    #[doc(hidden)]
+    pub fn verify_signature(&self, out: &mut Vec<u64>) {
+        let mut order: Vec<usize> = (0..self.entries.len()).collect();
+        order.sort_unstable_by_key(|&i| self.entries[i].seq);
+        out.push(self.entries.len() as u64);
+        for i in order {
+            let e = &self.entries[i];
+            out.push(u64::from(e.agent.get()));
+            out.push(u64::from(e.priority.bit()));
+            out.push(e.counter);
+        }
+        out.push(u64::from(self.last_winner));
+        out.push(match self.mode {
+            AdaptiveMode::Fcfs => 0,
+            AdaptiveMode::RoundRobin => 1,
+        });
+        out.push(self.recent_ties.len() as u64);
+        for chunk in Vec::from_iter(self.recent_ties.iter().copied()).chunks(64) {
+            out.push(
+                chunk
+                    .iter()
+                    .enumerate()
+                    .fold(0u64, |acc, (i, &t)| acc | (u64::from(t) << i)),
+            );
+        }
+    }
+
     fn update_mode(&mut self) {
         if self.recent_ties.len() < self.config.history {
             return; // not enough evidence yet

@@ -133,6 +133,19 @@ impl AssuredAccess {
         self.releases
     }
 
+    /// Appends a normalized fingerprint of the arbitration-relevant state
+    /// (all five membership sets) to `out`. The release statistic is
+    /// excluded.
+    #[doc(hidden)]
+    pub fn verify_signature(&self, out: &mut Vec<u64>) {
+        use busarb_types::fingerprint::push_set;
+        push_set(out, self.requesting);
+        push_set(out, self.deferred);
+        push_set(out, self.inhibited);
+        push_set(out, self.batch_members);
+        push_set(out, self.urgent);
+    }
+
     /// Resolves an ordinary-class arbitration under the configured rule.
     fn arbitrate_ordinary(&mut self) -> Option<Grant> {
         match self.rule {

@@ -62,6 +62,24 @@ impl CentralRoundRobin {
         })
     }
 
+    /// Appends a normalized fingerprint of the arbitration-relevant state
+    /// (request flags and the scan pointer) to `out`.
+    #[doc(hidden)]
+    pub fn verify_signature(&self, out: &mut Vec<u64>) {
+        let pack = |flags: &[bool], out: &mut Vec<u64>| {
+            let bits = flags
+                .iter()
+                .enumerate()
+                .filter(|(_, &r)| r)
+                .fold(0u128, |acc, (i, _)| acc | (1 << i));
+            out.push(bits as u64);
+            out.push((bits >> 64) as u64);
+        };
+        pack(&self.ordinary, out);
+        pack(&self.urgent, out);
+        out.push(u64::from(self.pointer));
+    }
+
     /// Scans `pointer-1, pointer-2, …, 1, N, N-1, …, pointer` and returns
     /// the first requesting agent in `flags`.
     fn scan(&self, flags: &[bool]) -> Option<AgentId> {
@@ -184,6 +202,21 @@ impl CentralFcfs {
             queue: VecDeque::new(),
             next_seq: 0,
         })
+    }
+
+    /// Appends a normalized fingerprint of the arbitration-relevant state
+    /// to `out`: queued requests in injection order with their class,
+    /// identity, and arrival *rank* (absolute arrival times and sequence
+    /// numbers grow without bound; only their relative order matters).
+    #[doc(hidden)]
+    pub fn verify_signature(&self, out: &mut Vec<u64>) {
+        out.push(self.queue.len() as u64);
+        for r in &self.queue {
+            let rank = self.queue.iter().filter(|o| o.arrived < r.arrived).count();
+            out.push(u64::from(r.agent.get()));
+            out.push(u64::from(r.priority.bit()));
+            out.push(rank as u64);
+        }
     }
 
     /// Index of the next request to serve: earliest arrival in the highest

@@ -50,6 +50,14 @@ impl FixedPriority {
             urgent: AgentSet::new(),
         })
     }
+
+    /// Appends a normalized fingerprint of the arbitration-relevant state
+    /// (the two request sets — fixed priority has no other state) to `out`.
+    #[doc(hidden)]
+    pub fn verify_signature(&self, out: &mut Vec<u64>) {
+        busarb_types::fingerprint::push_set(out, self.ordinary);
+        busarb_types::fingerprint::push_set(out, self.urgent);
+    }
 }
 
 impl Arbiter for FixedPriority {

@@ -105,6 +105,26 @@ impl HybridRrFcfs {
     pub fn last_winner(&self) -> u32 {
         self.last_winner
     }
+
+    /// Appends a normalized fingerprint of the arbitration-relevant state
+    /// to `out`: outstanding entries in arrival order (sequence numbers
+    /// rank-normalized away) plus the winner register. The `last_pulse`
+    /// stamp is excluded — the bounded model checker drives the arbiter
+    /// with strictly increasing times and a zero tie window, so a past
+    /// pulse can never merge with a future arrival.
+    #[doc(hidden)]
+    pub fn verify_signature(&self, out: &mut Vec<u64>) {
+        let mut order: Vec<usize> = (0..self.entries.len()).collect();
+        order.sort_unstable_by_key(|&i| self.entries[i].seq);
+        out.push(self.entries.len() as u64);
+        for i in order {
+            let e = &self.entries[i];
+            out.push(u64::from(e.agent.get()));
+            out.push(u64::from(e.priority.bit()));
+            out.push(e.counter);
+        }
+        out.push(u64::from(self.last_winner));
+    }
 }
 
 impl Arbiter for HybridRrFcfs {

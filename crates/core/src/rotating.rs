@@ -128,6 +128,17 @@ impl RotatingPriority {
         false
     }
 
+    /// Appends a normalized fingerprint of the arbitration-relevant state
+    /// (request sets, dynamic number registers, stuck-fault set) to `out`.
+    /// The renumber-event statistic is excluded.
+    #[doc(hidden)]
+    pub fn verify_signature(&self, out: &mut Vec<u64>) {
+        busarb_types::fingerprint::push_set(out, self.ordinary);
+        busarb_types::fingerprint::push_set(out, self.urgent);
+        busarb_types::fingerprint::push_set(out, self.stuck);
+        out.extend(self.dynamic.iter().map(|&d| u64::from(d)));
+    }
+
     /// Rotates every agent's dynamic number after `winner` wins: the
     /// winner takes number 1 (lowest), and each agent's new number is its
     /// cyclic distance from the winner.

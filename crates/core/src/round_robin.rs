@@ -156,6 +156,16 @@ impl DistributedRoundRobin {
         self.empty_arbitrations
     }
 
+    /// Appends a normalized fingerprint of the arbitration-relevant state
+    /// (request sets and the replicated winner register) to `out`.
+    /// Statistics counters are excluded: they never influence a grant.
+    #[doc(hidden)]
+    pub fn verify_signature(&self, out: &mut Vec<u64>) {
+        busarb_types::fingerprint::push_set(out, self.ordinary);
+        busarb_types::fingerprint::push_set(out, self.urgent);
+        out.push(u64::from(self.last_winner));
+    }
+
     /// Round-robin selection from `set` given the winner register: the
     /// highest identity below the register, else the highest overall.
     /// Returns the winner and the number of line arbitrations consumed.

@@ -130,6 +130,30 @@ impl TicketFcfs {
         self.serving
     }
 
+    /// Appends a normalized fingerprint of the arbitration-relevant state
+    /// to `out`. Ticket values are encoded relative to the service counter
+    /// (the dispenser pair only ever compares modulo the ticket space) and
+    /// queue entries are sorted — `swap_remove` permutes the queue without
+    /// changing behavior. The dispenser-grant statistic is excluded.
+    #[doc(hidden)]
+    pub fn verify_signature(&self, out: &mut Vec<u64>) {
+        let space = self.ticket_space();
+        let delta = |ticket: u64| (ticket + space - self.serving) % space;
+        let mut entries: Vec<(u64, u32)> = self
+            .queue
+            .iter()
+            .map(|r| (delta(r.ticket), r.agent.get()))
+            .collect();
+        entries.sort_unstable();
+        out.push(delta(self.next_ticket));
+        out.push(entries.len() as u64);
+        for (d, agent) in entries {
+            out.push(d);
+            out.push(u64::from(agent));
+        }
+        busarb_types::fingerprint::push_set(out, self.urgent);
+    }
+
     /// The ticket held by an agent's request, if it holds one.
     #[must_use]
     pub fn ticket_of(&self, agent: AgentId) -> Option<u64> {

@@ -25,6 +25,7 @@
 //!   priority            urgent traffic vs FCFS counter-update rules (§3.2)
 //!   scaling             W and sd ratio vs system size (4..64 agents)
 //!   validate.cis        CI coverage + batch-independence diagnostics
+//!   protocols           list every simulated protocol and its line cost
 //!   all                 everything above (shares one simulation grid)
 //! ```
 
@@ -32,9 +33,10 @@ use std::fs;
 use std::path::PathBuf;
 use std::process::ExitCode;
 
+use busarb_core::{Arbiter, ProtocolKind};
 use busarb_experiments::{
-    ablations, bursty, figure4_1, grid::Grid, priority_study, scaling, table4_1, table4_2,
-    table4_3, table4_4, table4_5, tails, validation, worst_case_fcfs, Scale,
+    ablations, bursty, figure4_1, grid::Grid, priority_study, protocol_slug, scaling, table4_1,
+    table4_2, table4_3, table4_4, table4_5, tails, validation, worst_case_fcfs, Scale,
 };
 use serde::Serialize;
 
@@ -87,7 +89,8 @@ fn usage() -> &'static str {
      \u{20}         ablation.counters ablation.window ablation.rr3\n\
      \u{20}         ablation.start-rule ablation.overhead ablation.width-overhead\n\
      \u{20}         hybrid conservation\n\
-     \u{20}         tails bursty worst-case.fcfs priority scaling validate.cis all"
+     \u{20}         tails bursty worst-case.fcfs priority scaling validate.cis\n\
+     \u{20}         protocols all"
 }
 
 fn emit<T: Serialize>(opts: &Options, name: &str, value: &T, text: String) {
@@ -200,6 +203,20 @@ fn main() -> ExitCode {
                 &d,
                 validation::format_diagnostics(&d),
             );
+        }
+        "protocols" => {
+            // One row per simulated protocol: slug, family name, and the
+            // arbitration-number width on a 30-agent bus (distributed
+            // protocols only). This is the canonical roster `cargo xtask
+            // lint` checks the other dispatch sites against.
+            println!("{:<14} {:<16} lines(n=30)", "slug", "name");
+            for &kind in ProtocolKind::all() {
+                let arbiter = kind.build(30).expect("30 agents is a valid size");
+                let lines = arbiter
+                    .layout()
+                    .map_or_else(|| "-".to_string(), |l| l.width().to_string());
+                println!("{:<14} {:<16} {lines}", protocol_slug(kind), arbiter.name());
+            }
         }
         "all" => {
             eprintln!("computing the shared simulation grid...");

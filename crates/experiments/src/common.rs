@@ -74,6 +74,34 @@ pub fn seed_for(tag: &str) -> u64 {
     h.finish() ^ 0xB0A7_AB1E_5EED_5EED
 }
 
+/// The file-name-safe slug for one protocol, used to tag per-cell seeds
+/// and JSON outputs.
+///
+/// Matches the `Display` form of [`ProtocolKind`], but is spelled as an
+/// explicit per-variant match so `cargo xtask lint` can prove that every
+/// protocol is wired into the experiment layer.
+#[must_use]
+pub fn protocol_slug(kind: ProtocolKind) -> &'static str {
+    match kind {
+        ProtocolKind::FixedPriority => "fixed-priority",
+        ProtocolKind::AssuredAccessIdleBatch => "aap-1",
+        ProtocolKind::AssuredAccessFairnessRelease => "aap-2",
+        ProtocolKind::AssuredAccessClosedBatch => "aap-2m",
+        ProtocolKind::RoundRobin => "rr",
+        ProtocolKind::Fcfs1 => "fcfs-1",
+        ProtocolKind::Fcfs2 => "fcfs-2",
+        ProtocolKind::CentralRoundRobin => "central-rr",
+        ProtocolKind::CentralFcfs => "central-fcfs",
+        ProtocolKind::Hybrid => "hybrid",
+        ProtocolKind::Adaptive => "adaptive",
+        ProtocolKind::RotatingRr => "rotating-rr",
+        ProtocolKind::TicketFcfs => "ticket-fcfs",
+        // `ProtocolKind` is non-exhaustive; a kind without a slug here
+        // must fail loudly rather than silently inherit one.
+        other => unimplemented!("no experiment slug for {other}"),
+    }
+}
+
 /// Runs one simulation cell.
 ///
 /// # Panics
@@ -337,6 +365,13 @@ mod tests {
         assert_eq!(jobs(), 3);
         set_jobs(0);
         assert!(jobs() >= 1);
+    }
+
+    #[test]
+    fn protocol_slug_matches_display_for_every_kind() {
+        for &kind in ProtocolKind::all() {
+            assert_eq!(protocol_slug(kind), kind.to_string());
+        }
     }
 
     #[test]

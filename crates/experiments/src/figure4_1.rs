@@ -122,9 +122,9 @@ pub fn format(fig: &Figure41) -> String {
     }
     for (i, line) in canvas.iter().enumerate() {
         let p = 1.0 - i as f64 / HEIGHT as f64;
-        out.push_str(&format!("{:>4.2} |{}\n", p, String::from_utf8_lossy(line)));
+        out.push_str(&format!("{p:>4.2} |{}\n", String::from_utf8_lossy(line)));
     }
-    out.push_str(&format!("      0{:>width$.1}\n", x_max, width = WIDTH));
+    out.push_str(&format!("      0{x_max:>WIDTH$.1}\n"));
     out.push_str("      (R = round-robin, F = FCFS, * = both)\n\nx, F_rr(x), F_fcfs(x)\n");
     for (r, f) in fig.rr.iter().zip(&fig.fcfs) {
         out.push_str(&format!("{:8.3} {:8.4} {:8.4}\n", r.x, r.p, f.p));

@@ -45,4 +45,4 @@ pub mod tails;
 pub mod validation;
 pub mod worst_case_fcfs;
 
-pub use common::{jobs, run_cells, run_cells_with, set_jobs, EstimateJson, Scale};
+pub use common::{jobs, protocol_slug, run_cells, run_cells_with, set_jobs, EstimateJson, Scale};

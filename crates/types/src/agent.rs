@@ -277,6 +277,14 @@ impl AgentSet {
     pub fn iter(self) -> Iter {
         Iter(self.0)
     }
+
+    /// Returns the raw membership bitmask (bit `i` set ⇔ identity `i + 1`
+    /// present). Used by the bounded model checker to fingerprint protocol
+    /// state compactly.
+    #[must_use]
+    pub fn bits(self) -> u128 {
+        self.0
+    }
 }
 
 impl fmt::Debug for AgentSet {

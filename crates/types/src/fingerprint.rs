@@ -1,0 +1,56 @@
+//! Helpers for encoding protocol state into compact fingerprints.
+//!
+//! The bounded model checker in `crates/verify` deduplicates reachable
+//! states by a normalized `Vec<u64>` signature. Every protocol
+//! implementation exposes a `verify_signature` method built from these
+//! helpers so that equivalent states (states from which all future
+//! behavior is identical) encode to equal words, while monotone
+//! bookkeeping such as sequence numbers is rank-normalized away.
+
+use crate::AgentSet;
+
+/// Appends the membership bitmask of `set` to `out` (two words, low
+/// half first, so sets of up to 128 agents round-trip exactly).
+pub fn push_set(out: &mut Vec<u64>, set: AgentSet) {
+    let bits = set.bits();
+    out.push(bits as u64);
+    out.push((bits >> 64) as u64);
+}
+
+/// Appends `values` to `out` replacing each value by its rank in the
+/// sorted order of `values` (equal values share a rank). This
+/// normalizes monotonically growing bookkeeping — sequence numbers,
+/// arrival stamps — whose *relative order* determines behavior but
+/// whose absolute values grow without bound.
+pub fn push_ranks(out: &mut Vec<u64>, values: &[u64]) {
+    for &v in values {
+        let rank = values.iter().filter(|&&w| w < v).count() as u64;
+        out.push(rank);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::AgentId;
+
+    #[test]
+    fn push_set_round_trips_low_and_high_words() {
+        let mut set = AgentSet::new();
+        set.insert(AgentId::new(1).unwrap());
+        set.insert(AgentId::new(70).unwrap());
+        let mut out = Vec::new();
+        push_set(&mut out, set);
+        assert_eq!(out, [1, 1 << (70 - 65)]);
+    }
+
+    #[test]
+    fn ranks_are_order_preserving_and_shift_invariant() {
+        let mut a = Vec::new();
+        push_ranks(&mut a, &[10, 3, 7, 3]);
+        let mut b = Vec::new();
+        push_ranks(&mut b, &[110, 103, 107, 103]);
+        assert_eq!(a, b);
+        assert_eq!(a, [3, 0, 2, 0]);
+    }
+}

@@ -40,6 +40,7 @@
 
 mod agent;
 mod error;
+pub mod fingerprint;
 mod request;
 mod time;
 

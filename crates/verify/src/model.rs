@@ -1,0 +1,337 @@
+//! Lockstep model wrappers.
+//!
+//! The checker explores one *group* of models per protocol: the
+//! scheduling-level arbiter(s) from `busarb-core` plus, where one exists,
+//! the signal-level register model from `busarb_bus::signal`. Every member
+//! of a group sees the identical injection/arbitration schedule and must
+//! produce the identical grant sequence; the group's concatenated state
+//! fingerprints form the node identity in the reachability graph.
+
+use busarb_bus::signal::{
+    Aap1System, Aap2System, Fcfs1System, Fcfs2System, Rr1System, Rr2System, Rr3System,
+    SignalProtocol,
+};
+use busarb_core::{
+    AdaptiveArbiter, Arbiter, AssuredAccess, BatchingRule, CentralFcfs, CentralRoundRobin,
+    CounterStrategy, DistributedFcfs, DistributedRoundRobin, FixedPriority, HybridRrFcfs,
+    ProtocolKind, RotatingPriority, RrImplementation, TicketFcfs,
+};
+use busarb_types::{AgentId, Error, Priority, Time};
+
+/// One grant as reported by a model.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct ModelGrant {
+    /// The agent granted bus mastership.
+    pub winner: AgentId,
+    /// Line arbitrations consumed (2 on an RR-3 wraparound or an AAP-2
+    /// fairness release).
+    pub arbitrations: u32,
+}
+
+/// A protocol implementation the checker can drive and fingerprint.
+///
+/// The optional observation methods expose protocol-internal registers to
+/// the protocol-specific invariants; a model returns `None` for registers
+/// it does not have.
+pub trait VerifyTarget {
+    /// Display label used in counterexample traces.
+    fn label(&self) -> &'static str;
+
+    /// Injects one batch of same-window requests at `now`.
+    fn inject(&mut self, now: Time, batch: &[AgentId]);
+
+    /// Resolves one arbitration at `now`.
+    fn arbitrate(&mut self, now: Time) -> Option<ModelGrant>;
+
+    /// Appends this model's normalized state fingerprint to `out`.
+    fn signature(&self, out: &mut Vec<u64>);
+
+    /// Clones the model behind the trait object.
+    fn clone_box(&self) -> Box<dyn VerifyTarget>;
+
+    /// The round-robin winner register, if the protocol has one.
+    fn last_winner(&self) -> Option<u32> {
+        None
+    }
+
+    /// Empty (wraparound) arbitrations performed so far, for RR-3 models.
+    fn empty_arbitrations(&self) -> Option<u64> {
+        None
+    }
+
+    /// One agent's waiting-time counter, for FCFS models.
+    fn counter_of(&self, _agent: AgentId) -> Option<u64> {
+        None
+    }
+}
+
+impl Clone for Box<dyn VerifyTarget> {
+    fn clone(&self) -> Self {
+        self.clone_box()
+    }
+}
+
+/// Wraps a scheduling-level [`Arbiter`] as a [`VerifyTarget`].
+macro_rules! arbiter_model {
+    ($name:ident, $inner:ty $(, $extra:item)*) => {
+        #[doc = concat!("Lockstep wrapper driving [`", stringify!($inner), "`].")]
+        #[derive(Clone)]
+        pub struct $name {
+            inner: $inner,
+            label: &'static str,
+        }
+
+        impl $name {
+            /// Wraps `inner`; `label` names it in counterexample traces.
+            pub fn new(inner: $inner, label: &'static str) -> Self {
+                Self { inner, label }
+            }
+        }
+
+        impl VerifyTarget for $name {
+            fn label(&self) -> &'static str {
+                self.label
+            }
+
+            fn inject(&mut self, now: Time, batch: &[AgentId]) {
+                for &a in batch {
+                    self.inner.on_request(now, a, Priority::Ordinary);
+                }
+            }
+
+            fn arbitrate(&mut self, now: Time) -> Option<ModelGrant> {
+                self.inner.arbitrate(now).map(|g| ModelGrant {
+                    winner: g.agent,
+                    arbitrations: g.arbitrations,
+                })
+            }
+
+            fn signature(&self, out: &mut Vec<u64>) {
+                self.inner.verify_signature(out);
+            }
+
+            fn clone_box(&self) -> Box<dyn VerifyTarget> {
+                Box::new(self.clone())
+            }
+
+            $($extra)*
+        }
+    };
+}
+
+/// Wraps a signal-level [`SignalProtocol`] as a [`VerifyTarget`].
+macro_rules! signal_model {
+    ($name:ident, $inner:ty $(, $extra:item)*) => {
+        #[doc = concat!("Lockstep wrapper driving [`", stringify!($inner), "`].")]
+        #[derive(Clone)]
+        pub struct $name {
+            inner: $inner,
+            label: &'static str,
+        }
+
+        impl $name {
+            /// Wraps `inner`; `label` names it in counterexample traces.
+            pub fn new(inner: $inner, label: &'static str) -> Self {
+                Self { inner, label }
+            }
+        }
+
+        impl VerifyTarget for $name {
+            fn label(&self) -> &'static str {
+                self.label
+            }
+
+            fn inject(&mut self, _now: Time, batch: &[AgentId]) {
+                self.inner.on_requests(batch);
+            }
+
+            fn arbitrate(&mut self, _now: Time) -> Option<ModelGrant> {
+                self.inner.arbitrate().map(|o| ModelGrant {
+                    winner: o.winner,
+                    arbitrations: o.arbitrations,
+                })
+            }
+
+            fn signature(&self, out: &mut Vec<u64>) {
+                self.inner.verify_signature(out);
+            }
+
+            fn clone_box(&self) -> Box<dyn VerifyTarget> {
+                Box::new(self.clone())
+            }
+
+            $($extra)*
+        }
+    };
+}
+
+arbiter_model!(FixedPriorityModel, FixedPriority);
+arbiter_model!(AssuredAccessModel, AssuredAccess);
+arbiter_model!(
+    RoundRobinModel,
+    DistributedRoundRobin,
+    fn last_winner(&self) -> Option<u32> {
+        Some(self.inner.last_winner())
+    },
+    fn empty_arbitrations(&self) -> Option<u64> {
+        (self.inner.implementation() == RrImplementation::NoExtraLine)
+            .then(|| self.inner.empty_arbitrations())
+    }
+);
+arbiter_model!(
+    FcfsModel,
+    DistributedFcfs,
+    fn counter_of(&self, agent: AgentId) -> Option<u64> {
+        self.inner.counter(agent)
+    }
+);
+arbiter_model!(CentralRrModel, CentralRoundRobin);
+arbiter_model!(CentralFcfsModel, CentralFcfs);
+arbiter_model!(
+    HybridModel,
+    HybridRrFcfs,
+    fn last_winner(&self) -> Option<u32> {
+        Some(self.inner.last_winner())
+    }
+);
+arbiter_model!(AdaptiveModel, AdaptiveArbiter);
+arbiter_model!(RotatingModel, RotatingPriority);
+arbiter_model!(TicketModel, TicketFcfs);
+
+signal_model!(
+    Rr1Model,
+    Rr1System,
+    fn last_winner(&self) -> Option<u32> {
+        Some(self.inner.last_winner())
+    }
+);
+signal_model!(
+    Rr2Model,
+    Rr2System,
+    fn last_winner(&self) -> Option<u32> {
+        Some(self.inner.last_winner())
+    }
+);
+signal_model!(
+    Rr3Model,
+    Rr3System,
+    fn last_winner(&self) -> Option<u32> {
+        Some(self.inner.last_winner())
+    },
+    fn empty_arbitrations(&self) -> Option<u64> {
+        Some(self.inner.empty_arbitrations())
+    }
+);
+signal_model!(
+    Fcfs1SignalModel,
+    Fcfs1System,
+    fn counter_of(&self, agent: AgentId) -> Option<u64> {
+        Some(self.inner.counter(agent))
+    }
+);
+signal_model!(
+    Fcfs2SignalModel,
+    Fcfs2System,
+    fn counter_of(&self, agent: AgentId) -> Option<u64> {
+        Some(self.inner.counter(agent))
+    }
+);
+signal_model!(Aap1Model, Aap1System);
+signal_model!(Aap2Model, Aap2System);
+
+/// Builds the lockstep model group for one protocol kind.
+///
+/// Protocols with a signal-level implementation get every level in the
+/// group (the distributed round robin gets all three implementations at
+/// both levels); the rest are checked at the scheduling level only.
+///
+/// # Errors
+///
+/// Propagates construction errors (e.g. invalid agent counts).
+pub fn build_group(kind: ProtocolKind, n: u32) -> Result<Vec<Box<dyn VerifyTarget>>, Error> {
+    Ok(match kind {
+        ProtocolKind::FixedPriority => vec![Box::new(FixedPriorityModel::new(
+            FixedPriority::new(n)?,
+            "fixed-priority",
+        ))],
+        ProtocolKind::AssuredAccessIdleBatch => vec![
+            Box::new(AssuredAccessModel::new(
+                AssuredAccess::new(n, BatchingRule::IdleBatch)?,
+                "aap-1 (abstract)",
+            )),
+            Box::new(Aap1Model::new(Aap1System::new(n)?, "aap-1 (signal)")),
+        ],
+        ProtocolKind::AssuredAccessFairnessRelease => vec![
+            Box::new(AssuredAccessModel::new(
+                AssuredAccess::new(n, BatchingRule::FairnessRelease)?,
+                "aap-2 (abstract)",
+            )),
+            Box::new(Aap2Model::new(Aap2System::new(n)?, "aap-2 (signal)")),
+        ],
+        ProtocolKind::AssuredAccessClosedBatch => vec![Box::new(AssuredAccessModel::new(
+            AssuredAccess::new(n, BatchingRule::ClosedBatch)?,
+            "aap-2m (abstract)",
+        ))],
+        ProtocolKind::RoundRobin => vec![
+            Box::new(RoundRobinModel::new(
+                DistributedRoundRobin::new(n)?,
+                "rr-1 (abstract)",
+            )),
+            Box::new(RoundRobinModel::new(
+                DistributedRoundRobin::with_implementation(n, RrImplementation::LowRequestLine)?,
+                "rr-2 (abstract)",
+            )),
+            Box::new(RoundRobinModel::new(
+                DistributedRoundRobin::with_implementation(n, RrImplementation::NoExtraLine)?,
+                "rr-3 (abstract)",
+            )),
+            Box::new(Rr1Model::new(Rr1System::new(n)?, "rr-1 (signal)")),
+            Box::new(Rr2Model::new(Rr2System::new(n)?, "rr-2 (signal)")),
+            Box::new(Rr3Model::new(Rr3System::new(n)?, "rr-3 (signal)")),
+        ],
+        ProtocolKind::Fcfs1 => vec![
+            Box::new(FcfsModel::new(
+                DistributedFcfs::new(n, CounterStrategy::PerLostArbitration)?,
+                "fcfs-1 (abstract)",
+            )),
+            Box::new(Fcfs1SignalModel::new(
+                Fcfs1System::new(n)?,
+                "fcfs-1 (signal)",
+            )),
+        ],
+        ProtocolKind::Fcfs2 => vec![
+            Box::new(FcfsModel::new(
+                DistributedFcfs::new(n, CounterStrategy::PerArrival)?,
+                "fcfs-2 (abstract)",
+            )),
+            Box::new(Fcfs2SignalModel::new(
+                Fcfs2System::new(n)?,
+                "fcfs-2 (signal)",
+            )),
+        ],
+        ProtocolKind::CentralRoundRobin => vec![Box::new(CentralRrModel::new(
+            CentralRoundRobin::new(n)?,
+            "central-rr",
+        ))],
+        ProtocolKind::CentralFcfs => vec![Box::new(CentralFcfsModel::new(
+            CentralFcfs::new(n)?,
+            "central-fcfs",
+        ))],
+        ProtocolKind::Hybrid => vec![Box::new(HybridModel::new(HybridRrFcfs::new(n)?, "hybrid"))],
+        ProtocolKind::Adaptive => vec![Box::new(AdaptiveModel::new(
+            AdaptiveArbiter::new(n)?,
+            "adaptive",
+        ))],
+        ProtocolKind::RotatingRr => vec![Box::new(RotatingModel::new(
+            RotatingPriority::new(n)?,
+            "rotating-rr",
+        ))],
+        ProtocolKind::TicketFcfs => vec![Box::new(TicketModel::new(
+            TicketFcfs::new(n)?,
+            "ticket-fcfs",
+        ))],
+        // `ProtocolKind` is non-exhaustive; a kind added without a model
+        // group here must fail loudly, not silently skip verification.
+        other => unimplemented!("no verifier model group for {other}"),
+    })
+}

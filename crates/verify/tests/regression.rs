@@ -1,0 +1,114 @@
+//! Pinned verifier runs: one known-good, counterexample-free check per
+//! protocol at N = 3, depth 6.
+//!
+//! The state/transition/grant counts are exact: the BFS is deterministic,
+//! so any drift means either a protocol's reachable behavior changed or a
+//! fingerprint lost (or gained) information. Both deserve a deliberate
+//! re-pin, not a silent pass.
+
+use busarb_core::ProtocolKind;
+use verify::{check_kind, CheckConfig};
+
+const N: u32 = 3;
+const DEPTH: usize = 6;
+
+fn pinned(kind: ProtocolKind, states: usize, transitions: u64, grants: u64) {
+    let cfg = CheckConfig {
+        depth: DEPTH,
+        ..CheckConfig::default()
+    };
+    let report = check_kind(kind, N, &cfg).expect("valid system size");
+    assert!(
+        report.violation.is_none(),
+        "{kind}: {}",
+        report.violation.expect("just checked")
+    );
+    assert!(!report.truncated, "{kind}: state cap reached");
+    assert_eq!(report.states, states, "{kind}: distinct states drifted");
+    assert_eq!(
+        report.transitions, transitions,
+        "{kind}: transition count drifted"
+    );
+    assert_eq!(report.grants, grants, "{kind}: grant count drifted");
+}
+
+#[test]
+fn fixed_priority_pinned() {
+    pinned(ProtocolKind::FixedPriority, 8, 46, 26);
+}
+
+#[test]
+fn aap1_pinned() {
+    pinned(ProtocolKind::AssuredAccessIdleBatch, 67, 205, 133);
+}
+
+#[test]
+fn aap2_pinned() {
+    pinned(ProtocolKind::AssuredAccessFairnessRelease, 220, 827, 513);
+}
+
+#[test]
+fn aap2m_pinned() {
+    pinned(ProtocolKind::AssuredAccessClosedBatch, 152, 646, 391);
+}
+
+#[test]
+fn round_robin_pinned() {
+    pinned(ProtocolKind::RoundRobin, 80, 334, 203);
+}
+
+#[test]
+fn fcfs1_pinned() {
+    pinned(ProtocolKind::Fcfs1, 92, 231, 160);
+}
+
+#[test]
+fn fcfs2_pinned() {
+    pinned(ProtocolKind::Fcfs2, 92, 232, 161);
+}
+
+#[test]
+fn central_rr_pinned() {
+    pinned(ProtocolKind::CentralRoundRobin, 80, 334, 203);
+}
+
+#[test]
+fn central_fcfs_pinned() {
+    pinned(ProtocolKind::CentralFcfs, 92, 232, 161);
+}
+
+#[test]
+fn hybrid_pinned() {
+    pinned(ProtocolKind::Hybrid, 206, 552, 373);
+}
+
+#[test]
+fn adaptive_pinned() {
+    pinned(ProtocolKind::Adaptive, 3404, 6210, 3879);
+}
+
+#[test]
+fn rotating_rr_pinned() {
+    pinned(ProtocolKind::RotatingRr, 72, 288, 177);
+}
+
+#[test]
+fn ticket_fcfs_pinned() {
+    pinned(ProtocolKind::TicketFcfs, 92, 232, 161);
+}
+
+/// The abstract round robin and the central reference arbiter reach
+/// behaviorally identical state graphs — a cross-protocol sanity check of
+/// the fingerprints themselves.
+#[test]
+fn rr_and_central_rr_graphs_coincide() {
+    let cfg = CheckConfig {
+        depth: DEPTH,
+        ..CheckConfig::default()
+    };
+    let rr = check_kind(ProtocolKind::RoundRobin, N, &cfg).expect("valid size");
+    let central = check_kind(ProtocolKind::CentralRoundRobin, N, &cfg).expect("valid size");
+    assert_eq!(rr.states, central.states);
+    assert_eq!(rr.transitions, central.transitions);
+    assert_eq!(rr.grants, central.grants);
+}

@@ -1,0 +1,307 @@
+//! Structural lints for the busarb workspace (`cargo xtask lint`).
+//!
+//! These are text-level checks that the compiler cannot express:
+//!
+//! * **dispatch completeness** — [`ProtocolKind`](busarb_core::ProtocolKind)
+//!   is `#[non_exhaustive]` and several dispatch surfaces (`build`/`all`,
+//!   the monomorphized event loop, the experiment layer, both CLIs, the
+//!   benchmark roster, and the verifier's model groups and invariant
+//!   specs) must each mention every variant. A wildcard arm keeps such
+//!   code compiling when a variant is dropped; this lint does not.
+//! * **allocation-free hot paths** — the contention `settle` loop and the
+//!   signal-level `arbitrate` paths run once per simulated arbitration;
+//!   they must not allocate (`Vec::new`, `vec![...]`, `Box::new`,
+//!   `.collect()`, `format!`, ...). Collecting into `AgentSet` is allowed:
+//!   it is a `u128` bit set.
+//! * **panic policy** — no bare `.unwrap()` in library code; a panic site
+//!   must justify itself with `.expect("why this cannot fail")`. Tests,
+//!   binaries, and doc comments are exempt.
+//! * **`#![forbid(unsafe_code)]`** — present in every library crate,
+//!   shims included.
+//!
+//! The functions here are pure (content in, findings out) so the lint
+//! rules themselves are unit-tested against the real workspace sources —
+//! including the failure direction: removing a variant line from a real
+//! dispatch site must trip the lint (see the tests at the bottom).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// One lint finding: a file plus a human-readable complaint.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Workspace-relative path of the offending file.
+    pub file: String,
+    /// What is wrong.
+    pub message: String,
+}
+
+impl core::fmt::Display for Finding {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "{}: {}", self.file, self.message)
+    }
+}
+
+/// Returns the tokens that occur fewer than `min_count` times in
+/// `content`.
+///
+/// Used for dispatch completeness: each dispatch surface must mention
+/// every `ProtocolKind` variant (or its CLI slug) at least a known number
+/// of times.
+#[must_use]
+pub fn missing_tokens<'t>(content: &str, tokens: &'t [String], min_count: usize) -> Vec<&'t str> {
+    tokens
+        .iter()
+        .filter(|token| content.matches(token.as_str()).count() < min_count)
+        .map(String::as_str)
+        .collect()
+}
+
+/// Extracts the bodies (outer braces included) of every `fn name` in
+/// `content` — trait impls can define the same method more than once per
+/// file (e.g. `arbitrate` for both AAP systems in `aap.rs`).
+#[must_use]
+pub fn fn_bodies<'c>(content: &'c str, name: &str) -> Vec<&'c str> {
+    let mut bodies = Vec::new();
+    let mut search_from = 0;
+    while let Some(rel) = content[search_from..].find("fn ") {
+        let at = search_from + rel;
+        search_from = at + 3;
+        // `fn ` must start a token ("fn" preceded by nothing or
+        // non-identifier) and be followed by exactly `name` and then a
+        // non-identifier character (`(` or `<`).
+        let rest = &content[at + 3..];
+        let starts_token = at == 0
+            || content[..at]
+                .chars()
+                .next_back()
+                .is_some_and(|c| !c.is_alphanumeric() && c != '_');
+        if !(starts_token
+            && rest.starts_with(name)
+            && rest[name.len()..]
+                .chars()
+                .next()
+                .is_some_and(|c| !c.is_alphanumeric() && c != '_'))
+        {
+            continue;
+        }
+        let Some(open_rel) = content[at..].find('{') else {
+            continue;
+        };
+        let open = at + open_rel;
+        let mut depth = 0usize;
+        for (i, b) in content[open..].bytes().enumerate() {
+            match b {
+                b'{' => depth += 1,
+                b'}' => {
+                    depth -= 1;
+                    if depth == 0 {
+                        bodies.push(&content[open..=open + i]);
+                        search_from = open + i;
+                        break;
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+    bodies
+}
+
+/// The body of the first `fn name` in `content`, if any.
+#[must_use]
+pub fn fn_body<'c>(content: &'c str, name: &str) -> Option<&'c str> {
+    fn_bodies(content, name).first().copied()
+}
+
+/// Tokens forbidden inside per-arbitration hot paths. `.collect` is
+/// checked separately so collecting into the `AgentSet` bit set stays
+/// allowed.
+const ALLOC_TOKENS: [&str; 7] = [
+    "Vec::new",
+    "vec!",
+    "Box::new",
+    "String::new",
+    "format!",
+    "to_vec",
+    "with_capacity",
+];
+
+/// Returns a message per allocating construct found inside the bodies of
+/// `fns` (empty = clean). A function missing from `content` is itself a
+/// finding: the lint must not silently pass because a hot path was
+/// renamed away from under it.
+#[must_use]
+pub fn hot_fn_allocations(content: &str, fns: &[&str]) -> Vec<String> {
+    let mut findings = Vec::new();
+    for &name in fns {
+        let bodies = fn_bodies(content, name);
+        if bodies.is_empty() {
+            findings.push(format!(
+                "hot function `{name}` not found (renamed? update xtask)"
+            ));
+            continue;
+        }
+        for body in bodies {
+            for token in ALLOC_TOKENS {
+                if body.contains(token) {
+                    findings.push(format!("`{token}` inside hot function `{name}`"));
+                }
+            }
+            let mut rest = body;
+            while let Some(i) = rest.find(".collect") {
+                let after = &rest[i + ".collect".len()..];
+                if !after.starts_with("::<AgentSet>") {
+                    findings.push(format!(
+                        "`.collect` inside hot function `{name}` (only `.collect::<AgentSet>()` is allocation-free)"
+                    ));
+                }
+                rest = after;
+            }
+        }
+    }
+    findings
+}
+
+/// Returns the 1-based line numbers of bare `.unwrap()` calls in library
+/// code: comment lines (`//`, `///`, `//!` — doctests are tests) are
+/// skipped, and scanning stops at the first `#[cfg(test)]`, which by
+/// workspace convention introduces the trailing test module.
+#[must_use]
+pub fn unwrap_violations(content: &str) -> Vec<usize> {
+    let mut lines = Vec::new();
+    for (i, line) in content.lines().enumerate() {
+        let trimmed = line.trim_start();
+        if trimmed.starts_with("#[cfg(test)]") {
+            break;
+        }
+        if trimmed.starts_with("//") {
+            continue;
+        }
+        // The needle is spelled in two pieces so this very line does not
+        // trip the lint when it scans its own source.
+        if line.contains(concat!(".unwrap", "()")) {
+            lines.push(i + 1);
+        }
+    }
+    lines
+}
+
+/// Whether a crate root opts out of `unsafe` entirely.
+#[must_use]
+pub fn has_forbid_unsafe(content: &str) -> bool {
+    content.contains("#![forbid(unsafe_code)]")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A real dispatch site, compiled in so the test cannot drift from
+    /// the sources it guards.
+    const ARBITER_RS: &str = include_str!("../../core/src/arbiter.rs");
+    const SYSTEM_RS: &str = include_str!("../../sim/src/system.rs");
+    const CONTENTION_RS: &str = include_str!("../../bus/src/contention.rs");
+
+    fn variant_tokens() -> Vec<String> {
+        busarb_core::ProtocolKind::all()
+            .iter()
+            .map(|k| format!("ProtocolKind::{k:?}"))
+            .collect()
+    }
+
+    #[test]
+    fn real_dispatch_sites_are_complete() {
+        let tokens = variant_tokens();
+        assert_eq!(missing_tokens(ARBITER_RS, &tokens, 3), Vec::<&str>::new());
+        assert_eq!(missing_tokens(SYSTEM_RS, &tokens, 1), Vec::<&str>::new());
+    }
+
+    /// The acceptance test for the lint itself: delete one variant's
+    /// dispatch lines from the real `arbiter.rs` content and the lint
+    /// must fail, naming exactly that variant.
+    #[test]
+    fn removing_a_variant_from_a_dispatch_site_fails_the_lint() {
+        let tokens = variant_tokens();
+        let mutilated: String = ARBITER_RS
+            .lines()
+            .filter(|l| !l.contains("ProtocolKind::RotatingRr"))
+            .collect::<Vec<_>>()
+            .join("\n");
+        let missing = missing_tokens(&mutilated, &tokens, 3);
+        assert_eq!(missing, vec!["ProtocolKind::RotatingRr"]);
+    }
+
+    /// Weakening a single site (variant still present elsewhere in the
+    /// file, but below the required occurrence count) is also caught.
+    #[test]
+    fn dropping_one_occurrence_below_the_count_fails_the_lint() {
+        let tokens = variant_tokens();
+        let once = ARBITER_RS.replacen("ProtocolKind::TicketFcfs", "ProtocolKind::Fcfs2", 1);
+        let missing = missing_tokens(&once, &tokens, 3);
+        assert_eq!(missing, vec!["ProtocolKind::TicketFcfs"]);
+    }
+
+    #[test]
+    fn fn_body_extracts_balanced_braces() {
+        let src = "impl X { fn settle(&mut self) -> u32 { if a { b() } else { c() } } fn other() {} }";
+        let body = fn_body(src, "settle").expect("settle exists");
+        assert!(body.starts_with('{') && body.ends_with('}'));
+        assert!(body.contains("else { c() }"));
+        assert!(!body.contains("other"));
+        assert!(fn_body(src, "settl").is_none(), "prefix must not match");
+        assert!(fn_body(src, "absent").is_none());
+    }
+
+    #[test]
+    fn real_settle_loop_is_allocation_free() {
+        let findings = hot_fn_allocations(CONTENTION_RS, &["settle", "resolve_inner", "apply_rule"]);
+        assert_eq!(findings, Vec::<String>::new());
+    }
+
+    #[test]
+    fn every_same_named_fn_is_scanned() {
+        // `aap.rs` defines `arbitrate` once per system; an allocation in
+        // the *second* body must still be caught.
+        let src = "impl A { fn arbitrate(&mut self) { self.x() } }\n\
+                   impl B { fn arbitrate(&mut self) { let v = Vec::new(); drop(v); } }";
+        let findings = hot_fn_allocations(src, &["arbitrate"]);
+        assert_eq!(findings.len(), 1);
+        assert!(findings[0].contains("Vec::new"));
+    }
+
+    #[test]
+    fn an_allocation_in_a_hot_fn_is_caught() {
+        let src = "fn settle(&mut self) { let v = Vec::new(); drop(v); }";
+        let findings = hot_fn_allocations(src, &["settle"]);
+        assert_eq!(findings.len(), 1);
+        assert!(findings[0].contains("Vec::new"));
+    }
+
+    #[test]
+    fn a_renamed_hot_fn_is_caught() {
+        let findings = hot_fn_allocations("fn other() {}", &["settle"]);
+        assert_eq!(findings.len(), 1);
+        assert!(findings[0].contains("not found"));
+    }
+
+    #[test]
+    fn collect_into_agent_set_is_allowed_other_collects_are_not() {
+        let ok = "fn arbitrate(&mut self) { let s = it.collect::<AgentSet>(); }";
+        assert!(hot_fn_allocations(ok, &["arbitrate"]).is_empty());
+        let bad = "fn arbitrate(&mut self) { let s: Vec<u32> = it.collect(); }";
+        assert_eq!(hot_fn_allocations(bad, &["arbitrate"]).len(), 1);
+    }
+
+    #[test]
+    fn unwrap_policy_skips_comments_and_tests() {
+        let src = "/// doc: x.unwrap()\nlet a = b.unwrap();\n#[cfg(test)]\nmod tests { fn t() { c.unwrap(); } }\n";
+        assert_eq!(unwrap_violations(src), vec![2]);
+    }
+
+    #[test]
+    fn forbid_unsafe_detection() {
+        assert!(has_forbid_unsafe("//! docs\n#![forbid(unsafe_code)]\n"));
+        assert!(!has_forbid_unsafe("//! docs\n"));
+    }
+}

@@ -1,0 +1,242 @@
+//! `cargo xtask lint` — structural lints the compiler cannot express.
+//!
+//! See the crate docs in `lib.rs` for the catalogue. Exit status: 0 when
+//! the workspace is clean, 1 when any lint fires, 2 on usage errors.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+use busarb_core::ProtocolKind;
+use xtask::{has_forbid_unsafe, hot_fn_allocations, missing_tokens, unwrap_violations, Finding};
+
+/// Dispatch surfaces that must mention every `ProtocolKind` variant by
+/// path, with the number of times each variant must occur there.
+const VARIANT_SITES: [(&str, usize); 6] = [
+    // Enum-adjacent: `build`, `all`, and the `Display` impl.
+    ("crates/core/src/arbiter.rs", 3),
+    // The monomorphized event loop (`Simulation::run_kind`).
+    ("crates/sim/src/system.rs", 1),
+    // The verifier's lockstep model groups and invariant specs.
+    ("crates/verify/src/model.rs", 1),
+    ("crates/verify/src/spec.rs", 1),
+    // The experiment layer's slug table.
+    ("crates/experiments/src/common.rs", 1),
+    // The benchmark roster.
+    ("crates/bench/src/bin/bench_run.rs", 1),
+];
+
+/// Surfaces that must mention every protocol by its CLI slug.
+const SLUG_SITES: [(&str, usize); 1] = [("crates/experiments/src/bin/simulate.rs", 1)];
+
+/// Literal tokens that must appear in specific files (roster commands and
+/// exhaustive iteration points that do not name variants individually).
+const TOKEN_SITES: [(&str, &str); 2] = [
+    ("crates/experiments/src/bin/repro.rs", "\"protocols\""),
+    ("crates/experiments/src/bin/repro.rs", "ProtocolKind::all()"),
+];
+
+/// Per-arbitration hot paths that must not allocate.
+const HOT_SITES: [(&str, &[&str]); 7] = [
+    (
+        "crates/bus/src/contention.rs",
+        &["settle", "resolve_inner", "apply_rule"],
+    ),
+    ("crates/bus/src/signal/rr1.rs", &["arbitrate"]),
+    ("crates/bus/src/signal/rr2.rs", &["arbitrate"]),
+    ("crates/bus/src/signal/rr3.rs", &["arbitrate", "arbitrate_below"]),
+    ("crates/bus/src/signal/fcfs1.rs", &["arbitrate"]),
+    ("crates/bus/src/signal/fcfs2.rs", &["arbitrate"]),
+    ("crates/bus/src/signal/aap.rs", &["arbitrate"]),
+];
+
+fn workspace_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../..")
+}
+
+fn read(root: &Path, rel: &str) -> Result<String, Finding> {
+    fs::read_to_string(root.join(rel)).map_err(|e| Finding {
+        file: rel.to_string(),
+        message: format!("cannot read: {e}"),
+    })
+}
+
+/// Every `.rs` file under `dir`, recursively, workspace-relative.
+fn rust_files(root: &Path, dir: &str, out: &mut Vec<String>) {
+    let Ok(entries) = fs::read_dir(root.join(dir)) else {
+        return;
+    };
+    for entry in entries.flatten() {
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        let rel = format!("{dir}/{name}");
+        let path = entry.path();
+        if path.is_dir() {
+            rust_files(root, &rel, out);
+        } else if name.ends_with(".rs") {
+            out.push(rel);
+        }
+    }
+}
+
+/// Crate source roots holding *library* code (panic policy applies).
+fn library_sources(root: &Path) -> Vec<String> {
+    let mut files = Vec::new();
+    for crates_dir in ["crates", "shims"] {
+        let Ok(entries) = fs::read_dir(root.join(crates_dir)) else {
+            continue;
+        };
+        for entry in entries.flatten() {
+            if entry.path().is_dir() {
+                let rel = format!("{crates_dir}/{}", entry.file_name().to_string_lossy());
+                rust_files(root, &format!("{rel}/src"), &mut files);
+            }
+        }
+    }
+    rust_files(root, "src", &mut files);
+    files.sort();
+    // Binaries may panic on bad input; the policy covers libraries.
+    files.retain(|f| !f.contains("/bin/") && !f.ends_with("/main.rs"));
+    files
+}
+
+/// Crate roots that must carry `#![forbid(unsafe_code)]`.
+fn crate_roots(root: &Path) -> Vec<String> {
+    let mut roots = vec!["src/lib.rs".to_string()];
+    for crates_dir in ["crates", "shims"] {
+        let Ok(entries) = fs::read_dir(root.join(crates_dir)) else {
+            continue;
+        };
+        for entry in entries.flatten() {
+            let rel = format!(
+                "{crates_dir}/{}/src/lib.rs",
+                entry.file_name().to_string_lossy()
+            );
+            if root.join(&rel).is_file() {
+                roots.push(rel);
+            }
+        }
+    }
+    roots.sort();
+    roots
+}
+
+fn lint(root: &Path) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    let variants: Vec<String> = ProtocolKind::all()
+        .iter()
+        .map(|k| format!("ProtocolKind::{k:?}"))
+        .collect();
+    let slugs: Vec<String> = ProtocolKind::all()
+        .iter()
+        .map(ToString::to_string)
+        .collect();
+
+    for (site, tokens, what) in [
+        (&VARIANT_SITES[..], &variants, "variant"),
+        (&SLUG_SITES[..], &slugs, "protocol slug"),
+    ]
+    .into_iter()
+    .flat_map(|(sites, tokens, what)| sites.iter().map(move |s| (s, tokens, what)))
+    {
+        let &(rel, min_count) = site;
+        match read(root, rel) {
+            Ok(content) => {
+                for token in missing_tokens(&content, tokens, min_count) {
+                    findings.push(Finding {
+                        file: rel.to_string(),
+                        message: format!(
+                            "{what} `{token}` missing (or fewer than {min_count} occurrences) — every protocol must be wired into this dispatch surface"
+                        ),
+                    });
+                }
+            }
+            Err(f) => findings.push(f),
+        }
+    }
+
+    for (rel, token) in TOKEN_SITES {
+        match read(root, rel) {
+            Ok(content) => {
+                if !content.contains(token) {
+                    findings.push(Finding {
+                        file: rel.to_string(),
+                        message: format!("expected token `{token}` not found"),
+                    });
+                }
+            }
+            Err(f) => findings.push(f),
+        }
+    }
+
+    for (rel, fns) in HOT_SITES {
+        match read(root, rel) {
+            Ok(content) => {
+                for message in hot_fn_allocations(&content, fns) {
+                    findings.push(Finding {
+                        file: rel.to_string(),
+                        message,
+                    });
+                }
+            }
+            Err(f) => findings.push(f),
+        }
+    }
+
+    for rel in library_sources(root) {
+        match read(root, &rel) {
+            Ok(content) => {
+                for line in unwrap_violations(&content) {
+                    findings.push(Finding {
+                        file: format!("{rel}:{line}"),
+                        message: "bare `.unwrap()` in library code — use `.expect(\"why this cannot fail\")`".to_string(),
+                    });
+                }
+            }
+            Err(f) => findings.push(f),
+        }
+    }
+
+    for rel in crate_roots(root) {
+        match read(root, &rel) {
+            Ok(content) => {
+                if !has_forbid_unsafe(&content) {
+                    findings.push(Finding {
+                        file: rel,
+                        message: "missing `#![forbid(unsafe_code)]`".to_string(),
+                    });
+                }
+            }
+            Err(f) => findings.push(f),
+        }
+    }
+
+    findings
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("lint") => {}
+        _ => {
+            eprintln!("usage: cargo xtask lint");
+            return ExitCode::from(2);
+        }
+    }
+    let root = workspace_root();
+    let findings = lint(&root);
+    if findings.is_empty() {
+        println!(
+            "xtask lint: clean ({} protocols x {} dispatch surfaces, hot paths, panic policy, unsafe policy)",
+            ProtocolKind::all().len(),
+            VARIANT_SITES.len() + SLUG_SITES.len(),
+        );
+        ExitCode::SUCCESS
+    } else {
+        for finding in &findings {
+            eprintln!("xtask lint: {finding}");
+        }
+        eprintln!("xtask lint: {} finding(s)", findings.len());
+        ExitCode::FAILURE
+    }
+}

@@ -7,6 +7,8 @@
 //! configured). There is no statistical analysis, plotting, or HTML
 //! report — just honest timing to stdout.
 
+#![forbid(unsafe_code)]
+
 use std::fmt::Display;
 use std::time::{Duration, Instant};
 

@@ -11,6 +11,8 @@
 //! Set `PROPTEST_CASES` to override the per-test case count (useful to
 //! shorten CI runs or deepen local soak tests).
 
+#![forbid(unsafe_code)]
+
 pub mod test_runner {
     //! Configuration and the deterministic test RNG.
 

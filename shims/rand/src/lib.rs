@@ -18,6 +18,8 @@
 //! Only determinism and distribution quality are load-bearing for the
 //! simulator; cryptographic properties are not relied upon anywhere.
 
+#![forbid(unsafe_code)]
+
 /// Low-level source of random 32/64-bit words.
 pub trait RngCore {
     /// Next 32 random bits.
@@ -186,7 +188,7 @@ pub mod rngs {
         fn from_seed(seed: [u8; 32]) -> StdRng {
             let mut key = [0u32; 8];
             for (word, bytes) in key.iter_mut().zip(seed.chunks_exact(4)) {
-                *word = u32::from_le_bytes(bytes.try_into().unwrap());
+                *word = u32::from_le_bytes(bytes.try_into().expect("chunks_exact yields 4-byte slices"));
             }
             StdRng {
                 key,

@@ -8,6 +8,8 @@
 //! formatting conventions as the real crate (compact `"k":v`, pretty
 //! 2-space indent, `null` for non-finite floats).
 
+#![forbid(unsafe_code)]
+
 pub use serde_derive::Serialize;
 
 /// An in-memory serialization tree (a superset of JSON's data model).

@@ -10,13 +10,17 @@
 //! Implemented with raw `proc_macro` token walking because `syn`/`quote`
 //! are equally unfetchable in this environment.
 
+#![forbid(unsafe_code)]
+
 use proc_macro::{Delimiter, TokenStream, TokenTree};
 
 #[proc_macro_derive(Serialize)]
 pub fn derive_serialize(input: TokenStream) -> TokenStream {
     match generate(input) {
         Ok(code) => code.parse().expect("generated impl parses"),
-        Err(msg) => format!("compile_error!({msg:?});").parse().unwrap(),
+        Err(msg) => format!("compile_error!({msg:?});")
+            .parse()
+            .expect("compile_error! invocation parses"),
     }
 }
 

@@ -5,6 +5,8 @@
 //! happen to be integral keep a trailing `.0`, and non-finite floats
 //! serialize as `null`.
 
+#![forbid(unsafe_code)]
+
 use std::fmt;
 
 use serde::{Serialize, Value};
