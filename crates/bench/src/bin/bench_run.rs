@@ -23,6 +23,7 @@ use std::time::Instant;
 
 use busarb_core::ProtocolKind;
 use busarb_experiments::common::seed_for;
+use busarb_obs::MetricsSnapshot;
 use busarb_experiments::Scale;
 use busarb_sim::{RunReport, Simulation, SystemConfig};
 use busarb_workload::Scenario;
@@ -62,6 +63,10 @@ struct ProtocolTiming {
     mono_ns_per_arbitration: f64,
     dyn_ns_per_arbitration: f64,
     mono_speedup_vs_dyn: f64,
+    /// Whole-run registry snapshot of the (monomorphized) timed cell, so
+    /// a benchmark artifact also documents what the run *did* — grant and
+    /// completion counts, wait/queue-depth histograms, event rates.
+    metrics: MetricsSnapshot,
 }
 
 #[derive(Serialize)]
@@ -149,6 +154,7 @@ fn time_protocol(kind: ProtocolKind, scale: Scale, reps: usize) -> ProtocolTimin
         mono_ns_per_arbitration: mono_min * 1e9 / arbitrations as f64,
         dyn_ns_per_arbitration: dyn_min * 1e9 / arbitrations as f64,
         mono_speedup_vs_dyn: dyn_min / mono_min,
+        metrics: mono_report.metrics,
     }
 }
 

@@ -2,7 +2,9 @@
 //! (ISCA 1988).
 //!
 //! ```text
-//! repro [--scale paper|quick|smoke] [--json DIR] [--jobs N] <command>
+//! repro [--scale paper|quick|smoke] [--json DIR] [--jobs N]
+//!       [--metrics FILE] [--trace FILE] [--trace-format jsonl|binary]
+//!       <command>
 //!
 //! commands:
 //!   table4.1            bandwidth allocation, equal request rates
@@ -26,32 +28,49 @@
 //!   scaling             W and sd ratio vs system size (4..64 agents)
 //!   validate.cis        CI coverage + batch-independence diagnostics
 //!   protocols           list every simulated protocol and its line cost
+//!   cell                run the pinned traced cell, export its trace,
+//!                       replay the export, and cross-check the aggregates
+//!   inspect FILE        replay an exported trace and print its aggregates
 //!   all                 everything above (shares one simulation grid)
 //! ```
+//!
+//! `--metrics FILE` collects a per-cell metrics snapshot from every
+//! simulation the command runs and writes them (plus a deterministic
+//! tag-sorted merge) as JSON. `--trace FILE` sets the export path used
+//! by the `cell` command.
 
 use std::fs;
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
 use busarb_core::{Arbiter, ProtocolKind};
 use busarb_experiments::{
-    ablations, bursty, figure4_1, grid::Grid, priority_study, protocol_slug, scaling, table4_1,
-    table4_2, table4_3, table4_4, table4_5, tails, validation, worst_case_fcfs, Scale,
+    ablations, bursty, figure4_1, grid::Grid, observe, priority_study, protocol_slug, scaling,
+    table4_1, table4_2, table4_3, table4_4, table4_5, tails, validation, worst_case_fcfs, Scale,
 };
+use busarb_obs::TraceFormat;
 use serde::Serialize;
 
 struct Options {
     scale: Scale,
     json_dir: Option<PathBuf>,
     jobs: usize,
+    metrics: Option<PathBuf>,
+    trace: Option<PathBuf>,
+    trace_format: TraceFormat,
     command: String,
+    argument: Option<String>,
 }
 
 fn parse_args() -> Result<Options, String> {
     let mut scale = Scale::Paper;
     let mut json_dir = None;
     let mut jobs = 0;
+    let mut metrics = None;
+    let mut trace = None;
+    let mut trace_format = TraceFormat::Jsonl;
     let mut command = None;
+    let mut argument = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -70,8 +89,23 @@ fn parse_args() -> Result<Options, String> {
                     .parse()
                     .map_err(|e| format!("invalid --jobs '{value}': {e}"))?;
             }
+            "--metrics" => {
+                let value = args.next().ok_or("--metrics needs a file")?;
+                metrics = Some(PathBuf::from(value));
+            }
+            "--trace" => {
+                let value = args.next().ok_or("--trace needs a file")?;
+                trace = Some(PathBuf::from(value));
+            }
+            "--trace-format" => {
+                let value = args.next().ok_or("--trace-format needs a value")?;
+                trace_format = value
+                    .parse()
+                    .map_err(|e| format!("invalid --trace-format '{value}': {e}"))?;
+            }
             "--help" | "-h" => return Err(String::new()),
             other if command.is_none() => command = Some(other.to_string()),
+            other if argument.is_none() => argument = Some(other.to_string()),
             other => return Err(format!("unexpected argument '{other}'")),
         }
     }
@@ -79,18 +113,24 @@ fn parse_args() -> Result<Options, String> {
         scale,
         json_dir,
         jobs,
+        metrics,
+        trace,
+        trace_format,
         command: command.ok_or("missing command; try --help")?,
+        argument,
     })
 }
 
 fn usage() -> &'static str {
-    "usage: repro [--scale paper|quick|smoke] [--json DIR] [--jobs N] <command>\n\
+    "usage: repro [--scale paper|quick|smoke] [--json DIR] [--jobs N]\n\
+     \u{20}            [--metrics FILE] [--trace FILE] [--trace-format jsonl|binary]\n\
+     \u{20}            <command>\n\
      commands: table4.1 table4.2 fig4.1 table4.3 table4.4 table4.5\n\
      \u{20}         ablation.counters ablation.window ablation.rr3\n\
      \u{20}         ablation.start-rule ablation.overhead ablation.width-overhead\n\
      \u{20}         hybrid conservation\n\
      \u{20}         tails bursty worst-case.fcfs priority scaling validate.cis\n\
-     \u{20}         protocols all"
+     \u{20}         protocols cell inspect all"
 }
 
 fn emit<T: Serialize>(opts: &Options, name: &str, value: &T, text: String) {
@@ -132,6 +172,9 @@ fn main() -> ExitCode {
         }
     };
     busarb_experiments::set_jobs(opts.jobs);
+    if opts.metrics.is_some() {
+        busarb_experiments::enable_rollups();
+    }
     eprintln!("scale: {} ({} samples per run)", opts.scale, {
         let b = opts.scale.batches();
         b.total_samples()
@@ -218,6 +261,52 @@ fn main() -> ExitCode {
                 println!("{:<14} {:<16} {lines}", protocol_slug(kind), arbiter.name());
             }
         }
+        "cell" => {
+            let format = opts.trace_format;
+            let path = opts.trace.clone().unwrap_or_else(|| {
+                std::env::temp_dir().join(format!("busarb-cell-{}.{format}", std::process::id()))
+            });
+            eprintln!("tracing the pinned cell to {}", path.display());
+            let live = observe::run_pinned(opts.scale, Some((&path, format)));
+            println!("live     {live}");
+            let replayed = match observe::inspect(&path) {
+                Ok(r) => r,
+                Err(e) => {
+                    eprintln!("error: cannot replay {}: {e}", path.display());
+                    return ExitCode::FAILURE;
+                }
+            };
+            emit(
+                &opts,
+                "cell_inspect",
+                &observe::InspectJson::from(&replayed),
+                observe::format_replay(&replayed),
+            );
+            if let Err(msg) = observe::cross_check(&live, &replayed) {
+                eprintln!("round-trip MISMATCH: {msg}");
+                return ExitCode::FAILURE;
+            }
+            println!("round-trip OK: replayed aggregates match the live run");
+        }
+        "inspect" => {
+            let Some(file) = &opts.argument else {
+                eprintln!("error: inspect needs a trace file\n{}", usage());
+                return ExitCode::FAILURE;
+            };
+            let replayed = match observe::inspect(Path::new(file)) {
+                Ok(r) => r,
+                Err(e) => {
+                    eprintln!("error: cannot replay {file}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            emit(
+                &opts,
+                "inspect",
+                &observe::InspectJson::from(&replayed),
+                observe::format_replay(&replayed),
+            );
+        }
         "all" => {
             eprintln!("computing the shared simulation grid...");
             let grid = Grid::compute(opts.scale);
@@ -259,6 +348,24 @@ fn main() -> ExitCode {
         other => {
             eprintln!("error: unknown command '{other}'\n{}", usage());
             return ExitCode::FAILURE;
+        }
+    }
+    if let Some(path) = &opts.metrics {
+        if let Some(sweep) = observe::collect_rollups() {
+            eprintln!("collected metrics from {} cells", sweep.cells.len());
+            match serde_json::to_string_pretty(&sweep) {
+                Ok(json) => {
+                    if let Err(e) = fs::write(path, json) {
+                        eprintln!("error: cannot write {}: {e}", path.display());
+                        return ExitCode::FAILURE;
+                    }
+                    eprintln!("wrote {}", path.display());
+                }
+                Err(e) => {
+                    eprintln!("error: cannot serialize metrics: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
         }
     }
     ExitCode::SUCCESS

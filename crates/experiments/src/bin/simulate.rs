@@ -16,7 +16,11 @@
 //!   --outstanding R    max outstanding requests per agent (default 1)
 //!   --overhead A       arbitration overhead (default 0.5)
 //!   --trace K          print the first K trace events
+//!   --trace-out FILE   export EVERY trace event to FILE (see --trace-format)
+//!   --trace-format F   export framing: jsonl (default) or binary
+//!   --metrics FILE     write the run's metrics snapshot as JSON
 //!   --compare          run ALL protocols on the scenario instead of one
+//!                      (incompatible with --trace-out / --metrics)
 //!   --jobs N           worker threads for --compare (0 = all cores)
 //!
 //! scenario variants (default: equal loads):
@@ -26,10 +30,11 @@
 //!   --bursty B         trace-driven bursty traffic (quiet/burst ratio B)
 //! ```
 
+use std::path::PathBuf;
 use std::process::ExitCode;
 
 use busarb_core::ProtocolKind;
-use busarb_sim::{RunReport, Simulation, SystemConfig};
+use busarb_sim::{RunReport, Simulation, SystemConfig, TraceFormat};
 use busarb_stats::BatchMeansConfig;
 use busarb_types::{AgentId, Time};
 use busarb_workload::{BurstyTrace, Scenario};
@@ -55,6 +60,9 @@ struct Options {
     outstanding: u32,
     overhead: f64,
     trace: usize,
+    trace_out: Option<PathBuf>,
+    trace_format: TraceFormat,
+    metrics: Option<PathBuf>,
     compare: bool,
     jobs: usize,
     variant: Variant,
@@ -73,6 +81,9 @@ impl Default for Options {
             outstanding: 1,
             overhead: 0.5,
             trace: 0,
+            trace_out: None,
+            trace_format: TraceFormat::Jsonl,
+            metrics: None,
             compare: false,
             jobs: 0,
             variant: Variant::EqualLoad,
@@ -115,6 +126,9 @@ fn parse_args() -> Result<Options, String> {
                 opts.overhead = value("--overhead")?.parse().map_err(|e| format!("{e}"))?;
             }
             "--trace" => opts.trace = value("--trace")?.parse().map_err(|e| format!("{e}"))?,
+            "--trace-out" => opts.trace_out = Some(PathBuf::from(value("--trace-out")?)),
+            "--trace-format" => opts.trace_format = value("--trace-format")?.parse()?,
+            "--metrics" => opts.metrics = Some(PathBuf::from(value("--metrics")?)),
             "--compare" => opts.compare = true,
             "--jobs" => opts.jobs = value("--jobs")?.parse().map_err(|e| format!("{e}"))?,
             "--boost" => {
@@ -138,6 +152,7 @@ fn usage() -> &'static str {
     "usage: simulate [--protocol NAME] [--agents N] [--load X] [--cv C]\n\
      \u{20}               [--samples S] [--seed S] [--urgent P] [--outstanding R]\n\
      \u{20}               [--overhead A] [--trace K] [--compare] [--jobs N]\n\
+     \u{20}               [--trace-out FILE] [--trace-format jsonl|binary] [--metrics FILE]\n\
      \u{20}               [--boost F | --worst-case-rr | --worst-case-fcfs | --bursty B]\n\
      protocols: fixed-priority aap-1 aap-2 aap-2m rr fcfs-1 fcfs-2\n\
      \u{20}          central-rr central-fcfs hybrid adaptive rotating-rr ticket-fcfs"
@@ -188,6 +203,9 @@ fn run_one(opts: &Options, kind: ProtocolKind) -> Result<RunReport, String> {
     if opts.trace > 0 {
         config = config.with_trace(opts.trace);
     }
+    if let Some(path) = &opts.trace_out {
+        config = config.with_trace_export(path, opts.trace_format);
+    }
     let arbiter = kind.build(opts.agents).map_err(|e| e.to_string())?;
     Ok(Simulation::new(config)
         .map_err(|e| e.to_string())?
@@ -221,6 +239,10 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    if opts.compare && (opts.trace_out.is_some() || opts.metrics.is_some()) {
+        eprintln!("error: --trace-out/--metrics export a single run; drop --compare");
+        return ExitCode::FAILURE;
+    }
     println!(
         "scenario: {} agents, total load {}, cv {}, seed {}, variant {:?}",
         opts.agents, opts.load, opts.cv, opts.seed, opts.variant
@@ -241,6 +263,24 @@ fn main() -> ExitCode {
                 if opts.trace > 0 && !opts.compare {
                     println!("\ntrace (first {} events):", opts.trace);
                     print!("{}", report.trace.render());
+                }
+                if let Some(path) = &opts.trace_out {
+                    eprintln!("exported trace to {}", path.display());
+                }
+                if let Some(path) = &opts.metrics {
+                    match serde_json::to_string_pretty(&report.metrics) {
+                        Ok(json) => {
+                            if let Err(e) = std::fs::write(path, json) {
+                                eprintln!("error: cannot write {}: {e}", path.display());
+                                return ExitCode::FAILURE;
+                            }
+                            eprintln!("wrote {}", path.display());
+                        }
+                        Err(e) => {
+                            eprintln!("error: cannot serialize metrics: {e}");
+                            return ExitCode::FAILURE;
+                        }
+                    }
                 }
             }
             Err(msg) => {

@@ -6,6 +6,7 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
 use busarb_core::{Arbiter, ProtocolKind};
+use busarb_obs::MetricsSnapshot;
 use busarb_sim::{RunReport, Simulation, SystemConfig};
 use busarb_stats::{BatchMeansConfig, Estimate, RatioEstimate};
 use busarb_workload::Scenario;
@@ -123,9 +124,11 @@ pub fn run_cell(
     if collect_cdf {
         config = config.with_cdf();
     }
-    Simulation::new(config)
+    let report = Simulation::new(config)
         .expect("experiment configs are valid")
-        .run(arbiter)
+        .run(arbiter);
+    offer_rollup(tag, &report.metrics);
+    report
 }
 
 /// Runs one simulation cell for a default-parameter protocol of `kind`
@@ -157,10 +160,60 @@ pub fn run_cell_kind(
     if collect_cdf {
         config = config.with_cdf();
     }
-    Simulation::new(config)
+    let report = Simulation::new(config)
         .expect("experiment configs are valid")
         .run_kind(kind)
-        .expect("experiment scenarios use valid system sizes")
+        .expect("experiment scenarios use valid system sizes");
+    offer_rollup(tag, &report.metrics);
+    report
+}
+
+/// Per-cell metric rollups, collected when enabled (see
+/// [`enable_rollups`]). `None` means collection is off — the default, so
+/// the sweep path pays one mutex lock per *cell* (not per event) only
+/// when a caller asked for metrics.
+static ROLLUPS: Mutex<Option<Vec<(String, MetricsSnapshot)>>> = Mutex::new(None);
+
+/// Starts collecting per-cell metric rollups from every subsequent
+/// [`run_cell`] / [`run_cell_kind`] call (clearing anything previously
+/// collected). Retrieve them with [`take_rollups`].
+pub fn enable_rollups() {
+    *ROLLUPS.lock().expect("rollup lock") = Some(Vec::new());
+}
+
+/// Records one cell's metrics snapshot under its seed tag, if rollup
+/// collection is enabled. Called by the cell runners; experiment code
+/// that runs `Simulation` directly may offer its own snapshots too.
+pub fn offer_rollup(tag: &str, metrics: &MetricsSnapshot) {
+    if let Some(cells) = ROLLUPS.lock().expect("rollup lock").as_mut() {
+        cells.push((tag.to_string(), metrics.clone()));
+    }
+}
+
+/// Stops rollup collection and returns everything collected since
+/// [`enable_rollups`], sorted by cell tag — parallel sweep workers
+/// finish cells in nondeterministic order, so the canonical sort (and a
+/// fold over it, see [`merge_rollups`]) makes the result independent of
+/// the worker count. Returns `None` if collection was never enabled.
+#[must_use]
+pub fn take_rollups() -> Option<Vec<(String, MetricsSnapshot)>> {
+    let mut cells = ROLLUPS.lock().expect("rollup lock").take()?;
+    cells.sort_by(|a, b| a.0.cmp(&b.0));
+    Some(cells)
+}
+
+/// Folds per-cell snapshots into one sweep-wide snapshot. The input
+/// order matters for floating-point sums, so callers should pass the
+/// tag-sorted vector from [`take_rollups`] to get a deterministic
+/// merge.
+#[must_use]
+pub fn merge_rollups(cells: &[(String, MetricsSnapshot)]) -> MetricsSnapshot {
+    let agents = cells.iter().map(|(_, m)| m.agents).max().unwrap_or(0);
+    let mut merged = MetricsSnapshot::empty(agents);
+    for (_, metrics) in cells {
+        merged.merge(metrics);
+    }
+    merged
 }
 
 /// Configured sweep parallelism: 0 means "auto" (one worker per

@@ -34,6 +34,7 @@ pub mod bursty;
 pub mod common;
 pub mod figure4_1;
 pub mod grid;
+pub mod observe;
 pub mod priority_study;
 pub mod scaling;
 pub mod table4_1;
@@ -45,4 +46,7 @@ pub mod tails;
 pub mod validation;
 pub mod worst_case_fcfs;
 
-pub use common::{jobs, protocol_slug, run_cells, run_cells_with, set_jobs, EstimateJson, Scale};
+pub use common::{
+    enable_rollups, jobs, merge_rollups, offer_rollup, protocol_slug, run_cells, run_cells_with,
+    set_jobs, take_rollups, EstimateJson, Scale,
+};

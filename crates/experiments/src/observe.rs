@@ -1,0 +1,275 @@
+//! Observability harness: the pinned traced cell, trace-export
+//! inspection, and sweep-wide metric rollups.
+//!
+//! The *pinned cell* (round-robin, 10 agents, total load 2.0, CV 1.0)
+//! is the scenario the round-trip acceptance check runs: simulate it
+//! with a write-through trace export, replay the export through
+//! [`busarb_obs::replay`], and require the replayed aggregates to match
+//! the live [`RunReport`] within floating-point round-off. The `repro
+//! cell` command and the CI observability step both drive this module.
+
+use std::path::Path;
+
+use busarb_core::ProtocolKind;
+use busarb_obs::{read_trace_file, replay, MetricsSnapshot, Replay, TraceFormat};
+use busarb_sim::{RunReport, Simulation, SystemConfig};
+use busarb_workload::Scenario;
+use serde::Serialize;
+
+use crate::common::{merge_rollups, offer_rollup, seed_for, take_rollups, Scale};
+
+/// System size of the pinned observability cell.
+pub const PINNED_AGENTS: u32 = 10;
+/// Total offered load of the pinned cell.
+pub const PINNED_LOAD: f64 = 2.0;
+/// Interrequest-time CV of the pinned cell.
+pub const PINNED_CV: f64 = 1.0;
+/// Protocol of the pinned cell.
+pub const PINNED_KIND: ProtocolKind = ProtocolKind::RoundRobin;
+/// Seed tag of the pinned cell (also its rollup tag).
+pub const PINNED_TAG: &str = "observe-pinned";
+
+/// Runs the pinned cell, optionally exporting every trace event to
+/// `export`, and offers its metrics to the rollup collector.
+///
+/// # Panics
+///
+/// Panics if the export file cannot be created or written (the pinned
+/// configuration itself is statically valid).
+#[must_use]
+pub fn run_pinned(scale: Scale, export: Option<(&Path, TraceFormat)>) -> RunReport {
+    let scenario = Scenario::equal_load(PINNED_AGENTS, PINNED_LOAD, PINNED_CV)
+        .expect("pinned scenario is valid");
+    let mut config = SystemConfig::new(scenario)
+        .with_batches(scale.batches())
+        .with_warmup(scale.warmup())
+        .with_seed(seed_for(PINNED_TAG));
+    if let Some((path, format)) = export {
+        config = config.with_trace_export(path, format);
+    }
+    let report = Simulation::new(config)
+        .expect("pinned config is valid")
+        .run_kind(PINNED_KIND)
+        .expect("pinned system size is valid");
+    offer_rollup(PINNED_TAG, &report.metrics);
+    report
+}
+
+/// Reads an exported trace (either framing, auto-detected) and replays
+/// it into run-level aggregates.
+///
+/// # Errors
+///
+/// Returns an error if the file cannot be read or is not a valid
+/// `busarb-trace/1` export.
+pub fn inspect(path: &Path) -> std::io::Result<Replay> {
+    let (header, events) = read_trace_file(path)?;
+    replay(&header, &events)
+}
+
+/// Relative closeness at f64 round-off scale.
+fn close(a: f64, b: f64) -> bool {
+    (a - b).abs() <= 1e-12 * a.abs().max(b.abs()).max(1.0)
+}
+
+/// Checks that a replayed export reproduces the live run's aggregates.
+///
+/// # Errors
+///
+/// Returns a message naming every mismatched aggregate.
+pub fn cross_check(live: &RunReport, replayed: &Replay) -> Result<(), String> {
+    let mut mismatches = Vec::new();
+    if live.protocol != replayed.protocol {
+        mismatches.push(format!(
+            "protocol: live {} vs replayed {}",
+            live.protocol, replayed.protocol
+        ));
+    }
+    if live.wait_summary.count() != replayed.samples() {
+        mismatches.push(format!(
+            "samples: live {} vs replayed {}",
+            live.wait_summary.count(),
+            replayed.samples()
+        ));
+    }
+    match replayed.mean_wait {
+        Some(est) if close(est.mean, live.mean_wait.mean) => {}
+        Some(est) => mismatches.push(format!(
+            "mean wait: live {} vs replayed {}",
+            live.mean_wait.mean, est.mean
+        )),
+        None => mismatches.push("mean wait: replay batches incomplete".to_string()),
+    }
+    if !close(live.utilization, replayed.utilization) {
+        mismatches.push(format!(
+            "utilization: live {} vs replayed {}",
+            live.utilization, replayed.utilization
+        ));
+    }
+    if live.metrics.completions != replayed.completions {
+        mismatches.push(format!(
+            "completions: live {} vs replayed {}",
+            live.metrics.completions, replayed.completions
+        ));
+    }
+    if mismatches.is_empty() {
+        Ok(())
+    } else {
+        Err(mismatches.join("; "))
+    }
+}
+
+/// Serializable view of a [`Replay`] for `repro inspect --json`.
+#[derive(Clone, Debug, Serialize)]
+pub struct InspectJson {
+    /// Protocol named by the trace header.
+    pub protocol: String,
+    /// Waiting-time samples that survived warm-up and the batch budget.
+    pub samples: u64,
+    /// Replayed batch-means estimate of the mean waiting time (negative
+    /// halfwidth when the trace ended before the batch budget filled).
+    pub mean_wait: f64,
+    /// Confidence-interval half-width of `mean_wait`.
+    pub halfwidth: f64,
+    /// Replayed bus utilization over the measurement interval.
+    pub utilization: f64,
+    /// Simulated time spanned by the measurement interval.
+    pub measured_time: f64,
+    /// Request arrivals in the trace.
+    pub requests: u64,
+    /// Grants (arbitration completions) in the trace.
+    pub grants: u64,
+    /// Transfer starts in the trace.
+    pub transfers: u64,
+    /// Transfer completions in the trace.
+    pub completions: u64,
+    /// Completions discarded as warm-up.
+    pub warmup_consumed: u64,
+}
+
+impl From<&Replay> for InspectJson {
+    fn from(r: &Replay) -> Self {
+        InspectJson {
+            protocol: r.protocol.clone(),
+            samples: r.samples(),
+            mean_wait: r.mean_wait.map_or(f64::NAN, |e| e.mean),
+            halfwidth: r.mean_wait.map_or(-1.0, |e| e.halfwidth),
+            utilization: r.utilization,
+            measured_time: r.measured_time,
+            requests: r.requests,
+            grants: r.grants,
+            transfers: r.transfers,
+            completions: r.completions,
+            warmup_consumed: r.warmup_consumed,
+        }
+    }
+}
+
+/// Paper-style text rendering of a replayed trace.
+#[must_use]
+pub fn format_replay(r: &Replay) -> String {
+    let wait = r.mean_wait.map_or_else(
+        || "incomplete (batch budget unmet)".to_string(),
+        |e| e.to_string(),
+    );
+    format!(
+        "replayed {}: W = {wait}, utilization {:.3}\n\
+         events: {} requests, {} grants, {} transfers, {} completions\n\
+         samples: {} counted after {} warm-up, over {:.1} time units",
+        r.protocol,
+        r.utilization,
+        r.requests,
+        r.grants,
+        r.transfers,
+        r.completions,
+        r.samples(),
+        r.warmup_consumed,
+        r.measured_time,
+    )
+}
+
+/// One cell's tag and metrics inside a [`SweepMetrics`] export.
+#[derive(Clone, Debug, Serialize)]
+pub struct CellMetrics {
+    /// The cell's seed tag.
+    pub tag: String,
+    /// The cell's whole-run metrics snapshot.
+    pub metrics: MetricsSnapshot,
+}
+
+/// The `--metrics` export: every collected cell plus the deterministic
+/// (tag-sorted) sweep-wide merge.
+#[derive(Clone, Debug, Serialize)]
+pub struct SweepMetrics {
+    /// Per-cell snapshots, sorted by tag.
+    pub cells: Vec<CellMetrics>,
+    /// All cells folded together in tag order.
+    pub merged: MetricsSnapshot,
+}
+
+/// Drains the rollup collector into a serializable sweep summary.
+/// Returns `None` if [`crate::common::enable_rollups`] was never
+/// called.
+#[must_use]
+pub fn collect_rollups() -> Option<SweepMetrics> {
+    let cells = take_rollups()?;
+    let merged = merge_rollups(&cells);
+    Some(SweepMetrics {
+        cells: cells
+            .into_iter()
+            .map(|(tag, metrics)| CellMetrics { tag, metrics })
+            .collect(),
+        merged,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use busarb_obs::TraceHeader;
+
+    #[test]
+    fn pinned_cell_round_trips_through_both_export_formats() {
+        for format in [TraceFormat::Jsonl, TraceFormat::Binary] {
+            let path = std::env::temp_dir().join(format!(
+                "busarb-observe-test-{}.{format}",
+                std::process::id()
+            ));
+            let live = run_pinned(Scale::Smoke, Some((&path, format)));
+            let replayed = inspect(&path).expect("export is readable");
+            let outcome = cross_check(&live, &replayed);
+            std::fs::remove_file(&path).ok();
+            outcome.unwrap_or_else(|msg| panic!("{format} round-trip mismatch: {msg}"));
+            // The replay feeds the identical sample sequence to the same
+            // batch-means arithmetic, so the estimate is not merely
+            // close — it is equal (shortest-round-trip floats in JSONL,
+            // raw bits in the binary framing).
+            assert_eq!(
+                replayed.mean_wait.expect("batches complete").mean,
+                live.mean_wait.mean,
+                "{format}: replayed mean drifted from the live run"
+            );
+            assert_eq!(replayed.utilization, live.utilization, "{format}");
+        }
+    }
+
+    #[test]
+    fn cross_check_reports_every_mismatch() {
+        let live = run_pinned(Scale::Smoke, None);
+        let header = TraceHeader {
+            schema: busarb_obs::TRACE_SCHEMA.to_string(),
+            protocol: "bogus".to_string(),
+            agents: PINNED_AGENTS,
+            seed: 0,
+            warmup_samples: 0,
+            batches: 2,
+            samples_per_batch: 1,
+            confidence: 0.9,
+        };
+        let replayed = replay(&header, &[]).expect("empty trace replays");
+        let msg = cross_check(&live, &replayed).expect_err("everything differs");
+        assert!(msg.contains("protocol"), "{msg}");
+        assert!(msg.contains("samples"), "{msg}");
+        assert!(msg.contains("mean wait"), "{msg}");
+    }
+}

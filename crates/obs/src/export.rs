@@ -1,0 +1,479 @@
+//! Trace export sinks and readers (JSONL and binary framings).
+
+use std::fmt::Write as _;
+use std::io::{self, Write};
+use std::path::Path;
+
+use busarb_types::{AgentId, Time, TraceEvent, TraceKind};
+
+use crate::{TraceFormat, TraceHeader, TraceSink};
+
+/// Magic bytes opening a binary trace.
+const MAGIC: &[u8; 4] = b"BTRC";
+/// Binary framing version.
+const VERSION: u8 = 1;
+
+const TAG_REQUEST: u8 = 0;
+const TAG_ARBITRATION: u8 = 1;
+const TAG_TRANSFER: u8 = 2;
+const TAG_END: u8 = 3;
+
+fn invalid(msg: impl Into<String>) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg.into())
+}
+
+fn agent_id(raw: u64) -> io::Result<AgentId> {
+    let raw = u32::try_from(raw).map_err(|_| invalid("agent identity exceeds u32"))?;
+    AgentId::new(raw).map_err(|e| invalid(format!("bad agent identity: {e}")))
+}
+
+/// An infallible in-memory sink, mostly for tests and tools that
+/// post-process events directly.
+#[derive(Clone, Debug, Default)]
+pub struct MemorySink {
+    events: Vec<TraceEvent>,
+}
+
+impl MemorySink {
+    /// Creates an empty sink.
+    #[must_use]
+    pub fn new() -> Self {
+        MemorySink::default()
+    }
+
+    /// The recorded events, in order.
+    #[must_use]
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+
+    /// Consumes the sink, returning the recorded events.
+    #[must_use]
+    pub fn into_events(self) -> Vec<TraceEvent> {
+        self.events
+    }
+}
+
+impl TraceSink for MemorySink {
+    fn record(&mut self, event: &TraceEvent) -> io::Result<()> {
+        self.events.push(*event);
+        Ok(())
+    }
+
+    fn finish(&mut self) -> io::Result<()> {
+        Ok(())
+    }
+}
+
+/// A write-through JSON Lines sink: one header line, then one compact
+/// JSON object per event. Floats are formatted with Rust's shortest
+/// round-trip representation, so a parse reproduces them bit-exactly.
+#[derive(Debug)]
+pub struct JsonlSink<W: Write> {
+    writer: W,
+    line: String,
+}
+
+impl<W: Write> JsonlSink<W> {
+    /// Creates the sink and writes the header line.
+    ///
+    /// # Errors
+    ///
+    /// Propagates write errors.
+    pub fn new(mut writer: W, header: &TraceHeader) -> io::Result<Self> {
+        let json = serde_json::to_string(header).map_err(|e| invalid(e.to_string()))?;
+        writer.write_all(json.as_bytes())?;
+        writer.write_all(b"\n")?;
+        Ok(JsonlSink {
+            writer,
+            line: String::new(),
+        })
+    }
+
+    /// Consumes the sink, returning the underlying writer.
+    pub fn into_inner(self) -> W {
+        self.writer
+    }
+}
+
+impl<W: Write> TraceSink for JsonlSink<W> {
+    fn record(&mut self, event: &TraceEvent) -> io::Result<()> {
+        self.line.clear();
+        let at = event.at.as_f64();
+        match event.kind {
+            TraceKind::Request { agent } => {
+                write!(self.line, "{{\"at\":{at},\"ev\":\"req\",\"agent\":{agent}}}")
+            }
+            TraceKind::ArbitrationStart { winner, completes } => write!(
+                self.line,
+                "{{\"at\":{at},\"ev\":\"arb\",\"winner\":{winner},\"completes\":{}}}",
+                completes.as_f64()
+            ),
+            TraceKind::TransferStart { agent } => {
+                write!(self.line, "{{\"at\":{at},\"ev\":\"xfer\",\"agent\":{agent}}}")
+            }
+            TraceKind::TransferEnd { agent, wait } => write!(
+                self.line,
+                "{{\"at\":{at},\"ev\":\"end\",\"agent\":{agent},\"wait\":{wait}}}"
+            ),
+        }
+        .expect("writing to a String cannot fail");
+        self.line.push('\n');
+        self.writer.write_all(self.line.as_bytes())
+    }
+
+    fn finish(&mut self) -> io::Result<()> {
+        self.writer.flush()
+    }
+}
+
+/// A write-through binary sink: `BTRC` magic, version byte, `u32`
+/// little-endian length-prefixed JSON header, then fixed-layout
+/// little-endian records (tag byte, `f64` timestamp, `u32` agent, and
+/// one further `f64` for arbitration/completion records).
+#[derive(Debug)]
+pub struct BinarySink<W: Write> {
+    writer: W,
+}
+
+impl<W: Write> BinarySink<W> {
+    /// Creates the sink and writes the framing preamble and header.
+    ///
+    /// # Errors
+    ///
+    /// Propagates write errors.
+    pub fn new(mut writer: W, header: &TraceHeader) -> io::Result<Self> {
+        let json = serde_json::to_string(header).map_err(|e| invalid(e.to_string()))?;
+        let len = u32::try_from(json.len()).map_err(|_| invalid("trace header too large"))?;
+        writer.write_all(MAGIC)?;
+        writer.write_all(&[VERSION])?;
+        writer.write_all(&len.to_le_bytes())?;
+        writer.write_all(json.as_bytes())?;
+        Ok(BinarySink { writer })
+    }
+
+    /// Consumes the sink, returning the underlying writer.
+    pub fn into_inner(self) -> W {
+        self.writer
+    }
+}
+
+impl<W: Write> TraceSink for BinarySink<W> {
+    fn record(&mut self, event: &TraceEvent) -> io::Result<()> {
+        // tag + at + agent + extra: at most 21 bytes per record.
+        let mut buf = [0u8; 21];
+        let (tag, agent, extra) = match event.kind {
+            TraceKind::Request { agent } => (TAG_REQUEST, agent, None),
+            TraceKind::ArbitrationStart { winner, completes } => {
+                (TAG_ARBITRATION, winner, Some(completes.as_f64()))
+            }
+            TraceKind::TransferStart { agent } => (TAG_TRANSFER, agent, None),
+            TraceKind::TransferEnd { agent, wait } => (TAG_END, agent, Some(wait)),
+        };
+        buf[0] = tag;
+        buf[1..9].copy_from_slice(&event.at.as_f64().to_le_bytes());
+        buf[9..13].copy_from_slice(&agent.get().to_le_bytes());
+        let len = if let Some(x) = extra {
+            buf[13..21].copy_from_slice(&x.to_le_bytes());
+            21
+        } else {
+            13
+        };
+        self.writer.write_all(&buf[..len])
+    }
+
+    fn finish(&mut self) -> io::Result<()> {
+        self.writer.flush()
+    }
+}
+
+/// Opens a write-through file sink of the given format (buffered).
+///
+/// # Errors
+///
+/// Propagates file-creation and write errors.
+pub fn open_file_sink(
+    path: &Path,
+    format: TraceFormat,
+    header: &TraceHeader,
+) -> io::Result<Box<dyn TraceSink>> {
+    let writer = io::BufWriter::new(std::fs::File::create(path)?);
+    Ok(match format {
+        TraceFormat::Jsonl => Box::new(JsonlSink::new(writer, header)?),
+        TraceFormat::Binary => Box::new(BinarySink::new(writer, header)?),
+    })
+}
+
+/// Reads an exported trace from raw bytes, auto-detecting the format by
+/// the binary magic.
+///
+/// # Errors
+///
+/// Returns [`io::ErrorKind::InvalidData`] errors for malformed input.
+pub fn read_trace(bytes: &[u8]) -> io::Result<(TraceHeader, Vec<TraceEvent>)> {
+    if bytes.starts_with(MAGIC) {
+        read_binary(bytes)
+    } else {
+        let text = core::str::from_utf8(bytes)
+            .map_err(|_| invalid("trace is neither binary (no magic) nor UTF-8 JSONL"))?;
+        read_jsonl(text)
+    }
+}
+
+/// Reads an exported trace file, auto-detecting the format.
+///
+/// # Errors
+///
+/// Propagates I/O errors and malformed-input errors from [`read_trace`].
+pub fn read_trace_file(path: &Path) -> io::Result<(TraceHeader, Vec<TraceEvent>)> {
+    read_trace(&std::fs::read(path)?)
+}
+
+fn read_jsonl(text: &str) -> io::Result<(TraceHeader, Vec<TraceEvent>)> {
+    let mut lines = text.lines().filter(|l| !l.trim().is_empty());
+    let header_line = lines.next().ok_or_else(|| invalid("empty trace"))?;
+    let header_value =
+        serde_json::from_str(header_line).map_err(|e| invalid(format!("bad header: {e}")))?;
+    let header = TraceHeader::from_value(&header_value)?;
+    let mut events = Vec::new();
+    for (i, line) in lines.enumerate() {
+        let v = serde_json::from_str(line)
+            .map_err(|e| invalid(format!("bad event on line {}: {e}", i + 2)))?;
+        events.push(event_from_value(&v).map_err(|e| invalid(format!("line {}: {e}", i + 2)))?);
+    }
+    Ok((header, events))
+}
+
+fn event_from_value(v: &serde::Value) -> io::Result<TraceEvent> {
+    fn f64_field(v: &serde::Value, key: &str) -> io::Result<f64> {
+        v.get(key)
+            .and_then(serde::Value::as_f64)
+            .ok_or_else(|| invalid(format!("missing or mistyped `{key}`")))
+    }
+    fn agent_field(v: &serde::Value, key: &str) -> io::Result<AgentId> {
+        agent_id(
+            v.get(key)
+                .and_then(serde::Value::as_u64)
+                .ok_or_else(|| invalid(format!("missing or mistyped `{key}`")))?,
+        )
+    }
+    let at = Time::from(f64_field(v, "at")?);
+    let kind = match v.get("ev").and_then(serde::Value::as_str) {
+        Some("req") => TraceKind::Request {
+            agent: agent_field(v, "agent")?,
+        },
+        Some("arb") => TraceKind::ArbitrationStart {
+            winner: agent_field(v, "winner")?,
+            completes: Time::from(f64_field(v, "completes")?),
+        },
+        Some("xfer") => TraceKind::TransferStart {
+            agent: agent_field(v, "agent")?,
+        },
+        Some("end") => TraceKind::TransferEnd {
+            agent: agent_field(v, "agent")?,
+            wait: f64_field(v, "wait")?,
+        },
+        other => return Err(invalid(format!("unknown event kind {other:?}"))),
+    };
+    Ok(TraceEvent { at, kind })
+}
+
+fn read_binary(bytes: &[u8]) -> io::Result<(TraceHeader, Vec<TraceEvent>)> {
+    let rest = &bytes[MAGIC.len()..];
+    let (&version, rest) = rest
+        .split_first()
+        .ok_or_else(|| invalid("truncated binary trace (no version)"))?;
+    if version != VERSION {
+        return Err(invalid(format!(
+            "unsupported binary trace version {version} (expected {VERSION})"
+        )));
+    }
+    if rest.len() < 4 {
+        return Err(invalid("truncated binary trace (no header length)"));
+    }
+    let (len_bytes, rest) = rest.split_at(4);
+    let header_len =
+        u32::from_le_bytes(len_bytes.try_into().expect("split_at(4) yields 4 bytes")) as usize;
+    if rest.len() < header_len {
+        return Err(invalid("truncated binary trace (header)"));
+    }
+    let (header_bytes, mut rest) = rest.split_at(header_len);
+    let header_text =
+        core::str::from_utf8(header_bytes).map_err(|_| invalid("header is not UTF-8"))?;
+    let header_value =
+        serde_json::from_str(header_text).map_err(|e| invalid(format!("bad header: {e}")))?;
+    let header = TraceHeader::from_value(&header_value)?;
+
+    let mut events = Vec::new();
+    while let Some((&tag, record)) = rest.split_first() {
+        let fixed = record
+            .get(..12)
+            .ok_or_else(|| invalid("truncated binary record"))?;
+        let at = Time::from(f64::from_le_bytes(
+            fixed[..8].try_into().expect("8-byte slice"),
+        ));
+        let agent = agent_id(u64::from(u32::from_le_bytes(
+            fixed[8..12].try_into().expect("4-byte slice"),
+        )))?;
+        let needs_extra = tag == TAG_ARBITRATION || tag == TAG_END;
+        let (extra, tail) = if needs_extra {
+            let bytes = record
+                .get(12..20)
+                .ok_or_else(|| invalid("truncated binary record (payload)"))?;
+            (
+                f64::from_le_bytes(bytes.try_into().expect("8-byte slice")),
+                &record[20..],
+            )
+        } else {
+            (0.0, &record[12..])
+        };
+        let kind = match tag {
+            TAG_REQUEST => TraceKind::Request { agent },
+            TAG_ARBITRATION => TraceKind::ArbitrationStart {
+                winner: agent,
+                completes: Time::from(extra),
+            },
+            TAG_TRANSFER => TraceKind::TransferStart { agent },
+            TAG_END => TraceKind::TransferEnd { agent, wait: extra },
+            other => return Err(invalid(format!("unknown binary record tag {other}"))),
+        };
+        events.push(TraceEvent { at, kind });
+        rest = tail;
+    }
+    Ok((header, events))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::TRACE_SCHEMA;
+
+    fn id(n: u32) -> AgentId {
+        AgentId::new(n).unwrap()
+    }
+
+    fn header() -> TraceHeader {
+        TraceHeader {
+            schema: TRACE_SCHEMA.to_string(),
+            protocol: "RR".to_string(),
+            agents: 4,
+            seed: 42,
+            warmup_samples: 10,
+            batches: 10,
+            samples_per_batch: 5,
+            confidence: 0.9,
+        }
+    }
+
+    /// Events exercising every kind, with floats that do not have short
+    /// decimal representations.
+    fn events() -> Vec<TraceEvent> {
+        let mut out = Vec::new();
+        let mut t = 0.0f64;
+        for i in 0..40u32 {
+            t += 0.1 + f64::from(i) / 3.0;
+            let agent = id(1 + i % 4);
+            let kind = match i % 4 {
+                0 => TraceKind::Request { agent },
+                1 => TraceKind::ArbitrationStart {
+                    winner: agent,
+                    completes: Time::from(t + 0.5),
+                },
+                2 => TraceKind::TransferStart { agent },
+                _ => TraceKind::TransferEnd {
+                    agent,
+                    wait: t / 7.0,
+                },
+            };
+            out.push(TraceEvent {
+                at: Time::from(t),
+                kind,
+            });
+        }
+        out
+    }
+
+    fn record_all(sink: &mut dyn TraceSink, events: &[TraceEvent]) {
+        for e in events {
+            sink.record(e).unwrap();
+        }
+        sink.finish().unwrap();
+    }
+
+    #[test]
+    fn jsonl_round_trips_bit_exactly() {
+        let mut sink = JsonlSink::new(Vec::new(), &header()).unwrap();
+        record_all(&mut sink, &events());
+        let bytes = sink.into_inner();
+        let (h, evs) = read_trace(&bytes).unwrap();
+        assert_eq!(h, header());
+        assert_eq!(evs, events());
+    }
+
+    #[test]
+    fn binary_round_trips_bit_exactly_and_is_smaller() {
+        let mut jsonl = JsonlSink::new(Vec::new(), &header()).unwrap();
+        record_all(&mut jsonl, &events());
+        let mut sink = BinarySink::new(Vec::new(), &header()).unwrap();
+        record_all(&mut sink, &events());
+        let bytes = sink.into_inner();
+        let (h, evs) = read_trace(&bytes).unwrap();
+        assert_eq!(h, header());
+        assert_eq!(evs, events());
+        assert!(bytes.len() < jsonl.into_inner().len());
+    }
+
+    #[test]
+    fn memory_sink_collects_in_order() {
+        let mut sink = MemorySink::new();
+        record_all(&mut sink, &events());
+        assert_eq!(sink.events(), &events()[..]);
+        assert_eq!(sink.into_events(), events());
+    }
+
+    #[test]
+    fn malformed_inputs_are_rejected() {
+        assert!(read_trace(b"").is_err());
+        assert!(read_trace(b"not json\n").is_err());
+        // Valid header, garbage event line.
+        let mut sink = JsonlSink::new(Vec::new(), &header()).unwrap();
+        sink.finish().unwrap();
+        let mut bytes = sink.into_inner();
+        bytes.extend_from_slice(b"{\"at\":1.0,\"ev\":\"nope\"}\n");
+        assert!(read_trace(&bytes).is_err());
+        // Agent identity zero is invalid.
+        let mut sink = JsonlSink::new(Vec::new(), &header()).unwrap();
+        sink.finish().unwrap();
+        let mut bytes = sink.into_inner();
+        bytes.extend_from_slice(b"{\"at\":1.0,\"ev\":\"req\",\"agent\":0}\n");
+        assert!(read_trace(&bytes).is_err());
+        // Truncated binary record.
+        let mut sink = BinarySink::new(Vec::new(), &header()).unwrap();
+        sink.record(&events()[0]).unwrap();
+        let bytes = sink.into_inner();
+        assert!(read_trace(&bytes[..bytes.len() - 3]).is_err());
+        // Wrong binary version.
+        let mut bad = bytes.clone();
+        bad[4] = 99;
+        assert!(read_trace(&bad).is_err());
+    }
+
+    #[test]
+    fn file_sink_writes_both_formats() {
+        let dir = std::env::temp_dir().join("busarb-obs-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        for (format, name) in [
+            (TraceFormat::Jsonl, "t.jsonl"),
+            (TraceFormat::Binary, "t.bin"),
+        ] {
+            let path = dir.join(name);
+            let mut sink = open_file_sink(&path, format, &header()).unwrap();
+            record_all(sink.as_mut(), &events());
+            drop(sink);
+            let (h, evs) = read_trace_file(&path).unwrap();
+            assert_eq!(h, header());
+            assert_eq!(evs, events());
+            std::fs::remove_file(&path).unwrap();
+        }
+    }
+}

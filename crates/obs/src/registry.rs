@@ -1,0 +1,183 @@
+//! The metrics registry the event loop drives.
+
+use busarb_types::{AgentId, Time};
+
+use crate::metrics::{LogHistogram, WindowedRate};
+use crate::snapshot::{MetricsSnapshot, RateSnapshot};
+
+/// Allocation-bounded run metrics: monotonic counters, gauges,
+/// log-scale histograms, and windowed rates.
+///
+/// All storage is preallocated in [`MetricsRegistry::new`]; every
+/// `on_*` update method is `#[inline]` and allocation-free (pinned by
+/// `cargo xtask lint` and the crate's counting-allocator test), so the
+/// simulator keeps the registry permanently enabled in its
+/// monomorphized hot loop. Counters cover the **whole run** including
+/// warm-up — they are engine-level observability, complementing (not
+/// replacing) the measurement-window statistics in `RunReport`.
+#[derive(Clone, Debug)]
+pub struct MetricsRegistry {
+    agents: u32,
+    events: u64,
+    requests: u64,
+    grants: u64,
+    arbitrations: u64,
+    transfers_started: u64,
+    completions: u64,
+    completions_per_agent: Vec<u64>,
+    pending_peak: u32,
+    wait: LogHistogram,
+    queue_depth: LogHistogram,
+    event_rate: WindowedRate,
+    grant_rate: WindowedRate,
+    last_event: f64,
+}
+
+impl MetricsRegistry {
+    /// Creates a registry for a scenario with `agents` agents. This is
+    /// the only allocating operation on the type.
+    #[must_use]
+    pub fn new(agents: u32) -> Self {
+        MetricsRegistry {
+            agents,
+            events: 0,
+            requests: 0,
+            grants: 0,
+            arbitrations: 0,
+            transfers_started: 0,
+            completions: 0,
+            completions_per_agent: vec![0; agents as usize],
+            pending_peak: 0,
+            wait: LogHistogram::new(),
+            queue_depth: LogHistogram::new(),
+            event_rate: WindowedRate::new(),
+            grant_rate: WindowedRate::new(),
+            last_event: 0.0,
+        }
+    }
+
+    /// One simulation event popped from the queue at time `t`.
+    #[inline]
+    pub fn on_event(&mut self, t: Time) {
+        let t = t.as_f64();
+        self.events += 1;
+        self.event_rate.record(t);
+        self.last_event = t;
+    }
+
+    /// A request-line assertion, with `pending` requests now outstanding
+    /// at the arbiter (gauges the queue depth distribution).
+    #[inline]
+    pub fn on_request(&mut self, pending: u32) {
+        self.requests += 1;
+        if pending > self.pending_peak {
+            self.pending_peak = pending;
+        }
+        self.queue_depth.record(f64::from(pending));
+    }
+
+    /// A grant at time `t` that took `arbitrations` line arbitrations.
+    #[inline]
+    pub fn on_grant(&mut self, t: Time, arbitrations: u32) {
+        self.grants += 1;
+        self.arbitrations += u64::from(arbitrations);
+        self.grant_rate.record(t.as_f64());
+    }
+
+    /// A transfer began (the elected master took the bus).
+    #[inline]
+    pub fn on_transfer_start(&mut self) {
+        self.transfers_started += 1;
+    }
+
+    /// A transfer by `agent` completed after waiting `wait` time units.
+    #[inline]
+    pub fn on_completion(&mut self, agent: AgentId, wait: f64) {
+        self.completions += 1;
+        self.completions_per_agent[agent.index()] += 1;
+        self.wait.record(wait);
+    }
+
+    /// Total events observed so far.
+    #[must_use]
+    pub fn events(&self) -> u64 {
+        self.events
+    }
+
+    /// Total grants observed so far.
+    #[must_use]
+    pub fn grants(&self) -> u64 {
+        self.grants
+    }
+
+    /// Total completions observed so far.
+    #[must_use]
+    pub fn completions(&self) -> u64 {
+        self.completions
+    }
+
+    /// Freezes the registry into a serializable, mergeable snapshot.
+    #[must_use]
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            agents: self.agents,
+            sim_time: self.last_event,
+            events: self.events,
+            requests: self.requests,
+            grants: self.grants,
+            arbitrations: self.arbitrations,
+            transfers_started: self.transfers_started,
+            completions: self.completions,
+            completions_per_agent: self.completions_per_agent.clone(),
+            pending_peak: self.pending_peak,
+            wait: crate::snapshot::HistogramSnapshot::of(&self.wait),
+            queue_depth: crate::snapshot::HistogramSnapshot::of(&self.queue_depth),
+            event_rate: RateSnapshot::of(&self.event_rate),
+            grant_rate: RateSnapshot::of(&self.grant_rate),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn id(n: u32) -> AgentId {
+        AgentId::new(n).unwrap()
+    }
+
+    #[test]
+    fn registry_accumulates_and_snapshots() {
+        let mut m = MetricsRegistry::new(3);
+        for i in 0..10u32 {
+            m.on_event(Time::from(f64::from(i) * 0.7));
+        }
+        m.on_request(1);
+        m.on_request(2);
+        m.on_grant(Time::from(1.0), 1);
+        m.on_grant(Time::from(2.0), 3);
+        m.on_transfer_start();
+        m.on_completion(id(1), 1.5);
+        m.on_completion(id(3), 2.5);
+
+        assert_eq!(m.events(), 10);
+        assert_eq!(m.grants(), 2);
+        assert_eq!(m.completions(), 2);
+
+        let s = m.snapshot();
+        assert_eq!(s.agents, 3);
+        assert_eq!(s.events, 10);
+        assert_eq!(s.requests, 2);
+        assert_eq!(s.grants, 2);
+        assert_eq!(s.arbitrations, 4);
+        assert_eq!(s.transfers_started, 1);
+        assert_eq!(s.completions, 2);
+        assert_eq!(s.completions_per_agent, vec![1, 0, 1]);
+        assert_eq!(s.pending_peak, 2);
+        assert_eq!(s.wait.count, 2);
+        assert_eq!(s.wait.sum, 4.0);
+        assert_eq!(s.queue_depth.max, 2.0);
+        assert_eq!(s.sim_time, 9.0 * 0.7);
+        assert_eq!(s.event_rate.peak, 10);
+    }
+}

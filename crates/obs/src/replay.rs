@@ -1,0 +1,210 @@
+//! Trace replay: recomputing run-level aggregates from an exported
+//! trace alone.
+//!
+//! The replay mirrors the simulator's accounting arithmetic exactly —
+//! the same warm-up discard, the same [`BatchMeans`] machinery fed the
+//! same waiting times in the same order, the same
+//! `samples / measured_time` utilization division — so on a losslessly
+//! exported trace the recomputed mean wait and utilization match the
+//! live `RunReport` bit-for-bit, not merely approximately. `repro
+//! inspect` leans on this to cross-check exports against the engine.
+
+use busarb_stats::{BatchMeans, BatchMeansConfig, Estimate, Summary};
+use busarb_types::{TraceEvent, TraceKind};
+
+use crate::TraceHeader;
+
+/// Aggregates recomputed from an exported trace.
+#[derive(Clone, Debug)]
+pub struct Replay {
+    /// Protocol name from the trace header.
+    pub protocol: String,
+    /// Batch-means estimate of the mean waiting time, if the trace
+    /// contains enough post-warm-up completions to fill every batch.
+    pub mean_wait: Option<Estimate>,
+    /// Summary of the measured (post-warm-up, within-budget) waits.
+    pub wait_summary: Summary,
+    /// Bus utilization over the measurement interval.
+    pub utilization: f64,
+    /// Simulated time spanned by the measurement interval.
+    pub measured_time: f64,
+    /// Request-line assertions in the trace (whole run).
+    pub requests: u64,
+    /// Grants (arbitration-start events) in the trace (whole run).
+    pub grants: u64,
+    /// Transfer-start events in the trace (whole run).
+    pub transfers: u64,
+    /// Transfer completions in the trace (whole run).
+    pub completions: u64,
+    /// Completions consumed by the warm-up discard.
+    pub warmup_consumed: u64,
+    /// Measured completions per agent, indexed by `AgentId::index()`.
+    pub per_agent_samples: Vec<u64>,
+}
+
+impl Replay {
+    /// Measured completions (the samples behind [`Replay::mean_wait`]).
+    #[must_use]
+    pub fn samples(&self) -> u64 {
+        self.wait_summary.count()
+    }
+}
+
+/// Replays an exported trace, recomputing `RunReport`-level aggregates.
+///
+/// # Errors
+///
+/// Returns [`std::io::ErrorKind::InvalidData`] when the header's
+/// batch-means configuration is invalid or an event names an agent
+/// outside the header's roster.
+pub fn replay(header: &TraceHeader, events: &[TraceEvent]) -> std::io::Result<Replay> {
+    let invalid =
+        |msg: String| std::io::Error::new(std::io::ErrorKind::InvalidData, msg);
+    let config = BatchMeansConfig {
+        batches: usize::try_from(header.batches)
+            .map_err(|_| invalid("batch count exceeds usize".to_string()))?,
+        samples_per_batch: usize::try_from(header.samples_per_batch)
+            .map_err(|_| invalid("samples per batch exceeds usize".to_string()))?,
+        confidence: header.confidence,
+    };
+    let mut bm =
+        BatchMeans::new(config).map_err(|e| invalid(format!("bad batch config: {e}")))?;
+
+    let mut warmup_remaining = header.warmup_samples;
+    let mut warmup_end = 0.0f64;
+    let mut last_counted = 0.0f64;
+    let mut requests = 0u64;
+    let mut grants = 0u64;
+    let mut transfers = 0u64;
+    let mut completions = 0u64;
+    let mut per_agent_samples = vec![0u64; header.agents as usize];
+
+    for event in events {
+        match event.kind {
+            TraceKind::Request { .. } => requests += 1,
+            TraceKind::ArbitrationStart { .. } => grants += 1,
+            TraceKind::TransferStart { .. } => transfers += 1,
+            TraceKind::TransferEnd { agent, wait } => {
+                completions += 1;
+                if agent.get() > header.agents {
+                    return Err(invalid(format!(
+                        "event names agent {agent} but the header has {} agents",
+                        header.agents
+                    )));
+                }
+                if warmup_remaining > 0 {
+                    warmup_remaining -= 1;
+                    if warmup_remaining == 0 {
+                        warmup_end = event.at.as_f64();
+                    }
+                } else if !bm.is_complete() {
+                    bm.record(wait);
+                    per_agent_samples[agent.index()] += 1;
+                    last_counted = event.at.as_f64();
+                }
+            }
+        }
+    }
+
+    let measured_time = last_counted - warmup_end;
+    let utilization = if measured_time > 0.0 {
+        bm.samples_recorded() as f64 / measured_time
+    } else {
+        0.0
+    };
+    Ok(Replay {
+        protocol: header.protocol.clone(),
+        mean_wait: bm.estimate(),
+        wait_summary: *bm.overall(),
+        utilization,
+        measured_time,
+        requests,
+        grants,
+        transfers,
+        completions,
+        warmup_consumed: header.warmup_samples - warmup_remaining,
+        per_agent_samples,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::TRACE_SCHEMA;
+    use busarb_types::{AgentId, Time};
+
+    fn id(n: u32) -> AgentId {
+        AgentId::new(n).unwrap()
+    }
+
+    fn header(agents: u32, warmup: u64, batches: u64, spb: u64) -> TraceHeader {
+        TraceHeader {
+            schema: TRACE_SCHEMA.to_string(),
+            protocol: "synthetic".to_string(),
+            agents,
+            seed: 0,
+            warmup_samples: warmup,
+            batches,
+            samples_per_batch: spb,
+            confidence: 0.9,
+        }
+    }
+
+    /// A synthetic saturated two-agent run: a completion every unit of
+    /// time, alternating agents, constant wait 1.5.
+    fn completions(n: usize) -> Vec<TraceEvent> {
+        (0..n)
+            .map(|i| TraceEvent {
+                at: Time::from(i as f64 + 1.0),
+                kind: TraceKind::TransferEnd {
+                    agent: id(1 + (i as u32) % 2),
+                    wait: 1.5,
+                },
+            })
+            .collect()
+    }
+
+    #[test]
+    fn replay_applies_warmup_and_batch_budget() {
+        let h = header(2, 4, 2, 3);
+        let events = completions(20);
+        let r = replay(&h, &events).unwrap();
+        assert_eq!(r.completions, 20);
+        assert_eq!(r.warmup_consumed, 4);
+        // 2 batches x 3 samples measured; the rest ignored.
+        assert_eq!(r.samples(), 6);
+        assert_eq!(r.per_agent_samples, vec![3, 3]);
+        let est = r.mean_wait.unwrap();
+        assert_eq!(est.mean, 1.5);
+        // warmup_end at t=4, last counted at t=10: 6 samples / 6 units.
+        assert_eq!(r.measured_time, 6.0);
+        assert_eq!(r.utilization, 1.0);
+    }
+
+    #[test]
+    fn incomplete_batches_give_no_estimate() {
+        let h = header(2, 0, 10, 100);
+        let r = replay(&h, &completions(50)).unwrap();
+        assert!(r.mean_wait.is_none());
+        assert_eq!(r.samples(), 50);
+    }
+
+    #[test]
+    fn out_of_roster_agent_is_rejected() {
+        let h = header(1, 0, 2, 2);
+        let events = vec![TraceEvent {
+            at: Time::from(1.0),
+            kind: TraceKind::TransferEnd {
+                agent: id(2),
+                wait: 1.0,
+            },
+        }];
+        assert!(replay(&h, &events).is_err());
+    }
+
+    #[test]
+    fn bad_batch_config_is_rejected() {
+        let h = header(1, 0, 1, 2); // fewer than 2 batches
+        assert!(replay(&h, &[]).is_err());
+    }
+}

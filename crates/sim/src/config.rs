@@ -1,8 +1,25 @@
 //! Simulation configuration.
 
+use std::path::PathBuf;
+
+use busarb_obs::TraceFormat;
 use busarb_stats::BatchMeansConfig;
 use busarb_types::Time;
 use busarb_workload::Scenario;
+
+/// Destination and format of a write-through structured trace export.
+///
+/// Unlike the bounded in-memory trace (`trace_limit`), an export writes
+/// **every** event of the run to disk as it happens, in a
+/// self-describing format that `busarb_obs::replay` (and `repro
+/// inspect`) can reconstruct run aggregates from.
+#[derive(Clone, PartialEq, Debug)]
+pub struct TraceExportConfig {
+    /// Destination file (created/truncated at run start).
+    pub path: PathBuf,
+    /// On-disk framing.
+    pub format: TraceFormat,
+}
 
 /// How the arbitration overhead is computed.
 #[derive(Clone, Copy, PartialEq, Debug)]
@@ -116,6 +133,9 @@ pub struct SystemConfig {
     pub initial_stagger: bool,
     /// Maximum execution-trace events retained (0 disables tracing).
     pub trace_limit: usize,
+    /// Write-through structured trace export (every event, unbounded),
+    /// independent of the bounded in-memory trace.
+    pub trace_export: Option<TraceExportConfig>,
 }
 
 impl SystemConfig {
@@ -135,6 +155,7 @@ impl SystemConfig {
             max_outstanding: 1,
             initial_stagger: true,
             trace_limit: 0,
+            trace_export: None,
         }
     }
 
@@ -216,6 +237,17 @@ impl SystemConfig {
         self.overhead_model = Some(model);
         self
     }
+
+    /// Exports every trace event of the run to `path` in `format`
+    /// (see [`TraceExportConfig`]).
+    #[must_use]
+    pub fn with_trace_export(mut self, path: impl Into<PathBuf>, format: TraceFormat) -> Self {
+        self.trace_export = Some(TraceExportConfig {
+            path: path.into(),
+            format,
+        });
+        self
+    }
 }
 
 #[cfg(test)]
@@ -235,6 +267,7 @@ mod tests {
         assert!(c.initial_stagger);
         assert_eq!(c.trace_limit, 0);
         assert!(c.overhead_model.is_none());
+        assert!(c.trace_export.is_none());
     }
 
     #[test]
@@ -265,7 +298,8 @@ mod tests {
             .with_urgent_fraction(0.1)
             .with_max_outstanding(4)
             .without_initial_stagger()
-            .with_trace(100);
+            .with_trace(100)
+            .with_trace_export("/tmp/trace.jsonl", TraceFormat::Binary);
         assert_eq!(c.seed, 7);
         assert_eq!(c.batches.samples_per_batch, 10);
         assert_eq!(c.warmup_samples, 5);
@@ -276,6 +310,9 @@ mod tests {
         assert_eq!(c.max_outstanding, 4);
         assert!(!c.initial_stagger);
         assert_eq!(c.trace_limit, 100);
+        let export = c.trace_export.expect("export configured");
+        assert_eq!(export.path, PathBuf::from("/tmp/trace.jsonl"));
+        assert_eq!(export.format, TraceFormat::Binary);
         assert_eq!(
             ArbitrationStartRule::TransactionAligned.to_string(),
             "transaction aligned"

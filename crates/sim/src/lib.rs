@@ -49,7 +49,8 @@ mod report;
 mod system;
 mod trace;
 
-pub use config::{ArbitrationStartRule, OverheadModel, SystemConfig};
+pub use busarb_obs::TraceFormat;
+pub use config::{ArbitrationStartRule, OverheadModel, SystemConfig, TraceExportConfig};
 #[cfg(any(test, feature = "queue-ref"))]
 pub use event::HeapEventQueue;
 pub use event::{Event, EventQueue};

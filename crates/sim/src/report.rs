@@ -1,5 +1,6 @@
 //! Simulation output.
 
+use busarb_obs::MetricsSnapshot;
 use busarb_stats::{BatchTally, Cdf, Estimate, RatioEstimate, Summary};
 use busarb_types::Time;
 
@@ -41,7 +42,10 @@ pub struct RunReport {
     /// arbitration completions, transaction ends) — the denominator of the
     /// engine's events/sec throughput figure.
     pub events: u64,
-    /// Total grants issued during measurement.
+    /// Total grants issued over the **whole run** (warm-up included).
+    /// At run exit an elected master may not have completed its
+    /// transfer yet, so this can exceed the completion count by the
+    /// number of grants still in flight.
     pub grants: u64,
     /// Total line arbitrations, including RR-3 wraparounds and
     /// fairness-release cycles.
@@ -52,9 +56,26 @@ pub struct RunReport {
     pub measured_time: Time,
     /// Execution trace, non-empty only when tracing was enabled.
     pub trace: Trace,
+    /// Whole-run engine metrics (counters, histograms, windowed rates)
+    /// from the always-on [`busarb_obs::MetricsRegistry`].
+    pub metrics: MetricsSnapshot,
 }
 
 impl RunReport {
+    /// Converts a 1-based agent identity into a tally/summary index,
+    /// with explicit range validation: identity `0` (reserved by the
+    /// arbitration encoding to mean "no competitor") and identities
+    /// beyond the scenario's roster both panic with a clear message
+    /// rather than underflowing the `agent - 1` conversion.
+    fn agent_index(&self, agent: u32) -> usize {
+        let n = self.per_agent_wait.len() as u32;
+        assert!(
+            (1..=n).contains(&agent),
+            "agent identity {agent} out of range (identities are 1-based; the scenario has {n} agents)"
+        );
+        (agent - 1) as usize
+    }
+
     /// Ratio of agent `a`'s throughput to agent `b`'s (1-based
     /// identities), with a batch-means confidence interval.
     ///
@@ -62,11 +83,12 @@ impl RunReport {
     ///
     /// # Panics
     ///
-    /// Panics if either identity is out of range.
+    /// Panics if either identity is out of range (identities are
+    /// 1-based; `0` is never valid).
     #[must_use]
     pub fn throughput_ratio(&self, a: u32, b: u32, confidence: f64) -> Option<RatioEstimate> {
         self.tally
-            .ratio((a - 1) as usize, (b - 1) as usize, confidence)
+            .ratio(self.agent_index(a), self.agent_index(b), confidence)
     }
 
     /// Completions per unit time for one agent over the measurement
@@ -74,30 +96,37 @@ impl RunReport {
     ///
     /// # Panics
     ///
-    /// Panics if `agent` is out of range or the measurement interval is
-    /// empty.
+    /// Panics if `agent` is out of range (identities are 1-based; `0` is
+    /// never valid) or the measurement interval is empty.
     #[must_use]
     pub fn agent_throughput(&self, agent: u32) -> f64 {
         assert!(
             self.measured_time > Time::ZERO,
             "empty measurement interval"
         );
-        self.tally.total((agent - 1) as usize) as f64 / self.measured_time.as_f64()
+        self.tally.total(self.agent_index(agent)) as f64 / self.measured_time.as_f64()
     }
 
     /// Waiting-time summary of one agent (1-based identity).
     ///
     /// # Panics
     ///
-    /// Panics if `agent` is out of range.
+    /// Panics if `agent` is out of range (identities are 1-based; `0` is
+    /// never valid).
     #[must_use]
     pub fn agent_wait(&self, agent: u32) -> &Summary {
-        &self.per_agent_wait[(agent - 1) as usize]
+        &self.per_agent_wait[self.agent_index(agent)]
     }
 
     /// Ratio of the largest to the smallest per-agent mean waiting time —
-    /// the *delay* fairness metric (1.0 is perfectly fair). Returns
-    /// `None` if any agent completed no requests.
+    /// the *delay* fairness metric (1.0 is perfectly fair).
+    ///
+    /// Returns `None` only when some agent completed no requests (no
+    /// data to compare). A smallest mean wait of exactly zero is data,
+    /// not absence of it: when every mean is zero the spread is `1.0`
+    /// (perfectly fair), and when only the smallest is zero the spread
+    /// is [`f64::INFINITY`] — the documented zero-denominator sentinel,
+    /// maximally *unfair*, distinct from the `None` no-data case.
     #[must_use]
     pub fn wait_spread(&self) -> Option<f64> {
         let mut lo = f64::INFINITY;
@@ -109,7 +138,10 @@ impl RunReport {
             lo = lo.min(s.mean());
             hi = hi.max(s.mean());
         }
-        (lo > 0.0).then_some(hi / lo)
+        if lo == 0.0 {
+            return Some(if hi == 0.0 { 1.0 } else { f64::INFINITY });
+        }
+        Some(hi / lo)
     }
 
     /// Mean of `min(W, overlap)` over the collected waiting-time samples —
@@ -139,5 +171,104 @@ impl core::fmt::Display for RunReport {
             self.utilization,
             self.grants
         )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A hand-built report over `n` agents whose per-agent mean waits
+    /// are given (each agent gets one sample of that value).
+    fn report(per_agent_means: &[f64]) -> RunReport {
+        let n = per_agent_means.len();
+        let mut tally = BatchTally::new(n, 2).expect("valid tally shape");
+        let mut per_agent_wait = vec![Summary::new(); n];
+        for (i, &mean) in per_agent_means.iter().enumerate() {
+            tally.record(i);
+            per_agent_wait[i].record(mean);
+        }
+        tally.close_batch();
+        tally.close_batch();
+        RunReport {
+            protocol: "synthetic".to_string(),
+            mean_wait: Estimate {
+                mean: 1.0,
+                halfwidth: 0.1,
+                confidence: 0.9,
+            },
+            wait_summary: per_agent_means.iter().copied().collect(),
+            wait_batch_means: vec![1.0, 1.0],
+            per_agent_wait,
+            ordinary_wait: Summary::new(),
+            urgent_wait: Summary::new(),
+            tally,
+            utilization: 1.0,
+            cdf: None,
+            events: 0,
+            grants: n as u64,
+            arbitrations: n as u64,
+            end_time: Time::from(10.0),
+            measured_time: Time::from(10.0),
+            trace: Trace::default(),
+            metrics: MetricsSnapshot::empty(n as u32),
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn agent_wait_rejects_identity_zero() {
+        let _ = report(&[1.0, 2.0]).agent_wait(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn agent_throughput_rejects_identity_zero() {
+        let _ = report(&[1.0, 2.0]).agent_throughput(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn throughput_ratio_rejects_identity_zero() {
+        let _ = report(&[1.0, 2.0]).throughput_ratio(0, 1, 0.9);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn agent_wait_rejects_identity_past_the_roster() {
+        let _ = report(&[1.0, 2.0]).agent_wait(3);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn throughput_ratio_rejects_second_identity_past_the_roster() {
+        let _ = report(&[1.0, 2.0]).throughput_ratio(1, 3, 0.9);
+    }
+
+    #[test]
+    fn in_range_identities_index_correctly() {
+        let r = report(&[1.0, 2.0, 4.0]);
+        assert_eq!(r.agent_wait(1).mean(), 1.0);
+        assert_eq!(r.agent_wait(3).mean(), 4.0);
+        assert!(r.agent_throughput(2) > 0.0);
+    }
+
+    #[test]
+    fn wait_spread_distinguishes_zero_wait_from_no_data() {
+        // Plain case: max/min over agents that all completed.
+        assert_eq!(report(&[1.0, 2.0]).wait_spread(), Some(2.0));
+        // Smallest mean exactly zero but every agent completed: the
+        // documented sentinel, not None.
+        assert_eq!(
+            report(&[0.0, 2.0]).wait_spread(),
+            Some(f64::INFINITY),
+            "zero denominator must yield the infinity sentinel"
+        );
+        // All-zero waits are perfectly fair.
+        assert_eq!(report(&[0.0, 0.0]).wait_spread(), Some(1.0));
+        // No data for one agent: genuinely undefined.
+        let mut r = report(&[1.0, 2.0]);
+        r.per_agent_wait[1] = Summary::new();
+        assert_eq!(r.wait_spread(), None);
     }
 }

@@ -3,8 +3,9 @@
 use std::collections::VecDeque;
 
 use busarb_core::{Arbiter, Grant, ProtocolKind};
+use busarb_obs::{open_file_sink, MetricsRegistry, TraceHeader, TraceSink, TRACE_SCHEMA};
 use busarb_stats::{BatchMeans, BatchTally, Cdf, Summary};
-use busarb_types::{AgentId, Error, Priority, Time};
+use busarb_types::{AgentId, Error, Priority, Time, TraceEvent};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -171,6 +172,15 @@ struct Runner<'c, A: Arbiter> {
     grants: u64,
     arbitrations: u64,
     trace: Trace,
+    /// `true` when any trace consumer is attached (in-memory trace or
+    /// write-through export) — one cached flag so the hot path pays a
+    /// single predictable branch per trace site when observability is
+    /// off.
+    observing: bool,
+    /// Write-through structured trace export, when configured.
+    export: Option<Box<dyn TraceSink>>,
+    /// Always-on engine metrics (allocation-free on the hot path).
+    metrics: MetricsRegistry,
     per_agent_wait: Vec<Summary>,
     ordinary_wait: Summary,
     urgent_wait: Summary,
@@ -188,6 +198,22 @@ impl<'c, A: Arbiter> Runner<'c, A> {
         let bm = BatchMeans::new(config.batches).expect("validated batch config");
         let tally =
             BatchTally::new(n as usize, config.batches.batches).expect("validated batch config");
+        let export = config.trace_export.as_ref().map(|ex| {
+            let header = TraceHeader {
+                schema: TRACE_SCHEMA.to_string(),
+                protocol: arbiter.name().to_string(),
+                agents: n,
+                seed: config.seed,
+                warmup_samples: config.warmup_samples as u64,
+                batches: config.batches.batches as u64,
+                samples_per_batch: config.batches.samples_per_batch as u64,
+                confidence: config.batches.confidence,
+            };
+            match open_file_sink(&ex.path, ex.format, &header) {
+                Ok(sink) => sink,
+                Err(e) => panic!("cannot open trace export {}: {e}", ex.path.display()),
+            }
+        });
         Runner {
             config,
             arbiter,
@@ -212,7 +238,14 @@ impl<'c, A: Arbiter> Runner<'c, A> {
             events: 0,
             grants: 0,
             arbitrations: 0,
-            trace: Trace::with_limit(config.trace_limit),
+            trace: if config.trace_limit > 0 {
+                Trace::with_limit(config.trace_limit)
+            } else {
+                Trace::disabled()
+            },
+            observing: config.trace_limit > 0 || export.is_some(),
+            export,
+            metrics: MetricsRegistry::new(n),
             per_agent_wait: vec![Summary::new(); n as usize],
             ordinary_wait: Summary::new(),
             urgent_wait: Summary::new(),
@@ -225,6 +258,21 @@ impl<'c, A: Arbiter> Runner<'c, A> {
             .workload(agent)
             .interrequest
             .sample(&mut self.rng)
+    }
+
+    /// Routes one trace event to every attached consumer (bounded
+    /// in-memory trace and/or write-through export). Call sites guard on
+    /// `self.observing` so the disabled case pays one branch, not a
+    /// call.
+    #[inline]
+    fn emit(&mut self, at: Time, kind: TraceKind) {
+        self.trace.record(at, kind);
+        if let Some(sink) = &mut self.export {
+            let event = TraceEvent { at, kind };
+            if let Err(e) = sink.record(&event) {
+                panic!("trace export failed: {e}");
+            }
+        }
     }
 
     fn run(mut self) -> RunReport {
@@ -245,6 +293,7 @@ impl<'c, A: Arbiter> Runner<'c, A> {
         let max_events = 200 * needed as u64 + 10_000_000;
         while let Some((t, event)) = self.queue.pop() {
             self.events += 1;
+            self.metrics.on_event(t);
             match event {
                 Event::RequestArrival(agent) => self.on_generation(t, agent),
                 Event::ArbitrationComplete => self.on_arbitration_complete(t),
@@ -291,8 +340,9 @@ impl<'c, A: Arbiter> Runner<'c, A> {
             .outstanding
             .push_back((t, priority));
         self.arbiter.on_request(t, agent, priority);
-        if self.config.trace_limit > 0 {
-            self.trace.record(t, TraceKind::Request { agent });
+        self.metrics.on_request(self.arbiter.pending() as u32);
+        if self.observing {
+            self.emit(t, TraceKind::Request { agent });
         }
         self.try_start_arbitration(t, false);
     }
@@ -319,13 +369,14 @@ impl<'c, A: Arbiter> Runner<'c, A> {
             .expect("pending requests imply a grant");
         self.grants += 1;
         self.arbitrations += u64::from(grant.arbitrations);
+        self.metrics.on_grant(t, grant.arbitrations);
         let per_arbitration = match self.config.overhead_model {
             Some(model) => model.overhead(self.arbiter.layout().map(|l| l.width())),
             None => self.config.arbitration_overhead,
         };
         let overhead = per_arbitration * f64::from(grant.arbitrations);
-        if self.config.trace_limit > 0 {
-            self.trace.record(
+        if self.observing {
+            self.emit(
                 t,
                 TraceKind::ArbitrationStart {
                     winner: grant.agent,
@@ -352,9 +403,9 @@ impl<'c, A: Arbiter> Runner<'c, A> {
     fn start_transfer(&mut self, t: Time) {
         let grant = self.next_master.take().expect("a master is ready");
         self.transferring = Some(grant.agent);
-        if self.config.trace_limit > 0 {
-            self.trace
-                .record(t, TraceKind::TransferStart { agent: grant.agent });
+        self.metrics.on_transfer_start();
+        if self.observing {
+            self.emit(t, TraceKind::TransferStart { agent: grant.agent });
         }
         self.queue
             .schedule(t + Time::TRANSACTION, Event::TransactionEnd);
@@ -374,8 +425,9 @@ impl<'c, A: Arbiter> Runner<'c, A> {
             .pop_front()
             .expect("the master had an outstanding request");
         let wait = (t - arrived).as_f64();
-        if self.config.trace_limit > 0 {
-            self.trace.record(t, TraceKind::TransferEnd { agent, wait });
+        self.metrics.on_completion(agent, wait);
+        if self.observing {
+            self.emit(t, TraceKind::TransferEnd { agent, wait });
         }
         self.record(t, agent, priority, wait);
 
@@ -426,7 +478,12 @@ impl<'c, A: Arbiter> Runner<'c, A> {
         }
     }
 
-    fn finish(self) -> RunReport {
+    fn finish(mut self) -> RunReport {
+        if let Some(mut sink) = self.export.take() {
+            if let Err(e) = sink.finish() {
+                panic!("trace export failed: {e}");
+            }
+        }
         let mean_wait = self
             .bm
             .estimate()
@@ -454,6 +511,7 @@ impl<'c, A: Arbiter> Runner<'c, A> {
             end_time: self.last_counted,
             measured_time,
             trace: self.trace,
+            metrics: self.metrics.snapshot(),
         }
     }
 }

@@ -7,100 +7,94 @@
 //! bus is never double-booked, every transaction ends exactly one unit
 //! after it starts, arbitration is overlapped whenever possible).
 //!
+//! The event vocabulary ([`TraceEvent`], [`TraceKind`]) lives in
+//! `busarb-types` so that the export/replay layer (`busarb-obs`) can
+//! consume traces without depending on the simulator; this module
+//! re-exports it and provides the default bounded in-memory sink.
+//!
 //! [`SystemConfig::with_trace`]: crate::SystemConfig::with_trace
 
-use busarb_types::{AgentId, Time};
+use busarb_types::Time;
+pub use busarb_types::{TraceEvent, TraceKind};
 
-/// One traced occurrence.
-#[derive(Clone, Copy, PartialEq, Debug)]
-pub enum TraceKind {
-    /// An agent asserted the bus-request line.
-    Request {
-        /// The requesting agent.
-        agent: AgentId,
-    },
-    /// An arbitration started (winner already determined by the protocol
-    /// state at this instant; the lines settle until `completes`).
-    ArbitrationStart {
-        /// The agent that will win this arbitration.
-        winner: AgentId,
-        /// When the lines settle.
-        completes: Time,
-    },
-    /// A transfer began (the winner became bus master).
-    TransferStart {
-        /// The new bus master.
-        agent: AgentId,
-    },
-    /// A transfer completed.
-    TransferEnd {
-        /// The finishing master.
-        agent: AgentId,
-        /// The completed request's waiting time.
-        wait: f64,
-    },
-}
-
-/// A timestamped trace record.
-#[derive(Clone, Copy, PartialEq, Debug)]
-pub struct TraceEvent {
-    /// When it happened.
-    pub at: Time,
-    /// What happened.
-    pub kind: TraceKind,
-}
-
-/// A bounded trace sink.
+/// A bounded in-memory trace sink.
+///
+/// A trace is either *disabled* (the [`Default`] state: nothing is
+/// recorded and nothing is counted as dropped) or *enabled* with a
+/// retention limit ([`Trace::with_limit`]: events beyond the limit are
+/// counted but dropped, including a limit of zero).
 #[derive(Clone, Debug, Default)]
 pub struct Trace {
+    buffer: Option<Buffer>,
+}
+
+#[derive(Clone, Debug)]
+struct Buffer {
     events: Vec<TraceEvent>,
     limit: usize,
     dropped: u64,
 }
 
 impl Trace {
-    /// Creates a sink retaining at most `limit` events (later events are
-    /// counted but dropped).
+    /// Creates a disabled sink: records nothing, reports zero dropped.
+    #[must_use]
+    pub fn disabled() -> Self {
+        Trace::default()
+    }
+
+    /// Creates an enabled sink retaining at most `limit` events (later
+    /// events are counted but dropped — even with `limit == 0`, which
+    /// retains nothing but still tallies every event as dropped).
     #[must_use]
     pub fn with_limit(limit: usize) -> Self {
         Trace {
-            events: Vec::new(),
-            limit,
-            dropped: 0,
+            buffer: Some(Buffer {
+                events: Vec::new(),
+                limit,
+                dropped: 0,
+            }),
         }
     }
 
+    /// Returns `true` if this sink records (or at least counts) events.
+    #[must_use]
+    pub fn is_enabled(&self) -> bool {
+        self.buffer.is_some()
+    }
+
     pub(crate) fn record(&mut self, at: Time, kind: TraceKind) {
-        if self.events.len() < self.limit {
-            self.events.push(TraceEvent { at, kind });
-        } else {
-            self.dropped += 1;
+        if let Some(buf) = &mut self.buffer {
+            if buf.events.len() < buf.limit {
+                buf.events.push(TraceEvent { at, kind });
+            } else {
+                buf.dropped += 1;
+            }
         }
     }
 
     /// The retained events, in simulation order.
     #[must_use]
     pub fn events(&self) -> &[TraceEvent] {
-        &self.events
+        self.buffer.as_ref().map_or(&[], |buf| &buf.events)
     }
 
-    /// Events that did not fit in the limit.
+    /// Events that did not fit in the limit (always zero when disabled).
     #[must_use]
     pub fn dropped(&self) -> u64 {
-        self.dropped
+        self.buffer.as_ref().map_or(0, |buf| buf.dropped)
     }
 
     /// Returns `true` if nothing was recorded.
     #[must_use]
     pub fn is_empty(&self) -> bool {
-        self.events.is_empty()
+        self.events().is_empty()
     }
 
     /// Renders the trace as one line per event, for logs and examples.
     #[must_use]
     pub fn render(&self) -> String {
         let mut out = String::new();
-        for e in &self.events {
+        for e in self.events() {
             let line = match e.kind {
                 TraceKind::Request { agent } => {
                     format!("{:>9.3}  agent {agent} requests", e.at.as_f64())
@@ -121,8 +115,8 @@ impl Trace {
             out.push_str(&line);
             out.push('\n');
         }
-        if self.dropped > 0 {
-            out.push_str(&format!("... {} further events dropped\n", self.dropped));
+        if self.dropped() > 0 {
+            out.push_str(&format!("... {} further events dropped\n", self.dropped()));
         }
         out
     }
@@ -131,6 +125,7 @@ impl Trace {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use busarb_types::AgentId;
 
     fn id(n: u32) -> AgentId {
         AgentId::new(n).unwrap()
@@ -183,5 +178,20 @@ mod tests {
         assert!(t.is_empty());
         assert_eq!(t.dropped(), 1);
         assert!(t.render().contains("dropped"));
+    }
+
+    #[test]
+    fn disabled_trace_records_nothing_and_reports_zero_dropped() {
+        let mut t = Trace::default();
+        assert!(!t.is_enabled());
+        t.record(Time::ZERO, TraceKind::Request { agent: id(1) });
+        t.record(Time::from(0.5), TraceKind::TransferStart { agent: id(1) });
+        assert!(t.is_empty());
+        assert_eq!(t.dropped(), 0);
+        assert!(!t.render().contains("dropped"));
+
+        let explicit = Trace::disabled();
+        assert!(!explicit.is_enabled());
+        assert!(Trace::with_limit(0).is_enabled());
     }
 }

@@ -43,11 +43,13 @@ mod error;
 pub mod fingerprint;
 mod request;
 mod time;
+mod trace;
 
 pub use agent::{AgentId, AgentSet};
 pub use error::Error;
 pub use request::{Priority, Request, RequestTag};
 pub use time::Time;
+pub use trace::{TraceEvent, TraceKind};
 
 /// Convenient result alias for fallible `busarb` operations.
 pub type Result<T, E = Error> = core::result::Result<T, E>;

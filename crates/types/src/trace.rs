@@ -1,0 +1,74 @@
+//! The execution-trace vocabulary.
+//!
+//! One simulated bus run is fully described by a time-ordered stream of
+//! [`TraceEvent`]s: request-line assertions, arbitration starts,
+//! transfer starts and transfer completions. The simulator
+//! (`busarb-sim`) produces this stream; the observability layer
+//! (`busarb-obs`) buffers, exports and replays it. The vocabulary lives
+//! here so both crates — and any external consumer — agree on it
+//! without depending on each other.
+
+use crate::{AgentId, Time};
+
+/// One traced occurrence.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub enum TraceKind {
+    /// An agent asserted the bus-request line.
+    Request {
+        /// The requesting agent.
+        agent: AgentId,
+    },
+    /// An arbitration started (winner already determined by the protocol
+    /// state at this instant; the lines settle until `completes`).
+    ArbitrationStart {
+        /// The agent that will win this arbitration.
+        winner: AgentId,
+        /// When the lines settle.
+        completes: Time,
+    },
+    /// A transfer began (the winner became bus master).
+    TransferStart {
+        /// The new bus master.
+        agent: AgentId,
+    },
+    /// A transfer completed.
+    TransferEnd {
+        /// The finishing master.
+        agent: AgentId,
+        /// The completed request's waiting time.
+        wait: f64,
+    },
+}
+
+/// A timestamped trace record.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct TraceEvent {
+    /// When it happened.
+    pub at: Time,
+    /// What happened.
+    pub kind: TraceKind,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trace_events_are_comparable_and_copyable() {
+        let a = TraceEvent {
+            at: Time::ZERO,
+            kind: TraceKind::Request {
+                agent: AgentId::new(1).expect("1 is a valid identity"),
+            },
+        };
+        let b = a; // Copy
+        assert_eq!(a, b);
+        assert_ne!(
+            a,
+            TraceEvent {
+                at: Time::TRANSACTION,
+                ..a
+            }
+        );
+    }
+}

@@ -31,10 +31,12 @@
 #![warn(missing_docs)]
 
 pub mod checker;
+pub mod export;
 pub mod model;
 pub mod spec;
 
 pub use checker::{CheckConfig, CheckReport, TraceStep, Violation};
+pub use export::{violation_to_value, COUNTEREXAMPLE_SCHEMA};
 pub use model::{build_group, ModelGrant, VerifyTarget};
 pub use spec::{Fifo, Spec};
 

@@ -24,6 +24,7 @@ struct Args {
     depth: usize,
     max_states: usize,
     bench_out: Option<std::path::PathBuf>,
+    trace_out: Option<std::path::PathBuf>,
 }
 
 fn usage() -> String {
@@ -39,6 +40,8 @@ fn usage() -> String {
          \x20 --depth D           schedule length bound (default 6)\n\
          \x20 --max-states S      state cap per check (default 4000000)\n\
          \x20 --bench-out PATH    write per-protocol wall-clock results as JSON\n\
+         \x20 --trace-out DIR     write each counterexample trace to\n\
+         \x20                     DIR/<protocol>-n<agents>.json (busarb-counterexample/1)\n\
          \x20 --list              list protocol slugs\n\
          \n\
          protocols: {}",
@@ -61,6 +64,7 @@ fn parse_args() -> Result<Args, String> {
         depth: 6,
         max_states: 4_000_000,
         bench_out: None,
+        trace_out: None,
     };
     let mut all = false;
     let mut single_size = None;
@@ -101,6 +105,7 @@ fn parse_args() -> Result<Args, String> {
                     .map_err(|e| format!("--max-states: {e}"))?;
             }
             "--bench-out" => args.bench_out = Some(value("--bench-out")?.into()),
+            "--trace-out" => args.trace_out = Some(value("--trace-out")?.into()),
             "--list" => {
                 for kind in ProtocolKind::all() {
                     println!("{kind}");
@@ -149,6 +154,21 @@ struct BenchReport {
     rows: Vec<BenchRow>,
 }
 
+fn export_counterexample(
+    dir: &std::path::Path,
+    report: &verify::CheckReport,
+    violation: &verify::Violation,
+) -> std::io::Result<()> {
+    std::fs::create_dir_all(dir)?;
+    let path = dir.join(format!("{}-n{}.json", report.protocol, report.agents));
+    let value = verify::violation_to_value(report, violation);
+    let json = serde_json::to_string_pretty(&value)
+        .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))?;
+    std::fs::write(&path, json + "\n")?;
+    eprintln!("  counterexample written to {}", path.display());
+    Ok(())
+}
+
 fn main() -> ExitCode {
     let args = match parse_args() {
         Ok(a) => a,
@@ -189,6 +209,11 @@ fn main() -> ExitCode {
             if let Some(v) = &report.violation {
                 eprintln!("{v}");
                 failed = true;
+                if let Some(dir) = &args.trace_out {
+                    if let Err(e) = export_counterexample(dir, &report, v) {
+                        eprintln!("error: cannot export counterexample: {e}");
+                    }
+                }
             }
             rows.push(BenchRow {
                 protocol: report.protocol,

@@ -37,7 +37,7 @@ const TOKEN_SITES: [(&str, &str); 2] = [
 ];
 
 /// Per-arbitration hot paths that must not allocate.
-const HOT_SITES: [(&str, &[&str]); 7] = [
+const HOT_SITES: [(&str, &[&str]); 9] = [
     (
         "crates/bus/src/contention.rs",
         &["settle", "resolve_inner", "apply_rule"],
@@ -48,6 +48,21 @@ const HOT_SITES: [(&str, &[&str]); 7] = [
     ("crates/bus/src/signal/fcfs1.rs", &["arbitrate"]),
     ("crates/bus/src/signal/fcfs2.rs", &["arbitrate"]),
     ("crates/bus/src/signal/aap.rs", &["arbitrate"]),
+    // The always-on metrics registry is called from the event loop on
+    // every transition; its update methods must stay allocation-free
+    // (construction in `MetricsRegistry::new` is the only allowed
+    // allocation, and `snapshot` runs once per run).
+    (
+        "crates/obs/src/registry.rs",
+        &[
+            "on_event",
+            "on_request",
+            "on_grant",
+            "on_transfer_start",
+            "on_completion",
+        ],
+    ),
+    ("crates/obs/src/metrics.rs", &["record"]),
 ];
 
 fn workspace_root() -> PathBuf {

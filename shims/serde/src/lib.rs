@@ -33,6 +33,66 @@ pub enum Value {
     Object(Vec<(String, Value)>),
 }
 
+impl Value {
+    /// Looks up a field of an [`Value::Object`] by key (first match).
+    #[must_use]
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The numeric value as an `f64` ([`Value::UInt`]/[`Value::Int`]
+    /// widen losslessly up to 2^53).
+    #[must_use]
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Float(x) => Some(*x),
+            Value::UInt(u) => Some(*u as f64),
+            Value::Int(i) => Some(*i as f64),
+            _ => None,
+        }
+    }
+
+    /// The value as a `u64`, if it is a non-negative integer.
+    #[must_use]
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::UInt(u) => Some(*u),
+            Value::Int(i) => u64::try_from(*i).ok(),
+            _ => None,
+        }
+    }
+
+    /// The value as a string slice.
+    #[must_use]
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as a boolean.
+    #[must_use]
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The value as an array slice.
+    #[must_use]
+    pub fn as_array(&self) -> Option<&[Value]> {
+        match self {
+            Value::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+}
+
 /// Conversion into a [`Value`] tree. Derivable via `#[derive(Serialize)]`.
 pub trait Serialize {
     /// Converts `self` into the serialization tree.
@@ -90,6 +150,15 @@ impl Serialize for f64 {
 impl Serialize for bool {
     fn to_value(&self) -> Value {
         Value::Bool(*self)
+    }
+}
+
+/// A `Value` serializes to itself, so hand-assembled trees (used where
+/// the derive surface does not reach, e.g. tuple fields) can be passed
+/// to the same `serde_json` entry points as derived types.
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
     }
 }
 
@@ -157,6 +226,27 @@ impl<K: ToString, V: Serialize> Serialize for std::collections::BTreeMap<K, V> {
 #[cfg(test)]
 mod tests {
     use super::{Serialize, Value};
+
+    #[test]
+    fn value_accessors() {
+        let v = Value::Object(vec![
+            ("n".to_string(), Value::UInt(3)),
+            ("x".to_string(), Value::Float(1.5)),
+            ("s".to_string(), Value::Str("hi".into())),
+            ("b".to_string(), Value::Bool(true)),
+            ("a".to_string(), Value::Array(vec![Value::Int(-1)])),
+        ]);
+        assert_eq!(v.get("n").and_then(Value::as_u64), Some(3));
+        assert_eq!(v.get("n").and_then(Value::as_f64), Some(3.0));
+        assert_eq!(v.get("x").and_then(Value::as_f64), Some(1.5));
+        assert_eq!(v.get("s").and_then(Value::as_str), Some("hi"));
+        assert_eq!(v.get("b").and_then(Value::as_bool), Some(true));
+        assert_eq!(v.get("a").and_then(Value::as_array).map(<[Value]>::len), Some(1));
+        assert_eq!(v.get("a").unwrap().as_array().unwrap()[0].as_u64(), None);
+        assert!(v.get("missing").is_none());
+        assert!(Value::Null.get("n").is_none());
+        assert_eq!(Value::Int(-1).as_f64(), Some(-1.0));
+    }
 
     #[test]
     fn primitives_map_to_expected_variants() {

@@ -3,7 +3,9 @@
 //! tree, with the real crate's formatting conventions — compact output
 //! has no whitespace, pretty output indents with two spaces, floats that
 //! happen to be integral keep a trailing `.0`, and non-finite floats
-//! serialize as `null`.
+//! serialize as `null` — plus [`from_str`], a small recursive-descent
+//! parser back into the [`Value`] tree (used to read exported metrics
+//! and trace files back in).
 
 #![forbid(unsafe_code)]
 
@@ -36,6 +38,224 @@ pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String, Erro
     let mut out = String::new();
     write_value(&mut out, &value.to_value(), Some("  "), 0);
     Ok(out)
+}
+
+/// Parses a JSON document into a [`Value`] tree.
+///
+/// Numbers parse as [`Value::UInt`] / [`Value::Int`] when they are
+/// integral and in range, and as [`Value::Float`] otherwise — matching
+/// what [`to_string`] emits for each variant, so a serialize/parse
+/// round-trip preserves the numeric variant for integers and floats
+/// written with a `.0`/fractional part.
+///
+/// # Errors
+///
+/// Returns [`Error`] on malformed input or trailing non-whitespace.
+pub fn from_str(input: &str) -> Result<Value, Error> {
+    let mut p = Parser {
+        bytes: input.as_bytes(),
+        at: 0,
+    };
+    p.skip_ws();
+    let value = p.value()?;
+    p.skip_ws();
+    if p.at != p.bytes.len() {
+        return Err(Error(format!("trailing characters at byte {}", p.at)));
+    }
+    Ok(value)
+}
+
+struct Parser<'i> {
+    bytes: &'i [u8],
+    at: usize,
+}
+
+impl Parser<'_> {
+    fn err(&self, what: &str) -> Error {
+        Error(format!("{what} at byte {}", self.at))
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.bytes.get(self.at), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.at += 1;
+        }
+    }
+
+    fn eat(&mut self, b: u8) -> bool {
+        if self.bytes.get(self.at) == Some(&b) {
+            self.at += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_literal(&mut self, lit: &str) -> Result<(), Error> {
+        if self.bytes[self.at..].starts_with(lit.as_bytes()) {
+            self.at += lit.len();
+            Ok(())
+        } else {
+            Err(self.err("invalid literal"))
+        }
+    }
+
+    fn value(&mut self) -> Result<Value, Error> {
+        match self.bytes.get(self.at) {
+            Some(b'n') => self.expect_literal("null").map(|()| Value::Null),
+            Some(b't') => self.expect_literal("true").map(|()| Value::Bool(true)),
+            Some(b'f') => self.expect_literal("false").map(|()| Value::Bool(false)),
+            Some(b'"') => self.string().map(Value::Str),
+            Some(b'[') => self.array(),
+            Some(b'{') => self.object(),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            _ => Err(self.err("expected a JSON value")),
+        }
+    }
+
+    fn array(&mut self) -> Result<Value, Error> {
+        self.at += 1; // '['
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.eat(b']') {
+            return Ok(Value::Array(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            if self.eat(b']') {
+                return Ok(Value::Array(items));
+            }
+            if !self.eat(b',') {
+                return Err(self.err("expected ',' or ']'"));
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Value, Error> {
+        self.at += 1; // '{'
+        let mut fields = Vec::new();
+        self.skip_ws();
+        if self.eat(b'}') {
+            return Ok(Value::Object(fields));
+        }
+        loop {
+            self.skip_ws();
+            if self.bytes.get(self.at) != Some(&b'"') {
+                return Err(self.err("expected a string key"));
+            }
+            let key = self.string()?;
+            self.skip_ws();
+            if !self.eat(b':') {
+                return Err(self.err("expected ':'"));
+            }
+            self.skip_ws();
+            fields.push((key, self.value()?));
+            self.skip_ws();
+            if self.eat(b'}') {
+                return Ok(Value::Object(fields));
+            }
+            if !self.eat(b',') {
+                return Err(self.err("expected ',' or '}'"));
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, Error> {
+        self.at += 1; // opening '"'
+        let mut out = String::new();
+        loop {
+            let Some(&b) = self.bytes.get(self.at) else {
+                return Err(self.err("unterminated string"));
+            };
+            self.at += 1;
+            match b {
+                b'"' => return Ok(out),
+                b'\\' => {
+                    let Some(&esc) = self.bytes.get(self.at) else {
+                        return Err(self.err("unterminated escape"));
+                    };
+                    self.at += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'u' => {
+                            let hex = self
+                                .bytes
+                                .get(self.at..self.at + 4)
+                                .and_then(|h| std::str::from_utf8(h).ok())
+                                .ok_or_else(|| self.err("truncated \\u escape"))?;
+                            let code = u32::from_str_radix(hex, 16)
+                                .map_err(|_| self.err("invalid \\u escape"))?;
+                            self.at += 4;
+                            // Surrogate pairs are not emitted by the shim
+                            // serializer; reject rather than mis-decode.
+                            let c = char::from_u32(code)
+                                .ok_or_else(|| self.err("unpaired surrogate in \\u escape"))?;
+                            out.push(c);
+                        }
+                        _ => return Err(self.err("unknown escape")),
+                    }
+                }
+                _ => {
+                    // Collect the full UTF-8 sequence starting at b.
+                    let start = self.at - 1;
+                    let mut end = self.at;
+                    while end < self.bytes.len() && self.bytes[end] & 0xC0 == 0x80 {
+                        end += 1;
+                    }
+                    let s = std::str::from_utf8(&self.bytes[start..end])
+                        .map_err(|_| self.err("invalid UTF-8"))?;
+                    out.push_str(s);
+                    self.at = end;
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Value, Error> {
+        let start = self.at;
+        self.eat(b'-');
+        while matches!(self.bytes.get(self.at), Some(b'0'..=b'9')) {
+            self.at += 1;
+        }
+        let mut fractional = false;
+        if self.eat(b'.') {
+            fractional = true;
+            while matches!(self.bytes.get(self.at), Some(b'0'..=b'9')) {
+                self.at += 1;
+            }
+        }
+        if matches!(self.bytes.get(self.at), Some(b'e' | b'E')) {
+            fractional = true;
+            self.at += 1;
+            if !self.eat(b'+') {
+                let _ = self.eat(b'-');
+            }
+            while matches!(self.bytes.get(self.at), Some(b'0'..=b'9')) {
+                self.at += 1;
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.at])
+            .expect("number spans are ASCII digits and punctuation");
+        if !fractional {
+            if let Ok(u) = text.parse::<u64>() {
+                return Ok(Value::UInt(u));
+            }
+            if let Ok(i) = text.parse::<i64>() {
+                return Ok(Value::Int(i));
+            }
+        }
+        text.parse::<f64>()
+            .map(Value::Float)
+            .map_err(|_| Error(format!("invalid number '{text}'")))
+    }
 }
 
 fn write_value(out: &mut String, value: &Value, indent: Option<&str>, depth: usize) {
@@ -171,5 +391,57 @@ mod tests {
     fn strings_are_escaped() {
         let v = "a\"b\\c\nd".to_string();
         assert_eq!(to_string(&v).unwrap(), "\"a\\\"b\\\\c\\nd\"");
+    }
+
+    #[test]
+    fn parse_round_trips_the_serializer_output() {
+        let compact = to_string(&Sample).unwrap();
+        let parsed = from_str(&compact).unwrap();
+        // NaN serialized as null, so the round-trip swaps that one field.
+        assert_eq!(parsed.get("agents"), Some(&Value::UInt(10)));
+        assert_eq!(parsed.get("load"), Some(&Value::Float(7.5)));
+        assert_eq!(parsed.get("whole"), Some(&Value::Float(2.0)));
+        assert_eq!(parsed.get("bad"), Some(&Value::Null));
+        assert_eq!(
+            parsed.get("rows"),
+            Some(&Value::Array(vec![Value::UInt(1), Value::UInt(2)]))
+        );
+        assert_eq!(parsed.get("empty"), Some(&Value::Array(vec![])));
+        // The pretty form parses to the identical tree.
+        assert_eq!(from_str(&to_string_pretty(&Sample).unwrap()).unwrap(), parsed);
+    }
+
+    #[test]
+    fn parse_handles_escapes_numbers_and_nesting() {
+        let v = from_str(
+            "  {\"s\":\"a\\\"b\\\\\\n\\u0041\",\"neg\":-3,\"big\":18446744073709551615,\
+             \"f\":-2.5e-1,\"t\":true,\"f2\":false,\"n\":null,\"nest\":[{\"x\":[]}]} ",
+        )
+        .unwrap();
+        assert_eq!(v.get("s").and_then(Value::as_str), Some("a\"b\\\nA"));
+        assert_eq!(v.get("neg"), Some(&Value::Int(-3)));
+        assert_eq!(v.get("big"), Some(&Value::UInt(u64::MAX)));
+        assert_eq!(v.get("f"), Some(&Value::Float(-0.25)));
+        assert_eq!(v.get("t"), Some(&Value::Bool(true)));
+        assert_eq!(v.get("f2"), Some(&Value::Bool(false)));
+        assert_eq!(v.get("n"), Some(&Value::Null));
+        assert_eq!(
+            v.get("nest").and_then(Value::as_array).map(<[Value]>::len),
+            Some(1)
+        );
+        // f64 values round-trip bit-exactly through Display formatting.
+        let x = 1.234_567_890_123_456_7e-3;
+        let json = to_string(&x).unwrap();
+        assert_eq!(from_str(&json).unwrap().as_f64(), Some(x));
+    }
+
+    #[test]
+    fn parse_rejects_malformed_input() {
+        for bad in [
+            "", "{", "[1,", "{\"a\"1}", "tru", "\"unterminated", "1 2", "{\"a\":}",
+            "nul", "\"\\q\"", "\"\\u12\"", "--1",
+        ] {
+            assert!(from_str(bad).is_err(), "{bad:?} should fail");
+        }
     }
 }
