@@ -282,8 +282,14 @@ fn main() -> ExitCode {
                 &observe::InspectJson::from(&replayed),
                 observe::format_replay(&replayed),
             );
-            if let Err(msg) = observe::cross_check(&live, &replayed) {
-                eprintln!("round-trip MISMATCH: {msg}");
+            if let Err(diffs) = observe::cross_check(&live, &replayed) {
+                // One line, machine-grepable: count first, then every
+                // differing aggregate as `field: live X vs replayed Y`.
+                eprintln!(
+                    "round-trip MISMATCH: {} aggregate(s) differ: {}",
+                    diffs.len(),
+                    diffs.join("; ")
+                );
                 return ExitCode::FAILURE;
             }
             println!("round-trip OK: replayed aggregates match the live run");

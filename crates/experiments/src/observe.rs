@@ -11,7 +11,7 @@
 use std::path::Path;
 
 use busarb_core::ProtocolKind;
-use busarb_obs::{read_trace_file, replay, MetricsSnapshot, Replay, TraceFormat};
+use busarb_obs::{MetricsSnapshot, Replay, ReplayBuilder, TraceFormat};
 use busarb_sim::{RunReport, Simulation, SystemConfig};
 use busarb_workload::Scenario;
 use serde::Serialize;
@@ -55,16 +55,25 @@ pub fn run_pinned(scale: Scale, export: Option<(&Path, TraceFormat)>) -> RunRepo
     report
 }
 
-/// Reads an exported trace (either framing, auto-detected) and replays
-/// it into run-level aggregates.
+/// Streams an exported trace (either framing, auto-detected) through
+/// the incremental replay, producing run-level aggregates in constant
+/// memory — the trace is never materialized as an event list, so
+/// arbitrarily large exports inspect fine.
 ///
 /// # Errors
 ///
 /// Returns an error if the file cannot be read or is not a valid
-/// `busarb-trace/1` export.
+/// `busarb-trace/1` export. Parse failures are structured
+/// ([`busarb_obs::StreamError`] wrapped in [`std::io::Error`]): their
+/// message names the byte offset — and, for JSONL, the line — where
+/// decoding failed.
 pub fn inspect(path: &Path) -> std::io::Result<Replay> {
-    let (header, events) = read_trace_file(path)?;
-    replay(&header, &events)
+    let mut reader = busarb_obs::open_trace(path)?;
+    let mut builder = ReplayBuilder::new(reader.header())?;
+    while let Some(event) = reader.next_event()? {
+        builder.push(&event)?;
+    }
+    Ok(builder.finish())
 }
 
 /// Relative closeness at f64 round-off scale.
@@ -76,8 +85,10 @@ fn close(a: f64, b: f64) -> bool {
 ///
 /// # Errors
 ///
-/// Returns a message naming every mismatched aggregate.
-pub fn cross_check(live: &RunReport, replayed: &Replay) -> Result<(), String> {
+/// Returns one entry per mismatched aggregate, each a `field: live X vs
+/// replayed Y` description (`repro cell` joins them into its one-line
+/// diff summary).
+pub fn cross_check(live: &RunReport, replayed: &Replay) -> Result<(), Vec<String>> {
     let mut mismatches = Vec::new();
     if live.protocol != replayed.protocol {
         mismatches.push(format!(
@@ -115,7 +126,7 @@ pub fn cross_check(live: &RunReport, replayed: &Replay) -> Result<(), String> {
     if mismatches.is_empty() {
         Ok(())
     } else {
-        Err(mismatches.join("; "))
+        Err(mismatches)
     }
 }
 
@@ -239,7 +250,9 @@ mod tests {
             let replayed = inspect(&path).expect("export is readable");
             let outcome = cross_check(&live, &replayed);
             std::fs::remove_file(&path).ok();
-            outcome.unwrap_or_else(|msg| panic!("{format} round-trip mismatch: {msg}"));
+            outcome.unwrap_or_else(|diffs| {
+                panic!("{format} round-trip mismatch: {}", diffs.join("; "));
+            });
             // The replay feeds the identical sample sequence to the same
             // batch-means arithmetic, so the estimate is not merely
             // close — it is equal (shortest-round-trip floats in JSONL,
@@ -266,8 +279,10 @@ mod tests {
             samples_per_batch: 1,
             confidence: 0.9,
         };
-        let replayed = replay(&header, &[]).expect("empty trace replays");
-        let msg = cross_check(&live, &replayed).expect_err("everything differs");
+        let replayed = busarb_obs::replay(&header, &[]).expect("empty trace replays");
+        let diffs = cross_check(&live, &replayed).expect_err("everything differs");
+        let msg = diffs.join("; ");
+        assert!(diffs.len() >= 3, "{msg}");
         assert!(msg.contains("protocol"), "{msg}");
         assert!(msg.contains("samples"), "{msg}");
         assert!(msg.contains("mean wait"), "{msg}");

@@ -4,27 +4,22 @@ use std::fmt::Write as _;
 use std::io::{self, Write};
 use std::path::Path;
 
-use busarb_types::{AgentId, Time, TraceEvent, TraceKind};
+use busarb_types::{TraceEvent, TraceKind};
 
 use crate::{TraceFormat, TraceHeader, TraceSink};
 
 /// Magic bytes opening a binary trace.
-const MAGIC: &[u8; 4] = b"BTRC";
+pub(crate) const MAGIC: &[u8; 4] = b"BTRC";
 /// Binary framing version.
-const VERSION: u8 = 1;
+pub(crate) const VERSION: u8 = 1;
 
-const TAG_REQUEST: u8 = 0;
-const TAG_ARBITRATION: u8 = 1;
-const TAG_TRANSFER: u8 = 2;
-const TAG_END: u8 = 3;
+pub(crate) const TAG_REQUEST: u8 = 0;
+pub(crate) const TAG_ARBITRATION: u8 = 1;
+pub(crate) const TAG_TRANSFER: u8 = 2;
+pub(crate) const TAG_END: u8 = 3;
 
 fn invalid(msg: impl Into<String>) -> io::Error {
     io::Error::new(io::ErrorKind::InvalidData, msg.into())
-}
-
-fn agent_id(raw: u64) -> io::Result<AgentId> {
-    let raw = u32::try_from(raw).map_err(|_| invalid("agent identity exceeds u32"))?;
-    AgentId::new(raw).map_err(|e| invalid(format!("bad agent identity: {e}")))
 }
 
 /// An infallible in-memory sink, mostly for tests and tools that
@@ -207,17 +202,23 @@ pub fn open_file_sink(
 /// Reads an exported trace from raw bytes, auto-detecting the format by
 /// the binary magic.
 ///
+/// Implemented on the incremental [`TraceReader`](crate::TraceReader),
+/// collected whole — the streaming reader is the single parsing code
+/// path for both framings.
+///
 /// # Errors
 ///
-/// Returns [`io::ErrorKind::InvalidData`] errors for malformed input.
+/// Returns [`io::ErrorKind::InvalidData`] errors for malformed input,
+/// wrapping a [`StreamError`](crate::StreamError) that carries the byte
+/// offset of the failure (recover it with
+/// [`stream_error`](crate::stream_error)).
 pub fn read_trace(bytes: &[u8]) -> io::Result<(TraceHeader, Vec<TraceEvent>)> {
-    if bytes.starts_with(MAGIC) {
-        read_binary(bytes)
-    } else {
-        let text = core::str::from_utf8(bytes)
-            .map_err(|_| invalid("trace is neither binary (no magic) nor UTF-8 JSONL"))?;
-        read_jsonl(text)
+    let mut reader = crate::TraceReader::new(bytes)?;
+    let mut events = Vec::new();
+    while let Some(event) = reader.next_event()? {
+        events.push(event);
     }
+    Ok((reader.header().clone(), events))
 }
 
 /// Reads an exported trace file, auto-detecting the format.
@@ -229,124 +230,11 @@ pub fn read_trace_file(path: &Path) -> io::Result<(TraceHeader, Vec<TraceEvent>)
     read_trace(&std::fs::read(path)?)
 }
 
-fn read_jsonl(text: &str) -> io::Result<(TraceHeader, Vec<TraceEvent>)> {
-    let mut lines = text.lines().filter(|l| !l.trim().is_empty());
-    let header_line = lines.next().ok_or_else(|| invalid("empty trace"))?;
-    let header_value =
-        serde_json::from_str(header_line).map_err(|e| invalid(format!("bad header: {e}")))?;
-    let header = TraceHeader::from_value(&header_value)?;
-    let mut events = Vec::new();
-    for (i, line) in lines.enumerate() {
-        let v = serde_json::from_str(line)
-            .map_err(|e| invalid(format!("bad event on line {}: {e}", i + 2)))?;
-        events.push(event_from_value(&v).map_err(|e| invalid(format!("line {}: {e}", i + 2)))?);
-    }
-    Ok((header, events))
-}
-
-fn event_from_value(v: &serde::Value) -> io::Result<TraceEvent> {
-    fn f64_field(v: &serde::Value, key: &str) -> io::Result<f64> {
-        v.get(key)
-            .and_then(serde::Value::as_f64)
-            .ok_or_else(|| invalid(format!("missing or mistyped `{key}`")))
-    }
-    fn agent_field(v: &serde::Value, key: &str) -> io::Result<AgentId> {
-        agent_id(
-            v.get(key)
-                .and_then(serde::Value::as_u64)
-                .ok_or_else(|| invalid(format!("missing or mistyped `{key}`")))?,
-        )
-    }
-    let at = Time::from(f64_field(v, "at")?);
-    let kind = match v.get("ev").and_then(serde::Value::as_str) {
-        Some("req") => TraceKind::Request {
-            agent: agent_field(v, "agent")?,
-        },
-        Some("arb") => TraceKind::ArbitrationStart {
-            winner: agent_field(v, "winner")?,
-            completes: Time::from(f64_field(v, "completes")?),
-        },
-        Some("xfer") => TraceKind::TransferStart {
-            agent: agent_field(v, "agent")?,
-        },
-        Some("end") => TraceKind::TransferEnd {
-            agent: agent_field(v, "agent")?,
-            wait: f64_field(v, "wait")?,
-        },
-        other => return Err(invalid(format!("unknown event kind {other:?}"))),
-    };
-    Ok(TraceEvent { at, kind })
-}
-
-fn read_binary(bytes: &[u8]) -> io::Result<(TraceHeader, Vec<TraceEvent>)> {
-    let rest = &bytes[MAGIC.len()..];
-    let (&version, rest) = rest
-        .split_first()
-        .ok_or_else(|| invalid("truncated binary trace (no version)"))?;
-    if version != VERSION {
-        return Err(invalid(format!(
-            "unsupported binary trace version {version} (expected {VERSION})"
-        )));
-    }
-    if rest.len() < 4 {
-        return Err(invalid("truncated binary trace (no header length)"));
-    }
-    let (len_bytes, rest) = rest.split_at(4);
-    let header_len =
-        u32::from_le_bytes(len_bytes.try_into().expect("split_at(4) yields 4 bytes")) as usize;
-    if rest.len() < header_len {
-        return Err(invalid("truncated binary trace (header)"));
-    }
-    let (header_bytes, mut rest) = rest.split_at(header_len);
-    let header_text =
-        core::str::from_utf8(header_bytes).map_err(|_| invalid("header is not UTF-8"))?;
-    let header_value =
-        serde_json::from_str(header_text).map_err(|e| invalid(format!("bad header: {e}")))?;
-    let header = TraceHeader::from_value(&header_value)?;
-
-    let mut events = Vec::new();
-    while let Some((&tag, record)) = rest.split_first() {
-        let fixed = record
-            .get(..12)
-            .ok_or_else(|| invalid("truncated binary record"))?;
-        let at = Time::from(f64::from_le_bytes(
-            fixed[..8].try_into().expect("8-byte slice"),
-        ));
-        let agent = agent_id(u64::from(u32::from_le_bytes(
-            fixed[8..12].try_into().expect("4-byte slice"),
-        )))?;
-        let needs_extra = tag == TAG_ARBITRATION || tag == TAG_END;
-        let (extra, tail) = if needs_extra {
-            let bytes = record
-                .get(12..20)
-                .ok_or_else(|| invalid("truncated binary record (payload)"))?;
-            (
-                f64::from_le_bytes(bytes.try_into().expect("8-byte slice")),
-                &record[20..],
-            )
-        } else {
-            (0.0, &record[12..])
-        };
-        let kind = match tag {
-            TAG_REQUEST => TraceKind::Request { agent },
-            TAG_ARBITRATION => TraceKind::ArbitrationStart {
-                winner: agent,
-                completes: Time::from(extra),
-            },
-            TAG_TRANSFER => TraceKind::TransferStart { agent },
-            TAG_END => TraceKind::TransferEnd { agent, wait: extra },
-            other => return Err(invalid(format!("unknown binary record tag {other}"))),
-        };
-        events.push(TraceEvent { at, kind });
-        rest = tail;
-    }
-    Ok((header, events))
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::TRACE_SCHEMA;
+    use busarb_types::{AgentId, Time};
 
     fn id(n: u32) -> AgentId {
         AgentId::new(n).unwrap()

@@ -50,7 +50,134 @@ impl Replay {
     }
 }
 
+/// Incremental replay: the streaming form of [`replay`].
+///
+/// Feed events one at a time with [`push`]; [`finish`] freezes the
+/// aggregates into a [`Replay`]. All state is fixed-size (the batch-means
+/// accumulator holds one sum per batch, the per-agent tallies one slot
+/// per agent), so replaying a trace of any length takes constant memory —
+/// this is what lets `busarb analyze` and `repro inspect` process traces
+/// that never fit in RAM while still reproducing the live run's
+/// aggregates bit-for-bit.
+///
+/// [`push`]: ReplayBuilder::push
+/// [`finish`]: ReplayBuilder::finish
+#[derive(Clone, Debug)]
+pub struct ReplayBuilder {
+    protocol: String,
+    agents: u32,
+    warmup_samples: u64,
+    bm: BatchMeans,
+    warmup_remaining: u64,
+    warmup_end: f64,
+    last_counted: f64,
+    requests: u64,
+    grants: u64,
+    transfers: u64,
+    completions: u64,
+    per_agent_samples: Vec<u64>,
+}
+
+impl ReplayBuilder {
+    /// Creates a replay accumulator from a trace header.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`std::io::ErrorKind::InvalidData`] when the header's
+    /// batch-means configuration is invalid.
+    pub fn new(header: &TraceHeader) -> std::io::Result<Self> {
+        let invalid = |msg: String| std::io::Error::new(std::io::ErrorKind::InvalidData, msg);
+        let config = BatchMeansConfig {
+            batches: usize::try_from(header.batches)
+                .map_err(|_| invalid("batch count exceeds usize".to_string()))?,
+            samples_per_batch: usize::try_from(header.samples_per_batch)
+                .map_err(|_| invalid("samples per batch exceeds usize".to_string()))?,
+            confidence: header.confidence,
+        };
+        let bm = BatchMeans::new(config).map_err(|e| invalid(format!("bad batch config: {e}")))?;
+        Ok(ReplayBuilder {
+            protocol: header.protocol.clone(),
+            agents: header.agents,
+            warmup_samples: header.warmup_samples,
+            bm,
+            warmup_remaining: header.warmup_samples,
+            warmup_end: 0.0,
+            last_counted: 0.0,
+            requests: 0,
+            grants: 0,
+            transfers: 0,
+            completions: 0,
+            per_agent_samples: vec![0u64; header.agents as usize],
+        })
+    }
+
+    /// Folds one event into the aggregates.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`std::io::ErrorKind::InvalidData`] when the event names
+    /// an agent outside the header's roster.
+    pub fn push(&mut self, event: &TraceEvent) -> std::io::Result<()> {
+        match event.kind {
+            TraceKind::Request { .. } => self.requests += 1,
+            TraceKind::ArbitrationStart { .. } => self.grants += 1,
+            TraceKind::TransferStart { .. } => self.transfers += 1,
+            TraceKind::TransferEnd { agent, wait } => {
+                self.completions += 1;
+                if agent.get() > self.agents {
+                    return Err(std::io::Error::new(
+                        std::io::ErrorKind::InvalidData,
+                        format!(
+                            "event names agent {agent} but the header has {} agents",
+                            self.agents
+                        ),
+                    ));
+                }
+                if self.warmup_remaining > 0 {
+                    self.warmup_remaining -= 1;
+                    if self.warmup_remaining == 0 {
+                        self.warmup_end = event.at.as_f64();
+                    }
+                } else if !self.bm.is_complete() {
+                    self.bm.record(wait);
+                    self.per_agent_samples[agent.index()] += 1;
+                    self.last_counted = event.at.as_f64();
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Freezes the accumulated state into run-level aggregates.
+    #[must_use]
+    pub fn finish(self) -> Replay {
+        let measured_time = self.last_counted - self.warmup_end;
+        let utilization = if measured_time > 0.0 {
+            self.bm.samples_recorded() as f64 / measured_time
+        } else {
+            0.0
+        };
+        Replay {
+            protocol: self.protocol,
+            mean_wait: self.bm.estimate(),
+            wait_summary: *self.bm.overall(),
+            utilization,
+            measured_time,
+            requests: self.requests,
+            grants: self.grants,
+            transfers: self.transfers,
+            completions: self.completions,
+            warmup_consumed: self.warmup_samples - self.warmup_remaining,
+            per_agent_samples: self.per_agent_samples,
+        }
+    }
+}
+
 /// Replays an exported trace, recomputing `RunReport`-level aggregates.
+///
+/// This is the whole-slice convenience over [`ReplayBuilder`]; both
+/// paths share the accumulation code, so streaming and whole-file replay
+/// agree exactly by construction.
 ///
 /// # Errors
 ///
@@ -58,73 +185,11 @@ impl Replay {
 /// batch-means configuration is invalid or an event names an agent
 /// outside the header's roster.
 pub fn replay(header: &TraceHeader, events: &[TraceEvent]) -> std::io::Result<Replay> {
-    let invalid =
-        |msg: String| std::io::Error::new(std::io::ErrorKind::InvalidData, msg);
-    let config = BatchMeansConfig {
-        batches: usize::try_from(header.batches)
-            .map_err(|_| invalid("batch count exceeds usize".to_string()))?,
-        samples_per_batch: usize::try_from(header.samples_per_batch)
-            .map_err(|_| invalid("samples per batch exceeds usize".to_string()))?,
-        confidence: header.confidence,
-    };
-    let mut bm =
-        BatchMeans::new(config).map_err(|e| invalid(format!("bad batch config: {e}")))?;
-
-    let mut warmup_remaining = header.warmup_samples;
-    let mut warmup_end = 0.0f64;
-    let mut last_counted = 0.0f64;
-    let mut requests = 0u64;
-    let mut grants = 0u64;
-    let mut transfers = 0u64;
-    let mut completions = 0u64;
-    let mut per_agent_samples = vec![0u64; header.agents as usize];
-
+    let mut builder = ReplayBuilder::new(header)?;
     for event in events {
-        match event.kind {
-            TraceKind::Request { .. } => requests += 1,
-            TraceKind::ArbitrationStart { .. } => grants += 1,
-            TraceKind::TransferStart { .. } => transfers += 1,
-            TraceKind::TransferEnd { agent, wait } => {
-                completions += 1;
-                if agent.get() > header.agents {
-                    return Err(invalid(format!(
-                        "event names agent {agent} but the header has {} agents",
-                        header.agents
-                    )));
-                }
-                if warmup_remaining > 0 {
-                    warmup_remaining -= 1;
-                    if warmup_remaining == 0 {
-                        warmup_end = event.at.as_f64();
-                    }
-                } else if !bm.is_complete() {
-                    bm.record(wait);
-                    per_agent_samples[agent.index()] += 1;
-                    last_counted = event.at.as_f64();
-                }
-            }
-        }
+        builder.push(event)?;
     }
-
-    let measured_time = last_counted - warmup_end;
-    let utilization = if measured_time > 0.0 {
-        bm.samples_recorded() as f64 / measured_time
-    } else {
-        0.0
-    };
-    Ok(Replay {
-        protocol: header.protocol.clone(),
-        mean_wait: bm.estimate(),
-        wait_summary: *bm.overall(),
-        utilization,
-        measured_time,
-        requests,
-        grants,
-        transfers,
-        completions,
-        warmup_consumed: header.warmup_samples - warmup_remaining,
-        per_agent_samples,
-    })
+    Ok(builder.finish())
 }
 
 #[cfg(test)]

@@ -49,7 +49,7 @@ impl HistogramSnapshot {
     }
 
     /// Folds another histogram into this one.
-    fn merge(&mut self, other: &HistogramSnapshot) {
+    pub fn merge(&mut self, other: &HistogramSnapshot) {
         self.count += other.count;
         self.sum += other.sum;
         self.min = self.min.min(other.min);

@@ -1,0 +1,230 @@
+//! Windowed fairness tracking: per-agent grant shares and Jain's index
+//! over a sliding window of recent grants.
+//!
+//! The paper's central claim is that the distributed round-robin and
+//! FCFS protocols are *fair* — no agent is starved, grant shares track
+//! demand. A whole-run grant share can hide transient starvation (an
+//! agent locked out for ten thousand grants then caught up later), so
+//! alongside the overall share this tracker slides a fixed window over
+//! the grant sequence and samples Jain's fairness index
+//! `(Σx)² / (n·Σx²)` inside it: 1.0 when every agent holds an equal
+//! share, `1/n` when one agent monopolizes the bus. The *minimum*
+//! windowed index is the headline number — it bounds the worst local
+//! unfairness anywhere in the trace.
+//!
+//! State is one ring buffer of [`FAIRNESS_WINDOW`] agent indices plus
+//! per-agent counters: constant memory regardless of trace length, and
+//! the per-grant update is allocation-free.
+
+use serde::Serialize;
+
+/// Sliding-window length, in grants.
+pub const FAIRNESS_WINDOW: usize = 1024;
+
+/// Grants between consecutive windowed-index samples.
+pub const FAIRNESS_STRIDE: usize = 256;
+
+/// Frozen results of [`FairnessTracker`].
+#[derive(Clone, Debug, Serialize)]
+pub struct FairnessReport {
+    /// Agents in the roster.
+    pub agents: u32,
+    /// Total grants observed.
+    pub grants: u64,
+    /// Sliding-window length used, in grants.
+    pub window: u64,
+    /// Whole-trace grant share per agent (sums to 1 when `grants > 0`).
+    pub share: Vec<f64>,
+    /// Jain index over the whole trace's per-agent grant counts.
+    pub jain_overall: f64,
+    /// Windowed-index samples taken.
+    pub jain_windows: u64,
+    /// Smallest windowed index (worst local unfairness).
+    pub jain_min: f64,
+    /// Mean windowed index.
+    pub jain_mean: f64,
+}
+
+/// Streaming fairness tracker over the grant sequence.
+#[derive(Clone, Debug)]
+pub struct FairnessTracker {
+    agents: u32,
+    /// Agent index of each grant in the current window, oldest
+    /// overwritten first.
+    ring: Vec<u32>,
+    head: usize,
+    /// Per-agent grants inside the current window.
+    in_window: Vec<u64>,
+    /// Per-agent grants over the whole trace.
+    total: Vec<u64>,
+    grants: u64,
+    jain_samples: u64,
+    jain_sum: f64,
+    jain_min: f64,
+}
+
+impl FairnessTracker {
+    /// Creates a tracker for an `agents`-agent roster.
+    #[must_use]
+    pub fn new(agents: u32) -> Self {
+        FairnessTracker {
+            agents,
+            ring: vec![0; FAIRNESS_WINDOW],
+            head: 0,
+            in_window: vec![0; agents as usize],
+            total: vec![0; agents as usize],
+            grants: 0,
+            jain_samples: 0,
+            jain_sum: 0.0,
+            jain_min: f64::INFINITY,
+        }
+    }
+
+    /// Records one grant to the agent at roster index `agent_index`.
+    /// Out-of-roster indices are ignored (the replay layer already
+    /// rejects them with a structured error). Allocation-free.
+    pub fn on_grant(&mut self, agent_index: usize) {
+        if agent_index >= self.in_window.len() {
+            return;
+        }
+        if self.grants >= FAIRNESS_WINDOW as u64 {
+            let evicted = self.ring[self.head] as usize;
+            self.in_window[evicted] -= 1;
+        }
+        self.ring[self.head] = agent_index as u32;
+        self.head = (self.head + 1) % FAIRNESS_WINDOW;
+        self.in_window[agent_index] += 1;
+        self.total[agent_index] += 1;
+        self.grants += 1;
+        if self.grants >= FAIRNESS_WINDOW as u64
+            && (self.grants - FAIRNESS_WINDOW as u64).is_multiple_of(FAIRNESS_STRIDE as u64)
+        {
+            let j = jain(&self.in_window);
+            self.jain_samples += 1;
+            self.jain_sum += j;
+            if j < self.jain_min {
+                self.jain_min = j;
+            }
+        }
+    }
+
+    /// Freezes the tracker into a [`FairnessReport`].
+    ///
+    /// Traces shorter than one window never sampled the sliding index;
+    /// those (and only those) take a single end-of-trace sample over the
+    /// partial window so short runs still report a windowed figure.
+    #[must_use]
+    pub fn finish(mut self) -> FairnessReport {
+        if self.jain_samples == 0 && self.grants > 0 {
+            let j = jain(&self.in_window);
+            self.jain_samples = 1;
+            self.jain_sum = j;
+            self.jain_min = j;
+        }
+        let share = if self.grants == 0 {
+            vec![0.0; self.total.len()]
+        } else {
+            self.total
+                .iter()
+                .map(|&c| c as f64 / self.grants as f64)
+                .collect()
+        };
+        FairnessReport {
+            agents: self.agents,
+            grants: self.grants,
+            window: FAIRNESS_WINDOW as u64,
+            share,
+            jain_overall: jain(&self.total),
+            jain_windows: self.jain_samples,
+            jain_min: if self.jain_samples == 0 {
+                0.0
+            } else {
+                self.jain_min
+            },
+            jain_mean: if self.jain_samples == 0 {
+                0.0
+            } else {
+                self.jain_sum / self.jain_samples as f64
+            },
+        }
+    }
+}
+
+/// Jain's fairness index over per-agent counts; 0 when all are zero.
+fn jain(counts: &[u64]) -> f64 {
+    let n = counts.len() as f64;
+    let sum: f64 = counts.iter().map(|&c| c as f64).sum();
+    let sq: f64 = counts.iter().map(|&c| (c as f64) * (c as f64)).sum();
+    if sq == 0.0 {
+        0.0
+    } else {
+        sum * sum / (n * sq)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn equal_shares_score_one() {
+        let mut t = FairnessTracker::new(4);
+        for i in 0..4 * FAIRNESS_WINDOW {
+            t.on_grant(i % 4);
+        }
+        let r = t.finish();
+        assert_eq!(r.grants, 4 * FAIRNESS_WINDOW as u64);
+        assert!((r.jain_overall - 1.0).abs() < 1e-12);
+        assert!((r.jain_min - 1.0).abs() < 1e-12);
+        assert!((r.jain_mean - 1.0).abs() < 1e-12);
+        assert!(r.share.iter().all(|&s| (s - 0.25).abs() < 1e-12));
+        assert!(r.jain_windows > 0);
+    }
+
+    #[test]
+    fn monopoly_scores_one_over_n() {
+        let mut t = FairnessTracker::new(8);
+        for _ in 0..2 * FAIRNESS_WINDOW {
+            t.on_grant(0);
+        }
+        let r = t.finish();
+        assert!((r.jain_overall - 1.0 / 8.0).abs() < 1e-12);
+        assert!((r.jain_min - 1.0 / 8.0).abs() < 1e-12);
+        assert_eq!(r.share[0], 1.0);
+    }
+
+    #[test]
+    fn transient_starvation_lowers_min_but_not_overall() {
+        let mut t = FairnessTracker::new(2);
+        // Fair overall: half the grants each — but agent 1 gets all of
+        // the first half and agent 0 all of the second.
+        for _ in 0..4 * FAIRNESS_WINDOW {
+            t.on_grant(1);
+        }
+        for _ in 0..4 * FAIRNESS_WINDOW {
+            t.on_grant(0);
+        }
+        let r = t.finish();
+        assert!((r.jain_overall - 1.0).abs() < 1e-12);
+        assert!((r.jain_min - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn short_trace_takes_one_end_sample() {
+        let mut t = FairnessTracker::new(2);
+        t.on_grant(0);
+        t.on_grant(1);
+        let r = t.finish();
+        assert_eq!(r.jain_windows, 1);
+        assert!((r.jain_min - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_tracker_reports_zeros() {
+        let r = FairnessTracker::new(3).finish();
+        assert_eq!(r.grants, 0);
+        assert_eq!(r.jain_windows, 0);
+        assert_eq!(r.jain_overall, 0.0);
+        assert_eq!(r.share, vec![0.0; 3]);
+    }
+}

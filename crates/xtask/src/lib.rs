@@ -88,6 +88,11 @@ pub fn fn_bodies<'c>(content: &'c str, name: &str) -> Vec<&'c str> {
         let Some(open_rel) = content[at..].find('{') else {
             continue;
         };
+        // A `;` before the first `{` means this is a bodiless trait
+        // declaration — the brace belongs to whatever follows it.
+        if content[at..at + open_rel].contains(';') {
+            continue;
+        }
         let open = at + open_rel;
         let mut depth = 0usize;
         for (i, b) in content[open..].bytes().enumerate() {
@@ -257,6 +262,19 @@ mod tests {
     fn real_settle_loop_is_allocation_free() {
         let findings = hot_fn_allocations(CONTENTION_RS, &["settle", "resolve_inner", "apply_rule"]);
         assert_eq!(findings, Vec::<String>::new());
+    }
+
+    #[test]
+    fn a_bodiless_trait_declaration_is_not_a_body() {
+        // The trait's declaration has no body; the extractor must not
+        // swallow the next function's braces (which may allocate).
+        let src = "trait T { fn on_event(&mut self, e: &E); }\n\
+                   fn factory() -> Box<dyn T> { Box::new(Imp) }\n\
+                   impl T for Imp { fn on_event(&mut self, e: &E) { self.n += 1; } }";
+        let bodies = fn_bodies(src, "on_event");
+        assert_eq!(bodies.len(), 1);
+        assert!(bodies[0].contains("self.n += 1"));
+        assert!(hot_fn_allocations(src, &["on_event"]).is_empty());
     }
 
     #[test]

@@ -27,17 +27,26 @@ const VARIANT_SITES: [(&str, usize); 6] = [
 ];
 
 /// Surfaces that must mention every protocol by its CLI slug.
-const SLUG_SITES: [(&str, usize); 1] = [("crates/experiments/src/bin/simulate.rs", 1)];
+const SLUG_SITES: [(&str, usize); 2] = [
+    ("crates/experiments/src/bin/simulate.rs", 1),
+    // The streaming analyzers' protocol-family dispatch: every slug must
+    // map to an adapter (the wildcard arm is a fallback for *future*
+    // protocols, not an excuse to skip present ones).
+    ("crates/tail/src/adapters.rs", 1),
+];
 
 /// Literal tokens that must appear in specific files (roster commands and
 /// exhaustive iteration points that do not name variants individually).
-const TOKEN_SITES: [(&str, &str); 2] = [
+const TOKEN_SITES: [(&str, &str); 4] = [
     ("crates/experiments/src/bin/repro.rs", "\"protocols\""),
     ("crates/experiments/src/bin/repro.rs", "ProtocolKind::all()"),
+    // The analytics CLI must keep both subcommands wired.
+    ("src/bin/busarb.rs", "\"analyze\""),
+    ("src/bin/busarb.rs", "\"serve\""),
 ];
 
 /// Per-arbitration hot paths that must not allocate.
-const HOT_SITES: [(&str, &[&str]); 9] = [
+const HOT_SITES: [(&str, &[&str]); 12] = [
     (
         "crates/bus/src/contention.rs",
         &["settle", "resolve_inner", "apply_rule"],
@@ -63,6 +72,12 @@ const HOT_SITES: [(&str, &[&str]); 9] = [
         ],
     ),
     ("crates/obs/src/metrics.rs", &["record"]),
+    // Streaming analyzers run once per trace event; a 10M-event pass
+    // must not allocate per event (constructors and `report` snapshots
+    // are the only allowed allocation sites in `busarb-tail`).
+    ("crates/tail/src/usage.rs", &["push", "account"]),
+    ("crates/tail/src/fairness.rs", &["on_grant"]),
+    ("crates/tail/src/adapters.rs", &["on_event"]),
 ];
 
 fn workspace_root() -> PathBuf {

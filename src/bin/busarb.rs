@@ -1,0 +1,156 @@
+//! `busarb` — the trace-analytics command line.
+//!
+//! Two subcommands over `busarb-tail`'s streaming engine:
+//!
+//! * `busarb analyze [--json] FILE...` — one bounded-memory pass per
+//!   trace (JSONL or BTRC, auto-detected), printing a deterministic
+//!   report per file. Parse failures name the byte offset and exit
+//!   nonzero.
+//! * `busarb serve [--socket PATH] [NAME=]FILE...` — long-running
+//!   multi-stream ingest answering line-oriented queries on stdin (or a
+//!   Unix socket): `streams`, `report <name>`, `aggregate`, `drain`,
+//!   `quit`.
+//!
+//! Exit status: 0 on success, 1 when any analysis fails, 2 on usage
+//! errors.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(command) = args.first() else {
+        return usage();
+    };
+    match command.as_str() {
+        "analyze" => analyze(&args[1..]),
+        "serve" => serve(&args[1..]),
+        "help" | "--help" | "-h" => {
+            print!("{USAGE}");
+            ExitCode::SUCCESS
+        }
+        other => {
+            eprintln!("busarb: unknown command `{other}`");
+            usage()
+        }
+    }
+}
+
+const USAGE: &str = "\
+usage: busarb <command> [args]
+
+commands:
+  analyze [--json] FILE...          analyze trace exports (JSONL or BTRC,
+                                    auto-detected), one streaming pass per
+                                    file; --json prints one report object
+                                    per line instead of text
+  serve [--socket PATH] [NAME=]FILE...
+                                    ingest every stream concurrently and
+                                    answer queries (streams / report NAME /
+                                    aggregate / drain / quit) line-by-line
+                                    on stdin, or on a Unix socket with
+                                    --socket
+  help                              show this message
+";
+
+fn usage() -> ExitCode {
+    eprint!("{USAGE}");
+    ExitCode::from(2)
+}
+
+/// `busarb analyze [--json] FILE...`
+fn analyze(args: &[String]) -> ExitCode {
+    let mut json = false;
+    let mut files = Vec::new();
+    for arg in args {
+        match arg.as_str() {
+            "--json" => json = true,
+            flag if flag.starts_with('-') => {
+                eprintln!("busarb analyze: unknown flag `{flag}`");
+                return usage();
+            }
+            path => files.push(PathBuf::from(path)),
+        }
+    }
+    if files.is_empty() {
+        eprintln!("busarb analyze: no trace files given");
+        return usage();
+    }
+    let mut failed = false;
+    for file in &files {
+        match busarb_tail::analyze_path(file) {
+            Ok(report) => {
+                if json {
+                    println!("{}", report.to_json());
+                } else {
+                    print!("{}", report.render_text());
+                }
+            }
+            Err(e) => {
+                // Stream errors already carry "(byte offset N)".
+                eprintln!("busarb analyze: {}: {e}", file.display());
+                failed = true;
+            }
+        }
+    }
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+/// `busarb serve [--socket PATH] [NAME=]FILE...`
+fn serve(args: &[String]) -> ExitCode {
+    let mut socket: Option<PathBuf> = None;
+    let mut streams: Vec<(String, PathBuf)> = Vec::new();
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--socket" => {
+                let Some(path) = iter.next() else {
+                    eprintln!("busarb serve: --socket needs a path");
+                    return usage();
+                };
+                socket = Some(PathBuf::from(path));
+            }
+            flag if flag.starts_with('-') => {
+                eprintln!("busarb serve: unknown flag `{flag}`");
+                return usage();
+            }
+            spec => {
+                // NAME=FILE names the stream; a bare FILE uses its stem.
+                let (name, path) = match spec.split_once('=') {
+                    Some((name, path)) => (name.to_string(), PathBuf::from(path)),
+                    None => {
+                        let path = PathBuf::from(spec);
+                        let stem = path
+                            .file_stem()
+                            .map_or_else(|| spec.to_string(), |s| s.to_string_lossy().into_owned());
+                        (stem, path)
+                    }
+                };
+                streams.push((name, path));
+            }
+        }
+    }
+    if streams.is_empty() {
+        eprintln!("busarb serve: no trace streams given");
+        return usage();
+    }
+    let result = match socket {
+        Some(path) => busarb_tail::serve::serve_socket(&streams, &path),
+        None => {
+            let stdin = std::io::stdin();
+            let stdout = std::io::stdout();
+            busarb_tail::serve::serve_streams(&streams, stdin.lock(), stdout.lock())
+        }
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("busarb serve: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
