@@ -2,7 +2,7 @@
 //! dispatch paths and writes the results to `BENCH_run.json`.
 //!
 //! ```text
-//! bench_run [--out PATH] [--reps N] [--smoke]
+//! bench_run [--out PATH] [--reps N] [--smoke] [--floor PATH]
 //! ```
 //!
 //! Each protocol runs the same Quick-scale cell (30 agents, load 2.0,
@@ -16,6 +16,28 @@
 //!
 //! `--smoke` drops to the Smoke scale with a single rep — a CI-friendly
 //! end-to-end check that the binary runs, not a measurement.
+//!
+//! `--floor PATH` turns the run into a perf gate: after timing, each
+//! protocol's monomorphized events/sec is compared against the matching
+//! entry in the committed `BENCH_run.json` at PATH, and the process
+//! fails if any protocol lands more than [`FLOOR_DROP`] below its
+//! committed figure. Two mechanisms keep the comparison meaningful
+//! across machines and runner load:
+//!
+//! - **Scale matching.** The gate refuses a floor file recorded at a
+//!   different scale: a Smoke cell finishes in well under a millisecond,
+//!   so its events/sec is dominated by cold caches and first-touch of
+//!   the state planes and sits structurally ~2x below the Quick figure.
+//!   CI gates at the Quick scale (a few seconds for all 13 protocols).
+//! - **Speed calibration.** Every run times a frozen synthetic integer
+//!   kernel ([`calibration_kernel`]) and records its ops/sec in the
+//!   report. The gate scales each committed floor by the ratio of the
+//!   measured to the committed calibration, clamped at 1.0 — a slower
+//!   or more loaded runner lowers the bar proportionally, while a
+//!   faster one still only has to clear the committed figure. A real
+//!   regression cannot hide behind this: the kernel is independent of
+//!   the simulator, so protocol changes move the protocol figures and
+//!   not the calibration.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -31,6 +53,20 @@ use serde::Serialize;
 
 const AGENTS: u32 = 30;
 const LOAD: f64 = 2.0;
+
+/// Largest tolerated drop below the committed per-protocol events/sec
+/// before `--floor` fails the run (0.25 = fail below 75% of committed),
+/// after calibration scaling.
+const FLOOR_DROP: f64 = 0.25;
+
+/// Iterations of the calibration kernel per timing window (~10ms on the
+/// reference machine — long enough to ride out scheduler jitter, short
+/// enough that the minimum over [`CALIBRATION_REPS`] windows lands in a
+/// quiet one).
+const CALIBRATION_ITERS: u64 = 20_000_000;
+
+/// Timing windows per calibration; the minimum elapsed is used.
+const CALIBRATION_REPS: usize = 15;
 
 /// The protocols timed — every [`ProtocolKind`], so the report covers the
 /// full dispatch surface (`cargo xtask lint` checks this roster stays
@@ -76,19 +112,50 @@ struct BenchReport {
     agents: u32,
     load: f64,
     reps: usize,
+    /// Ops/sec of the frozen [`calibration_kernel`] on this runner —
+    /// the machine-speed reference the `--floor` gate scales by.
+    calibration_ops_per_sec: f64,
     timings: Vec<ProtocolTiming>,
+}
+
+/// Frozen synthetic integer kernel (xor-multiply mixing, the same
+/// instruction mix the simulator leans on): `iters` rounds over a
+/// running state, returned so the optimizer cannot elide the loop. This
+/// function must never change — committed calibration figures would
+/// silently lose their meaning.
+fn calibration_kernel(iters: u64) -> u64 {
+    let mut x = 0x9E37_79B9_7F4A_7C15u64;
+    for i in 0..iters {
+        x = (x ^ i).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        x ^= x >> 27;
+    }
+    x
+}
+
+/// Machine-speed reference: best ops/sec of the calibration kernel over
+/// [`CALIBRATION_REPS`] windows.
+fn calibrate() -> f64 {
+    let mut min = f64::INFINITY;
+    for _ in 0..CALIBRATION_REPS {
+        let start = Instant::now();
+        std::hint::black_box(calibration_kernel(std::hint::black_box(CALIBRATION_ITERS)));
+        min = min.min(start.elapsed().as_secs_f64());
+    }
+    CALIBRATION_ITERS as f64 / min
 }
 
 struct Args {
     out: PathBuf,
     reps: usize,
     scale: Scale,
+    floor: Option<PathBuf>,
 }
 
 fn parse_args() -> Result<Args, String> {
     let mut out = PathBuf::from("BENCH_run.json");
     let mut reps = 7usize;
     let mut scale = Scale::Quick;
+    let mut floor = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -104,13 +171,122 @@ fn parse_args() -> Result<Args, String> {
                 scale = Scale::Smoke;
                 reps = 1;
             }
+            "--floor" => floor = Some(PathBuf::from(args.next().ok_or("--floor needs a path")?)),
             other => return Err(format!("unexpected argument '{other}'")),
         }
     }
     if reps == 0 {
         return Err("--reps must be at least 1".to_string());
     }
-    Ok(Args { out, reps, scale })
+    Ok(Args {
+        out,
+        reps,
+        scale,
+        floor,
+    })
+}
+
+/// Committed per-protocol events/sec figures pulled out of a
+/// `BENCH_run.json`, after checking the file was recorded at `scale`
+/// (cross-scale throughput is not comparable — see the module docs).
+/// Only `scale`, `timings[].protocol`, and
+/// `timings[].mono_events_per_sec` are read; every other field
+/// (metrics, derived figures) is ignored.
+fn load_floor(path: &std::path::Path, scale: Scale) -> Result<(f64, Vec<(String, f64)>), String> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| format!("cannot read floor file {}: {e}", path.display()))?;
+    let floor = serde_json::from_str(&text)
+        .map_err(|e| format!("cannot parse floor file {}: {e}", path.display()))?;
+    let floor_scale = floor
+        .get("scale")
+        .and_then(serde::Value::as_str)
+        .ok_or_else(|| format!("floor file {} has no scale field", path.display()))?;
+    if floor_scale != scale.to_string() {
+        return Err(format!(
+            "floor file {} was recorded at the {floor_scale} scale but this run measures {scale} — \
+             throughput is only comparable within one scale",
+            path.display()
+        ));
+    }
+    let calibration = floor
+        .get("calibration_ops_per_sec")
+        .and_then(serde::Value::as_f64)
+        .ok_or_else(|| {
+            format!(
+                "floor file {} has no calibration_ops_per_sec — regenerate it with this bench_run",
+                path.display()
+            )
+        })?;
+    let timings = floor
+        .get("timings")
+        .and_then(serde::Value::as_array)
+        .ok_or_else(|| format!("floor file {} has no timings array", path.display()))?;
+    let rates = timings
+        .iter()
+        .map(|entry| {
+            let protocol = entry
+                .get("protocol")
+                .and_then(serde::Value::as_str)
+                .ok_or_else(|| "floor timing entry lacks a protocol name".to_string())?;
+            let rate = entry
+                .get("mono_events_per_sec")
+                .and_then(serde::Value::as_f64)
+                .ok_or_else(|| format!("floor entry {protocol} lacks mono_events_per_sec"))?;
+            Ok((protocol.to_string(), rate))
+        })
+        .collect::<Result<Vec<_>, String>>()?;
+    Ok((calibration, rates))
+}
+
+/// Compares measured per-protocol throughput against the committed
+/// figures at `path`. Returns the list of violations (empty = pass).
+/// Protocols missing from the floor file are reported but not failed,
+/// so adding a protocol does not require regenerating the floor first.
+fn check_floor(
+    timings: &[ProtocolTiming],
+    path: &std::path::Path,
+    scale: Scale,
+    calibration: f64,
+) -> Result<Vec<String>, String> {
+    let (committed_calibration, floor) = load_floor(path, scale)?;
+    // A slower or busier runner lowers every floor proportionally; a
+    // faster one still only has to clear the committed figures.
+    let speed = (calibration / committed_calibration).min(1.0);
+    eprintln!(
+        "perf floor: calibration {:.2}G ops/s vs committed {:.2}G -> floors scaled by {speed:.2}",
+        calibration / 1e9,
+        committed_calibration / 1e9
+    );
+    let mut violations = Vec::new();
+    for t in timings {
+        let Some((_, committed)) = floor.iter().find(|(name, _)| *name == t.protocol) else {
+            eprintln!(
+                "perf floor: {} absent from {}, skipped",
+                t.protocol,
+                path.display()
+            );
+            continue;
+        };
+        let limit = committed * speed * (1.0 - FLOOR_DROP);
+        if t.mono_events_per_sec < limit {
+            violations.push(format!(
+                "{}: {:.2}M events/s is below the floor of {:.2}M (committed {:.2}M - {:.0}%)",
+                t.protocol,
+                t.mono_events_per_sec / 1e6,
+                limit / 1e6,
+                committed / 1e6,
+                FLOOR_DROP * 100.0
+            ));
+        } else {
+            eprintln!(
+                "perf floor: {:>14} ok ({:.2}M >= {:.2}M)",
+                t.protocol,
+                t.mono_events_per_sec / 1e6,
+                limit / 1e6
+            );
+        }
+    }
+    Ok(violations)
 }
 
 fn cell_config(kind: ProtocolKind, scale: Scale) -> SystemConfig {
@@ -121,22 +297,31 @@ fn cell_config(kind: ProtocolKind, scale: Scale) -> SystemConfig {
         .with_seed(seed_for(&format!("bench-run/{kind}")))
 }
 
-/// Minimum wall-clock of `reps` runs of `f`, after one untimed warm-up.
-fn time_min(reps: usize, mut f: impl FnMut() -> RunReport) -> (f64, RunReport) {
-    let mut report = f();
-    let mut min = f64::INFINITY;
-    for _ in 0..reps {
-        let start = Instant::now();
-        report = f();
-        min = min.min(start.elapsed().as_secs_f64());
-    }
-    (min, report)
+/// One timed run of `f`, returning (elapsed seconds, report).
+fn time_once(f: impl FnOnce() -> RunReport) -> (f64, RunReport) {
+    let start = Instant::now();
+    let report = f();
+    (start.elapsed().as_secs_f64(), report)
 }
 
 fn time_protocol(kind: ProtocolKind, scale: Scale, reps: usize) -> ProtocolTiming {
     let sim = Simulation::new(cell_config(kind, scale)).expect("valid config");
-    let (mono_min, mono_report) = time_min(reps, || sim.run_kind(kind).expect("valid system size"));
-    let (dyn_min, dyn_report) = time_min(reps, || sim.run(kind.build(AGENTS).expect("valid size")));
+    let run_mono = || sim.run_kind(kind).expect("valid system size");
+    let run_dyn = || sim.run(kind.build(AGENTS).expect("valid size"));
+    // Untimed warm-up of both paths, then `reps` *interleaved* timing
+    // pairs: alternating mono and dyn inside each rep exposes both paths
+    // to the same slice of machine noise, so the reported speedup ratio
+    // is not an artifact of load drifting between two timing blocks.
+    let (mut mono_report, mut dyn_report) = (run_mono(), run_dyn());
+    let (mut mono_min, mut dyn_min) = (f64::INFINITY, f64::INFINITY);
+    for _ in 0..reps {
+        let (s, r) = time_once(run_mono);
+        mono_min = mono_min.min(s);
+        mono_report = r;
+        let (s, r) = time_once(run_dyn);
+        dyn_min = dyn_min.min(s);
+        dyn_report = r;
+    }
     assert_eq!(
         mono_report.events, dyn_report.events,
         "{kind}: dispatch paths disagree on event count"
@@ -162,10 +347,15 @@ fn main() -> ExitCode {
     let args = match parse_args() {
         Ok(v) => v,
         Err(msg) => {
-            eprintln!("error: {msg}\nusage: bench_run [--out PATH] [--reps N] [--smoke]");
+            eprintln!(
+                "error: {msg}\nusage: bench_run [--out PATH] [--reps N] [--smoke] [--floor PATH]"
+            );
             return ExitCode::FAILURE;
         }
     };
+
+    let calibration = calibrate();
+    eprintln!("calibration: {:.2}G ops/s", calibration / 1e9);
 
     let mut timings = Vec::new();
     for &kind in &PROTOCOLS {
@@ -182,12 +372,34 @@ fn main() -> ExitCode {
         timings.push(t);
     }
 
+    if let Some(path) = &args.floor {
+        match check_floor(&timings, path, args.scale, calibration) {
+            Ok(violations) if violations.is_empty() => {
+                eprintln!(
+                    "perf floor: all protocols within {:.0}% of committed figures",
+                    FLOOR_DROP * 100.0
+                );
+            }
+            Ok(violations) => {
+                for v in &violations {
+                    eprintln!("perf floor VIOLATION: {v}");
+                }
+                return ExitCode::FAILURE;
+            }
+            Err(msg) => {
+                eprintln!("error: {msg}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
     let report = BenchReport {
         bench: "single_cell_by_protocol".to_string(),
         scale: args.scale.to_string(),
         agents: AGENTS,
         load: LOAD,
         reps: args.reps,
+        calibration_ops_per_sec: calibration,
         timings,
     };
     match serde_json::to_string_pretty(&report) {

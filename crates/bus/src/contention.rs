@@ -1,8 +1,6 @@
 //! The distributed maximum-finding settle dynamics.
 
 use core::fmt;
-use core::hash::{Hash, Hasher};
-use std::sync::Mutex;
 
 /// How the arbitration lines resolve contention.
 #[derive(Clone, Copy, Default, PartialEq, Eq, Hash, Debug)]
@@ -72,49 +70,19 @@ pub struct Resolution {
 /// assert_eq!(r.winner_value, 0b1001);
 /// assert!(r.rounds <= 4);
 /// ```
-#[derive(Debug)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 pub struct ParallelContention {
     width: u32,
     discipline: LineDiscipline,
-    /// Reusable per-round pattern buffer: `settle` is the innermost loop of
-    /// every simulated arbitration, and re-allocating one `Vec` per resolve
-    /// dominated its profile. The buffer grows to the competitor count once
-    /// and is reused for every subsequent resolve (zero steady-state heap
-    /// traffic). The `Mutex` keeps `resolve(&self)` — the arbiter is
-    /// logically immutable hardware and must stay `Sync`; the scratch space
-    /// is not part of its identity, and the lock is never contended
-    /// (resolves are serialized by the borrow of the owning system).
-    scratch: Mutex<Vec<u64>>,
 }
 
-/// The scratch buffer is transient (and `Mutex` is not `Clone`): a clone
-/// is a fresh arbiter with the same hardware configuration.
-impl Clone for ParallelContention {
-    fn clone(&self) -> Self {
-        ParallelContention {
-            width: self.width,
-            discipline: self.discipline,
-            scratch: Mutex::new(Vec::new()),
-        }
-    }
-}
-
-/// Identity is the hardware configuration (width, discipline); the scratch
-/// buffer is transient state and excluded.
-impl PartialEq for ParallelContention {
-    fn eq(&self, other: &Self) -> bool {
-        self.width == other.width && self.discipline == other.discipline
-    }
-}
-
-impl Eq for ParallelContention {}
-
-impl Hash for ParallelContention {
-    fn hash<H: Hasher>(&self, state: &mut H) {
-        self.width.hash(state);
-        self.discipline.hash(state);
-    }
-}
+/// The most competitors one resolve can host: every agent of a maximal
+/// 128-agent system applying a pattern at once. Keeping the bound static
+/// lets `settle` hold the per-competitor applied-pattern plane in a stack
+/// array — `settle` is the innermost loop of every simulated arbitration,
+/// and both a per-resolve `Vec` and the `Mutex<Vec>` scratch buffer that
+/// replaced it were measurable there.
+const MAX_COMPETITORS: usize = 128;
 
 impl ParallelContention {
     /// Creates an arbiter with `width` arbitration lines and full-broadcast
@@ -132,7 +100,6 @@ impl ParallelContention {
         ParallelContention {
             width,
             discipline: LineDiscipline::FullBroadcast,
-            scratch: Mutex::new(Vec::new()),
         }
     }
 
@@ -231,29 +198,36 @@ impl ParallelContention {
                 winner_broadcast: true,
             };
         }
-        // Round 0: every competitor applies its full pattern (into the
-        // reusable scratch buffer; see the field comment).
-        let mut applied = self.scratch.lock().expect("scratch lock poisoned");
-        applied.clear();
-        applied.extend_from_slice(competitors);
+        assert!(
+            competitors.len() <= MAX_COMPETITORS,
+            "at most {MAX_COMPETITORS} agents can compete in one arbitration"
+        );
+        // Round 0: every competitor applies its full pattern into the
+        // stack-resident applied plane. Each fixpoint iteration below is a
+        // single pass of word ops over the plane — the recomputed pattern,
+        // an XOR against the previous round for change detection, and the
+        // OR-reduction for the next line state all fuse into one loop.
+        let mut plane = [0u64; MAX_COMPETITORS];
+        let applied = &mut plane[..competitors.len()];
+        applied.copy_from_slice(competitors);
         let mut lines: u64 = applied.iter().fold(0, |acc, &p| acc | p);
         if let Some(t) = trace.as_deref_mut() {
             t.push(lines);
         }
         let mut rounds = 1; // the initial application is one propagation
         loop {
-            let mut changed = false;
+            let mut diff = 0u64;
+            let mut next_lines = 0u64;
             for (pattern, slot) in competitors.iter().zip(applied.iter_mut()) {
                 let next = Self::apply_rule(*pattern, lines);
-                if next != *slot {
-                    *slot = next;
-                    changed = true;
-                }
+                diff |= next ^ *slot;
+                *slot = next;
+                next_lines |= next;
             }
-            if !changed {
+            if diff == 0 {
                 break;
             }
-            lines = applied.iter().fold(0, |acc, &p| acc | p);
+            lines = next_lines;
             if let Some(t) = trace.as_deref_mut() {
                 t.push(lines);
             }

@@ -11,11 +11,8 @@
 //! switches back to FCFS to enjoy the lower waiting-time variance. A 2:1
 //! hysteresis between the two thresholds prevents oscillation.
 
-use core::cmp::Reverse;
-use std::collections::VecDeque;
-
 use busarb_bus::NumberLayout;
-use busarb_types::{AgentId, Error, Priority, Time};
+use busarb_types::{AgentId, AgentSet, Error, Priority, Time};
 
 use crate::arbiter::{check_agent, validate_agents, Arbiter, Grant};
 
@@ -78,13 +75,68 @@ impl AdaptiveConfig {
     }
 }
 
-/// One outstanding request.
-#[derive(Clone, Copy, Debug)]
-struct Entry {
-    agent: AgentId,
-    priority: Priority,
-    counter: u64,
-    seq: u64,
+/// A fixed-capacity ring of booleans packed 64 to a word, tracking how
+/// many are set.
+///
+/// Replaces a `VecDeque<bool>` (one byte per sample plus an O(history)
+/// scan in `tie_fraction`) with a bit plane: push and the running tie
+/// count are O(1), and the whole default 64-sample history lives in one
+/// machine word.
+#[derive(Clone, Debug)]
+struct TieRing {
+    words: Box<[u64]>,
+    capacity: usize,
+    /// Bit position of the oldest sample.
+    start: usize,
+    len: usize,
+    /// Number of `true` samples currently in the ring.
+    trues: usize,
+}
+
+impl TieRing {
+    fn new(capacity: usize) -> Self {
+        TieRing {
+            words: vec![0; capacity.div_ceil(64)].into_boxed_slice(),
+            capacity,
+            start: 0,
+            len: 0,
+            trues: 0,
+        }
+    }
+
+    /// The sample at logical index `i` (0 = oldest).
+    fn bit(&self, i: usize) -> bool {
+        debug_assert!(i < self.len);
+        let mut pos = self.start + i;
+        if pos >= self.capacity {
+            pos -= self.capacity;
+        }
+        (self.words[pos / 64] >> (pos % 64)) & 1 == 1
+    }
+
+    /// Appends a sample, evicting the oldest once at capacity.
+    fn push(&mut self, sample: bool) {
+        if self.len == self.capacity {
+            self.trues -= usize::from(self.bit(0));
+            self.start += 1;
+            if self.start == self.capacity {
+                self.start = 0;
+            }
+            self.len -= 1;
+        }
+        let mut pos = self.start + self.len;
+        if pos >= self.capacity {
+            pos -= self.capacity;
+        }
+        let mask = 1u64 << (pos % 64);
+        if sample {
+            self.words[pos / 64] |= mask;
+        } else {
+            self.words[pos / 64] &= !mask;
+        }
+        self.len += 1;
+        self.trues += usize::from(sample);
+    }
 }
 
 /// An arbiter that adapts between FCFS and round-robin selection based on
@@ -104,18 +156,32 @@ struct Entry {
 /// # Ok(())
 /// # }
 /// ```
+/// As in the FCFS and hybrid arbiters, outstanding requests live in
+/// identity-indexed planes: class membership is a pair of [`AgentSet`]
+/// masks and each waiting-time counter is derived from a global pulse
+/// epoch (the protocol admits one outstanding request per agent, which
+/// makes the derived counter exact).
 #[derive(Clone, Debug)]
 pub struct AdaptiveArbiter {
     n: u32,
     config: AdaptiveConfig,
     layout: NumberLayout,
-    entries: Vec<Entry>,
+    /// Agents with an outstanding ordinary-class request.
+    ordinary: AgentSet,
+    /// Agents with an outstanding urgent-class request.
+    urgent: AgentSet,
+    /// Pulse epoch observed when each agent's request arrived.
+    base: Box<[u64]>,
+    /// Injection sequence number of each agent's request (diagnostics).
+    seq: Box<[u64]>,
+    /// Count of counter-increment pulses since construction.
+    epoch: u64,
     next_seq: u64,
     last_pulse: Option<Time>,
     last_winner: u32,
     mode: AdaptiveMode,
     /// Ring of recent arrivals: `true` = tied with the previous arrival.
-    recent_ties: VecDeque<bool>,
+    recent_ties: TieRing,
     switches: u64,
 }
 
@@ -146,14 +212,25 @@ impl AdaptiveArbiter {
             n,
             config,
             layout,
-            entries: Vec::new(),
+            ordinary: AgentSet::new(),
+            urgent: AgentSet::new(),
+            base: vec![0; n as usize].into_boxed_slice(),
+            seq: vec![0; n as usize].into_boxed_slice(),
+            epoch: 0,
             next_seq: 0,
             last_pulse: None,
             last_winner: n + 1,
             mode: AdaptiveMode::Fcfs,
-            recent_ties: VecDeque::new(),
+            recent_ties: TieRing::new(config.history),
             switches: 0,
         })
+    }
+
+    /// The derived waiting-time counter of an outstanding request: pulses
+    /// since arrival, saturated at the counter-line capacity.
+    #[inline]
+    fn counter_of(&self, agent: AgentId) -> u64 {
+        (self.epoch - self.base[agent.index()]).min(self.layout.counter_max())
     }
 
     /// The policy currently in force.
@@ -171,10 +248,10 @@ impl AdaptiveArbiter {
     /// Fraction of recent arrivals that tied with their predecessor.
     #[must_use]
     pub fn tie_fraction(&self) -> f64 {
-        if self.recent_ties.is_empty() {
+        if self.recent_ties.len == 0 {
             0.0
         } else {
-            self.recent_ties.iter().filter(|&&t| t).count() as f64 / self.recent_ties.len() as f64
+            self.recent_ties.trues as f64 / self.recent_ties.len as f64
         }
     }
 
@@ -187,33 +264,43 @@ impl AdaptiveArbiter {
     /// window, so a past pulse can never merge with a future arrival.
     #[doc(hidden)]
     pub fn verify_signature(&self, out: &mut Vec<u64>) {
-        let mut order: Vec<usize> = (0..self.entries.len()).collect();
-        order.sort_unstable_by_key(|&i| self.entries[i].seq);
-        out.push(self.entries.len() as u64);
-        for i in order {
-            let e = &self.entries[i];
-            out.push(u64::from(e.agent.get()));
-            out.push(u64::from(e.priority.bit()));
-            out.push(e.counter);
+        // Emit outstanding requests in injection order by selection scan
+        // over the membership masks — quadratic in the (tiny) outstanding
+        // count, but free of scratch allocations.
+        let members = self.ordinary.union(self.urgent);
+        out.push(members.len() as u64);
+        let mut last: Option<u64> = None;
+        for _ in 0..members.len() {
+            let next = members
+                .iter()
+                .filter(|a| last.is_none_or(|l| self.seq[a.index()] > l))
+                .min_by_key(|a| self.seq[a.index()])
+                .expect("selection scan visits each member once");
+            out.push(u64::from(next.get()));
+            out.push(u64::from(self.urgent.contains(next) as u32));
+            out.push(self.counter_of(next));
+            last = Some(self.seq[next.index()]);
         }
         out.push(u64::from(self.last_winner));
         out.push(match self.mode {
             AdaptiveMode::Fcfs => 0,
             AdaptiveMode::RoundRobin => 1,
         });
-        out.push(self.recent_ties.len() as u64);
-        for chunk in Vec::from_iter(self.recent_ties.iter().copied()).chunks(64) {
-            out.push(
-                chunk
-                    .iter()
-                    .enumerate()
-                    .fold(0u64, |acc, (i, &t)| acc | (u64::from(t) << i)),
-            );
+        // Tie history oldest-first, re-packed into dense 64-bit chunks
+        // (the ring's physical words rotate, so they are re-based here).
+        out.push(self.recent_ties.len as u64);
+        let mut word = 0u64;
+        for i in 0..self.recent_ties.len {
+            word |= u64::from(self.recent_ties.bit(i)) << (i % 64);
+            if i % 64 == 63 || i + 1 == self.recent_ties.len {
+                out.push(word);
+                word = 0;
+            }
         }
     }
 
     fn update_mode(&mut self) {
-        if self.recent_ties.len() < self.config.history {
+        if self.recent_ties.len < self.config.history {
             return; // not enough evidence yet
         }
         let f = self.tie_fraction();
@@ -246,65 +333,79 @@ impl Arbiter for AdaptiveArbiter {
     fn on_request(&mut self, now: Time, agent: AgentId, priority: Priority) {
         check_agent(agent, self.n);
         assert!(
-            !self.entries.iter().any(|e| e.agent == agent),
+            !self.ordinary.contains(agent) && !self.urgent.contains(agent),
             "agent {agent} already has an outstanding request"
         );
         let tied = self
             .last_pulse
             .is_some_and(|t| now - t <= self.config.tie_window);
         if !tied {
-            let capacity = self.layout.counter_max();
-            for e in &mut self.entries {
-                if e.counter < capacity {
-                    e.counter += 1;
-                }
-            }
+            // One epoch bump stands in for incrementing every outstanding
+            // counter; saturation is applied when the counter is read.
+            self.epoch += 1;
             self.last_pulse = Some(now);
         }
-        self.recent_ties.push_back(tied);
-        while self.recent_ties.len() > self.config.history {
-            self.recent_ties.pop_front();
-        }
+        self.recent_ties.push(tied);
         self.update_mode();
-        self.entries.push(Entry {
-            agent,
-            priority,
-            counter: 0,
-            seq: self.next_seq,
-        });
+        match priority {
+            Priority::Urgent => self.urgent.insert(agent),
+            Priority::Ordinary => self.ordinary.insert(agent),
+        };
+        self.base[agent.index()] = self.epoch;
+        self.seq[agent.index()] = self.next_seq;
         self.next_seq += 1;
     }
 
     fn arbitrate(&mut self, _now: Time) -> Option<Grant> {
-        if self.entries.is_empty() {
+        let (members, priority) = if !self.urgent.is_empty() {
+            (self.urgent, Priority::Urgent)
+        } else if !self.ordinary.is_empty() {
+            (self.ordinary, Priority::Ordinary)
+        } else {
             return None;
-        }
-        let last_winner = self.last_winner;
-        let mode = self.mode;
-        let idx = self
-            .entries
-            .iter()
-            .enumerate()
-            .max_by_key(|(_, e)| {
-                let rr = e.agent.get() < last_winner;
-                match mode {
-                    AdaptiveMode::Fcfs => (e.priority, e.counter, false, e.agent, Reverse(e.seq)),
-                    AdaptiveMode::RoundRobin => (e.priority, 0u64, rr, e.agent, Reverse(e.seq)),
+        };
+        let winner = match self.mode {
+            AdaptiveMode::Fcfs => {
+                // Highest counter, ties to the highest identity: ascending
+                // scan with a non-strict compare.
+                let mut winner = None;
+                let mut best = 0u64;
+                for agent in members {
+                    let counter = self.counter_of(agent);
+                    if winner.is_none() || counter >= best {
+                        winner = Some(agent);
+                        best = counter;
+                    }
                 }
-            })
-            .map(|(i, _)| i)
-            .expect("entries is non-empty");
-        let winner = self.entries.swap_remove(idx);
-        self.last_winner = winner.agent.get();
+                winner.expect("members is non-empty")
+            }
+            AdaptiveMode::RoundRobin => {
+                // The RR scan is a pure mask operation: the highest
+                // identity strictly below the winner register, wrapping to
+                // the top when none is.
+                if self.last_winner <= self.n {
+                    let bound = AgentId::new(self.last_winner).expect("register holds an identity");
+                    members.max_below(bound).or_else(|| members.max())
+                } else {
+                    members.max()
+                }
+                .expect("members is non-empty")
+            }
+        };
+        match priority {
+            Priority::Urgent => self.urgent.remove(winner),
+            Priority::Ordinary => self.ordinary.remove(winner),
+        };
+        self.last_winner = winner.get();
         Some(Grant {
-            agent: winner.agent,
-            priority: winner.priority,
+            agent: winner,
+            priority,
             arbitrations: 1,
         })
     }
 
     fn pending(&self) -> usize {
-        self.entries.len()
+        self.ordinary.len() + self.urgent.len()
     }
 }
 

@@ -3,10 +3,12 @@
 //! The paper's claim for the distributed RR protocol is that it is
 //! "identical to the central round-robin arbiter", and the FCFS protocol
 //! approximates a central FCFS queue. These reference implementations are
-//! written *independently* of the distributed ones — the central RR scans
-//! identities explicitly; the central FCFS keeps an arrival-ordered queue —
-//! so that equality of grant sequences is a meaningful cross-check (see
-//! the `equivalence` property tests).
+//! written *independently* of the distributed ones — the central RR holds a
+//! hardware-style request register and rotates it so the scan is a single
+//! leading-bit pick (where the distributed arbiter masks below a register
+//! value); the central FCFS keeps an arrival-ordered queue — so that
+//! equality of grant sequences is a meaningful cross-check (see the
+//! `equivalence` property tests).
 
 use std::collections::VecDeque;
 
@@ -14,8 +16,8 @@ use busarb_types::{AgentId, Error, Priority, Time};
 
 use crate::arbiter::{check_agent, validate_agents, Arbiter, Grant};
 
-/// A central round-robin arbiter: a pointer register plus an explicit
-/// circular scan.
+/// A central round-robin arbiter: a pointer register plus a request
+/// register, scanned by rotating the register and taking its leading bit.
 ///
 /// # Examples
 ///
@@ -36,8 +38,11 @@ use crate::arbiter::{check_agent, validate_agents, Arbiter, Grant};
 #[derive(Clone, Debug)]
 pub struct CentralRoundRobin {
     n: u32,
-    ordinary: Vec<bool>,
-    urgent: Vec<bool>,
+    /// Request register: bit `a-1` is set while agent `a` has an ordinary
+    /// request pending.
+    ordinary: u128,
+    /// Request register for the urgent class.
+    urgent: u128,
     /// Identity of the most recent winner; the next scan starts just below
     /// it and wraps.
     pointer: u32,
@@ -53,8 +58,8 @@ impl CentralRoundRobin {
         validate_agents(n)?;
         Ok(CentralRoundRobin {
             n,
-            ordinary: vec![false; n as usize],
-            urgent: vec![false; n as usize],
+            ordinary: 0,
+            urgent: 0,
             // Start as if agent N+1 had just been served, so the first
             // scan begins at the top identity N — matching the distributed
             // protocol's initial register value.
@@ -63,37 +68,39 @@ impl CentralRoundRobin {
     }
 
     /// Appends a normalized fingerprint of the arbitration-relevant state
-    /// (request flags and the scan pointer) to `out`.
+    /// (request registers and the scan pointer) to `out`.
     #[doc(hidden)]
     pub fn verify_signature(&self, out: &mut Vec<u64>) {
-        let pack = |flags: &[bool], out: &mut Vec<u64>| {
-            let bits = flags
-                .iter()
-                .enumerate()
-                .filter(|(_, &r)| r)
-                .fold(0u128, |acc, (i, _)| acc | (1 << i));
+        for bits in [self.ordinary, self.urgent] {
             out.push(bits as u64);
             out.push((bits >> 64) as u64);
-        };
-        pack(&self.ordinary, out);
-        pack(&self.urgent, out);
+        }
         out.push(u64::from(self.pointer));
     }
 
     /// Scans `pointer-1, pointer-2, …, 1, N, N-1, …, pointer` and returns
-    /// the first requesting agent in `flags`.
-    fn scan(&self, flags: &[bool]) -> Option<AgentId> {
-        let n = self.n;
-        // Positions in scan order.
-        let start = self.pointer;
-        for offset in 1..=n {
-            // Identity start-offset, wrapping through 1 -> N.
-            let candidate = ((start + n - offset - 1) % n) + 1;
-            if flags[(candidate - 1) as usize] {
-                return Some(AgentId::new(candidate).expect("candidate >= 1"));
-            }
+    /// the first requesting agent in `register`.
+    ///
+    /// The scan is realized as a barrel rotation: aligning the register so
+    /// the pointer agent sits at bit 0 places the scan's first candidate at
+    /// the top bit, so the whole circular walk collapses to one
+    /// leading-bit pick on the rotated word.
+    fn scan(&self, register: u128) -> Option<AgentId> {
+        if register == 0 {
+            return None;
         }
-        None
+        let n = self.n;
+        // `pointer` is in 1..=n+1; both 1 and n+1 start the scan at N.
+        let shift = (self.pointer - 1) % n;
+        let rotated = if shift == 0 {
+            register
+        } else {
+            let mask = if n == 128 { u128::MAX } else { (1 << n) - 1 };
+            ((register >> shift) | (register << (n - shift))) & mask
+        };
+        let top = 127 - rotated.leading_zeros();
+        let winner = (top + shift) % n + 1;
+        Some(AgentId::new(winner).expect("winner >= 1"))
     }
 }
 
@@ -108,26 +115,24 @@ impl Arbiter for CentralRoundRobin {
 
     fn on_request(&mut self, _now: Time, agent: AgentId, priority: Priority) {
         check_agent(agent, self.n);
-        let flags = match priority {
+        let register = match priority {
             Priority::Urgent => &mut self.urgent,
             Priority::Ordinary => &mut self.ordinary,
         };
+        let bit = 1u128 << agent.index();
         assert!(
-            !flags[agent.index()],
+            *register & bit == 0,
             "agent {agent} already has an outstanding request"
         );
-        flags[agent.index()] = true;
+        *register |= bit;
     }
 
     fn arbitrate(&mut self, _now: Time) -> Option<Grant> {
-        if self.urgent.iter().any(|&r| r) {
+        if self.urgent != 0 {
             // Urgent requests ignore the fairness protocol: served in
             // identity order, matching the distributed default.
-            let winner = (1..=self.n)
-                .rev()
-                .find(|&i| self.urgent[(i - 1) as usize])
-                .expect("urgent set non-empty");
-            self.urgent[(winner - 1) as usize] = false;
+            let winner = 128 - self.urgent.leading_zeros();
+            self.urgent &= !(1u128 << (winner - 1));
             self.pointer = winner;
             return Some(Grant {
                 agent: AgentId::new(winner).expect("winner >= 1"),
@@ -135,15 +140,14 @@ impl Arbiter for CentralRoundRobin {
                 arbitrations: 1,
             });
         }
-        let flags = self.ordinary.clone();
-        let winner = self.scan(&flags)?;
-        self.ordinary[winner.index()] = false;
+        let winner = self.scan(self.ordinary)?;
+        self.ordinary &= !(1u128 << winner.index());
         self.pointer = winner.get();
         Some(Grant::ordinary(winner))
     }
 
     fn pending(&self) -> usize {
-        self.ordinary.iter().filter(|&&r| r).count() + self.urgent.iter().filter(|&&r| r).count()
+        (self.ordinary.count_ones() + self.urgent.count_ones()) as usize
     }
 }
 

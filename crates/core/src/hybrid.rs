@@ -1,20 +1,9 @@
 //! The hybrid RR/FCFS protocol sketched in the paper's Section 5.
 
-use core::cmp::Reverse;
-
 use busarb_bus::NumberLayout;
-use busarb_types::{AgentId, Error, Priority, Time};
+use busarb_types::{AgentId, AgentSet, Error, Priority, Time};
 
 use crate::arbiter::{check_agent, validate_agents, Arbiter, Grant};
-
-/// One outstanding request.
-#[derive(Clone, Copy, Debug)]
-struct Entry {
-    agent: AgentId,
-    priority: Priority,
-    counter: u64,
-    seq: u64,
-}
 
 /// A hybrid protocol: **FCFS across arrival windows, round-robin within a
 /// window**.
@@ -49,12 +38,30 @@ struct Entry {
 /// # Ok(())
 /// # }
 /// ```
+/// Agent state lives in identity-indexed planes rather than a `Vec` of
+/// entry structs: class membership is a pair of [`AgentSet`] masks and the
+/// waiting-time counter is *derived* — a global pulse epoch minus the
+/// epoch recorded at arrival, saturated at the line capacity — so an
+/// `a-incr` pulse is one integer bump instead of a walk over every
+/// outstanding entry, and `arbitrate` scans set bits instead of a heap
+/// allocation. The hybrid protocol admits at most one outstanding request
+/// per agent, which is exactly the condition that makes the derived
+/// counter exact (see the FCFS planes for the argument).
 #[derive(Clone, Debug)]
 pub struct HybridRrFcfs {
     n: u32,
     layout: NumberLayout,
     tie_window: Time,
-    entries: Vec<Entry>,
+    /// Agents with an outstanding ordinary-class request.
+    ordinary: AgentSet,
+    /// Agents with an outstanding urgent-class request.
+    urgent: AgentSet,
+    /// Pulse epoch observed when each agent's request arrived.
+    base: Box<[u64]>,
+    /// Injection sequence number of each agent's request (diagnostics).
+    seq: Box<[u64]>,
+    /// Count of `a-incr` pulses since construction.
+    epoch: u64,
     next_seq: u64,
     last_pulse: Option<Time>,
     last_winner: u32,
@@ -93,11 +100,22 @@ impl HybridRrFcfs {
             n,
             layout,
             tie_window,
-            entries: Vec::new(),
+            ordinary: AgentSet::new(),
+            urgent: AgentSet::new(),
+            base: vec![0; n as usize].into_boxed_slice(),
+            seq: vec![0; n as usize].into_boxed_slice(),
+            epoch: 0,
             next_seq: 0,
             last_pulse: None,
             last_winner: n + 1,
         })
+    }
+
+    /// The derived waiting-time counter of an outstanding request: pulses
+    /// since arrival, saturated at the counter-line capacity.
+    #[inline]
+    fn counter_of(&self, agent: AgentId) -> u64 {
+        (self.epoch - self.base[agent.index()]).min(self.layout.counter_max())
     }
 
     /// Current contents of the replicated winner register.
@@ -114,14 +132,22 @@ impl HybridRrFcfs {
     /// pulse can never merge with a future arrival.
     #[doc(hidden)]
     pub fn verify_signature(&self, out: &mut Vec<u64>) {
-        let mut order: Vec<usize> = (0..self.entries.len()).collect();
-        order.sort_unstable_by_key(|&i| self.entries[i].seq);
-        out.push(self.entries.len() as u64);
-        for i in order {
-            let e = &self.entries[i];
-            out.push(u64::from(e.agent.get()));
-            out.push(u64::from(e.priority.bit()));
-            out.push(e.counter);
+        // Emit outstanding requests in injection order by selection scan
+        // over the membership masks — quadratic in the (tiny) outstanding
+        // count, but free of scratch allocations.
+        let members = self.ordinary.union(self.urgent);
+        out.push(members.len() as u64);
+        let mut last: Option<u64> = None;
+        for _ in 0..members.len() {
+            let next = members
+                .iter()
+                .filter(|a| last.is_none_or(|l| self.seq[a.index()] > l))
+                .min_by_key(|a| self.seq[a.index()])
+                .expect("selection scan visits each member once");
+            out.push(u64::from(next.get()));
+            out.push(u64::from(self.urgent.contains(next) as u32));
+            out.push(self.counter_of(next));
+            last = Some(self.seq[next.index()]);
         }
         out.push(u64::from(self.last_winner));
     }
@@ -143,54 +169,60 @@ impl Arbiter for HybridRrFcfs {
     fn on_request(&mut self, now: Time, agent: AgentId, priority: Priority) {
         check_agent(agent, self.n);
         assert!(
-            !self.entries.iter().any(|e| e.agent == agent),
+            !self.ordinary.contains(agent) && !self.urgent.contains(agent),
             "agent {agent} already has an outstanding request"
         );
         let merged = self.last_pulse.is_some_and(|t| now - t <= self.tie_window);
         if !merged {
-            let capacity = self.layout.counter_max();
-            for e in &mut self.entries {
-                if e.counter < capacity {
-                    e.counter += 1;
-                }
-            }
+            // One epoch bump stands in for incrementing every outstanding
+            // counter; saturation is applied when the counter is read.
+            self.epoch += 1;
             self.last_pulse = Some(now);
         }
-        self.entries.push(Entry {
-            agent,
-            priority,
-            counter: 0,
-            seq: self.next_seq,
-        });
+        match priority {
+            Priority::Urgent => self.urgent.insert(agent),
+            Priority::Ordinary => self.ordinary.insert(agent),
+        };
+        self.base[agent.index()] = self.epoch;
+        self.seq[agent.index()] = self.next_seq;
         self.next_seq += 1;
     }
 
     fn arbitrate(&mut self, _now: Time) -> Option<Grant> {
-        if self.entries.is_empty() {
+        let (members, priority) = if !self.urgent.is_empty() {
+            (self.urgent, Priority::Urgent)
+        } else if !self.ordinary.is_empty() {
+            (self.ordinary, Priority::Ordinary)
+        } else {
             return None;
+        };
+        // Composite number compare [counter | rr bit | identity]: ascending
+        // identity scan with a non-strict compare makes the highest agent
+        // win exact (counter, rr) ties, matching the replicated logic.
+        let mut winner = None;
+        let mut best = (0u64, false);
+        for agent in members {
+            let key = (self.counter_of(agent), agent.get() < self.last_winner);
+            if winner.is_none() || key >= best {
+                winner = Some(agent);
+                best = key;
+            }
         }
-        let last_winner = self.last_winner;
-        let idx = self
-            .entries
-            .iter()
-            .enumerate()
-            .max_by_key(|(_, e)| {
-                let rr = e.agent.get() < last_winner;
-                (e.priority, e.counter, rr, e.agent, Reverse(e.seq))
-            })
-            .map(|(i, _)| i)
-            .expect("entries is non-empty");
-        let winner = self.entries.swap_remove(idx);
-        self.last_winner = winner.agent.get();
+        let winner = winner.expect("members is non-empty");
+        match priority {
+            Priority::Urgent => self.urgent.remove(winner),
+            Priority::Ordinary => self.ordinary.remove(winner),
+        };
+        self.last_winner = winner.get();
         Some(Grant {
-            agent: winner.agent,
-            priority: winner.priority,
+            agent: winner,
+            priority,
             arbitrations: 1,
         })
     }
 
     fn pending(&self) -> usize {
-        self.entries.len()
+        self.ordinary.len() + self.urgent.len()
     }
 }
 

@@ -32,13 +32,6 @@ use busarb_types::{AgentId, AgentSet, Error, Priority, Time};
 
 use crate::arbiter::{check_agent, validate_agents, Arbiter, Grant};
 
-/// One ticketed request.
-#[derive(Clone, Copy, Debug)]
-struct TicketedRequest {
-    agent: AgentId,
-    ticket: u64,
-}
-
 /// The \[ShAh81\] ticket arbiter.
 ///
 /// Urgent requests bypass the ticket machinery entirely (priority bit,
@@ -69,7 +62,11 @@ pub struct TicketFcfs {
     next_ticket: u64,
     /// The ticket value the service counter currently displays.
     serving: u64,
-    queue: Vec<TicketedRequest>,
+    /// Agents currently holding an ordinary-class ticket.
+    holders: AgentSet,
+    /// The ticket each holder drew, indexed by agent identity. Slots of
+    /// agents outside `holders` are stale.
+    tickets: Box<[u64]>,
     urgent: AgentSet,
     dispenser_grants: u64,
 }
@@ -106,7 +103,8 @@ impl TicketFcfs {
             ticket_bits,
             next_ticket: 0,
             serving: 0,
-            queue: Vec::new(),
+            holders: AgentSet::new(),
+            tickets: vec![0; n as usize].into_boxed_slice(),
             urgent: AgentSet::new(),
             dispenser_grants: 0,
         })
@@ -133,23 +131,27 @@ impl TicketFcfs {
     /// Appends a normalized fingerprint of the arbitration-relevant state
     /// to `out`. Ticket values are encoded relative to the service counter
     /// (the dispenser pair only ever compares modulo the ticket space) and
-    /// queue entries are sorted — `swap_remove` permutes the queue without
-    /// changing behavior. The dispenser-grant statistic is excluded.
+    /// holders are emitted sorted by `(relative ticket, identity)` via an
+    /// allocation-free selection scan. The dispenser-grant statistic is
+    /// excluded.
     #[doc(hidden)]
     pub fn verify_signature(&self, out: &mut Vec<u64>) {
         let space = self.ticket_space();
         let delta = |ticket: u64| (ticket + space - self.serving) % space;
-        let mut entries: Vec<(u64, u32)> = self
-            .queue
-            .iter()
-            .map(|r| (delta(r.ticket), r.agent.get()))
-            .collect();
-        entries.sort_unstable();
         out.push(delta(self.next_ticket));
-        out.push(entries.len() as u64);
-        for (d, agent) in entries {
+        out.push(self.holders.len() as u64);
+        let mut last: Option<(u64, u32)> = None;
+        for _ in 0..self.holders.len() {
+            let (d, agent) = self
+                .holders
+                .iter()
+                .map(|a| (delta(self.tickets[a.index()]), a.get()))
+                .filter(|&key| last.is_none_or(|l| key > l))
+                .min()
+                .expect("selection scan visits each holder once");
             out.push(d);
             out.push(u64::from(agent));
+            last = Some((d, agent));
         }
         busarb_types::fingerprint::push_set(out, self.urgent);
     }
@@ -157,10 +159,9 @@ impl TicketFcfs {
     /// The ticket held by an agent's request, if it holds one.
     #[must_use]
     pub fn ticket_of(&self, agent: AgentId) -> Option<u64> {
-        self.queue
-            .iter()
-            .find(|r| r.agent == agent)
-            .map(|r| r.ticket)
+        self.holders
+            .contains(agent)
+            .then(|| self.tickets[agent.index()])
     }
 }
 
@@ -187,14 +188,13 @@ impl Arbiter for TicketFcfs {
             return;
         }
         assert!(
-            !self.queue.iter().any(|r| r.agent == agent),
+            self.holders.insert(agent),
             "agent {agent} already has an outstanding request"
         );
         // Draw a ticket. Each draw is a serialized dispenser interaction.
-        let ticket = self.next_ticket;
+        self.tickets[agent.index()] = self.next_ticket;
         self.next_ticket = (self.next_ticket + 1) % self.ticket_space();
         self.dispenser_grants += 1;
-        self.queue.push(TicketedRequest { agent, ticket });
     }
 
     fn arbitrate(&mut self, _now: Time) -> Option<Grant> {
@@ -206,33 +206,30 @@ impl Arbiter for TicketFcfs {
                 arbitrations: 1,
             });
         }
-        if self.queue.is_empty() {
+        if self.holders.is_empty() {
             // An idle dispenser/counter pair resynchronizes.
             self.serving = self.next_ticket;
             return None;
         }
         // Agents whose ticket matches the displayed service counter
         // compete; a collision (ticket aliasing) resolves by the parallel
-        // contention lines, i.e. by static identity.
-        let winner = self
-            .queue
-            .iter()
-            .filter(|r| r.ticket == self.serving)
-            .map(|r| r.agent)
-            .max()
+        // contention lines, i.e. by static identity. The ascending scan's
+        // last match is exactly that highest identity.
+        let mut winner = None;
+        for agent in self.holders {
+            if self.tickets[agent.index()] == self.serving {
+                winner = Some(agent);
+            }
+        }
+        let winner = winner
             .expect("the oldest outstanding ordinary ticket always equals the service counter");
-        let idx = self
-            .queue
-            .iter()
-            .position(|r| r.agent == winner)
-            .expect("winner is queued");
-        self.queue.swap_remove(idx);
+        self.holders.remove(winner);
         self.serving = (self.serving + 1) % self.ticket_space();
         Some(Grant::ordinary(winner))
     }
 
     fn pending(&self) -> usize {
-        self.queue.len() + self.urgent.len()
+        self.holders.len() + self.urgent.len()
     }
 }
 

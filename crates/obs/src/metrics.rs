@@ -141,6 +141,11 @@ impl Default for LogHistogram {
 #[derive(Clone, Debug)]
 pub struct WindowedRate {
     window: f64,
+    /// `1.0 / window` when that scaling is exact — i.e. `window` is a
+    /// power of two, like the default [`RATE_WINDOW`] — so `record` can
+    /// multiply instead of divide. `0.0` marks an inexact reciprocal, in
+    /// which case `record` keeps the division.
+    inv_window: f64,
     current_index: u64,
     current_count: u64,
     closed_windows: u64,
@@ -159,8 +164,18 @@ impl WindowedRate {
     #[must_use]
     pub fn with_window(window: f64) -> Self {
         assert!(window > 0.0, "rate window must be positive");
+        // Division by a power of two and multiplication by its reciprocal
+        // are the same exact scaling, so the fast path cannot change any
+        // window index.
+        let is_pow2 = window.to_bits() & ((1u64 << 52) - 1) == 0;
+        let inv_window = window.recip();
         WindowedRate {
             window,
+            inv_window: if is_pow2 && inv_window.is_normal() {
+                inv_window
+            } else {
+                0.0
+            },
             current_index: 0,
             current_count: 0,
             closed_windows: 0,
@@ -172,7 +187,11 @@ impl WindowedRate {
     /// Records one occurrence at simulated time `t`.
     #[inline]
     pub fn record(&mut self, t: f64) {
-        let index = (t / self.window) as u64;
+        let index = if self.inv_window > 0.0 {
+            (t * self.inv_window) as u64
+        } else {
+            (t / self.window) as u64
+        };
         if index > self.current_index {
             self.closed_windows += index - self.current_index;
             self.closed_count += self.current_count;

@@ -5,17 +5,23 @@
 //! (an agent's next arrival is scheduled only when its previous one has
 //! been consumed), at most one [`Event::ArbitrationComplete`] (arbitration
 //! is exclusive on the lines), and at most one [`Event::TransactionEnd`]
-//! (the bus carries one transaction at a time). [`EventQueue`] exploits
-//! that bound with a **fixed-slot calendar** — one optional timestamp per
-//! agent plus two singleton slots — popping by indexed minimum instead of
-//! maintaining a general-purpose heap. An occupancy bitmask keeps the
-//! minimum scan proportional to the number of *pending* arrivals, not the
-//! agent count: away from light load most agents are blocked waiting for
-//! the bus with no arrival scheduled, so the scan typically touches only
-//! a handful of slots. The legacy `BinaryHeap`
-//! implementation is retained as `HeapEventQueue` (test builds and the
-//! `queue-ref` feature only) and serves as the reference oracle for the
-//! equivalence property tests below.
+//! (the bus carries one transaction at a time). [`CalendarQueue`] exploits
+//! that bound with a **fixed-slot calendar** — one slot per agent plus two
+//! singleton slots — popping by indexed minimum instead of maintaining a
+//! general-purpose heap.
+//!
+//! The calendar is stored as struct-of-arrays planes, monomorphized over
+//! the occupancy width `W` (in 64-slot words, so `CalendarQueue<1>` covers
+//! 64 agents and `CalendarQueue<2>` the full 128-agent ceiling): an
+//! occupancy word per 64 slots, a packed `u128` **ordering-key plane**
+//! (monotone time key in the high half, insertion sequence in the low
+//! half), and a verbatim [`Time`] plane for returning exact timestamps.
+//! The minimum scan walks set occupancy bits and compares one `u128` per
+//! pending arrival — no `Option` unwrapping, no three-way lexicographic
+//! branching — so its cost tracks the pending-arrival count with a
+//! branch-predictable running-minimum loop. The legacy `BinaryHeap`
+//! implementation is retained as [`HeapEventQueue`] and serves as the
+//! reference oracle for the equivalence property tests below.
 
 use busarb_types::{AgentId, Time};
 
@@ -40,9 +46,8 @@ pub enum Event {
 
 impl Event {
     /// Tie-break rank at equal timestamps (lower runs first). The calendar
-    /// encodes these ranks positionally in `EventQueue::min_entry`; only
+    /// encodes these ranks positionally in `CalendarQueue::pick`; only
     /// the reference heap consults this method.
-    #[cfg(any(test, feature = "queue-ref"))]
     fn rank(&self) -> u8 {
         match self {
             Event::ArbitrationComplete => 0,
@@ -52,16 +57,47 @@ impl Event {
     }
 }
 
-/// One occupied calendar slot: when the event fires, and the insertion
-/// sequence number that breaks ties among equal-timestamp arrivals.
-type Slot = Option<(Time, u64)>;
+/// Monotone order-preserving map from a finite timestamp to a `u64` key:
+/// `a < b ⇔ key(a) < key(b)` and `a == b ⇔ key(a) == key(b)`.
+///
+/// The IEEE-754 bit pattern of a non-negative float already orders like
+/// its value; setting the top bit lifts it above every negative value,
+/// whose bits are complemented to reverse their order. Adding `+0.0`
+/// first collapses `-0.0` onto `+0.0` (an exponential sample can be
+/// `-0.0` when the uniform draw is exactly zero) so the two compare
+/// *equal*, exactly as `Time`'s total order treats them. Every finite
+/// input maps strictly below `u64::MAX`, which is therefore free to mean
+/// "empty slot".
+#[inline]
+fn time_key(t: Time) -> u64 {
+    let bits = (t.as_f64() + 0.0).to_bits();
+    if bits >> 63 == 1 {
+        !bits
+    } else {
+        bits | (1 << 63)
+    }
+}
 
-/// A deterministic future-event list, stored as a fixed-slot calendar.
+/// An occupied singleton slot: the verbatim timestamp, the insertion
+/// sequence number, and the precomputed monotone time key.
+type Single = Option<(Time, u64, u64)>;
+
+/// Which calendar slot holds the earliest event (internal scan result).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum Pick {
+    Empty,
+    Completion,
+    End,
+    Arrival(usize),
+}
+
+/// A deterministic future-event list, stored as fixed struct-of-arrays
+/// calendar planes over `W * 64` agent slots.
 ///
 /// Events pop in timestamp order; ties resolve by event kind (see
 /// [`Event`]) and then by insertion order, so identically seeded runs
 /// replay identically — the pop order is bit-for-bit the order the legacy
-/// heap implementation (`HeapEventQueue`) produces.
+/// heap implementation ([`HeapEventQueue`]) produces.
 ///
 /// Because each slot holds at most one event, scheduling a second
 /// `ArbitrationComplete`, a second `TransactionEnd`, or a second arrival
@@ -84,29 +120,48 @@ type Slot = Option<(Time, u64)>;
 /// # Ok(())
 /// # }
 /// ```
-#[derive(Debug, Default)]
-pub struct EventQueue {
+#[derive(Debug)]
+pub struct CalendarQueue<const W: usize> {
     /// Singleton slot for the in-flight arbitration's completion.
-    completion: Slot,
+    completion: Single,
     /// Singleton slot for the current transaction's end.
-    end: Slot,
-    /// One slot per agent (indexed by `AgentId::index()`), grown on first
-    /// use; the simulator schedules at most one pending arrival per agent.
-    arrivals: Vec<Slot>,
-    /// Occupancy bitmask over `arrivals`, in 64-slot words: bit
-    /// `idx % 64` of word `idx / 64` is set iff `arrivals[idx]` is
-    /// `Some`. The minimum scan walks set bits only, so its cost tracks
-    /// the pending-arrival count rather than the agent count.
-    occupied: Vec<u64>,
+    end: Single,
+    /// Packed ordering keys, one per agent slot (indexed by
+    /// `AgentId::index()`, in 64-slot words): monotone time key in the
+    /// high 64 bits, insertion sequence in the low 64, so one `u128`
+    /// compare realizes the full `(time, seq)` arrival order. Empty slots
+    /// hold `u128::MAX`, which no occupied slot can reach.
+    keys: [[u128; 64]; W],
+    /// Verbatim timestamps, parallel to `keys` — popped events return the
+    /// exact `Time` that was scheduled (the key plane normalizes `-0.0`
+    /// and is not inverted back).
+    times: [[Time; 64]; W],
+    /// Occupancy bitmask over the agent slots: bit `idx % 64` of word
+    /// `idx / 64` is set iff slot `idx` is occupied. The minimum scan
+    /// walks set bits only, so its cost tracks the pending-arrival count
+    /// rather than the agent count.
+    occupied: [u64; W],
     next_seq: u64,
     len: usize,
 }
 
-impl EventQueue {
+/// The default-width calendar: two occupancy words, covering the
+/// workspace-wide 128-agent ceiling.
+pub type EventQueue = CalendarQueue<2>;
+
+impl<const W: usize> CalendarQueue<W> {
     /// Creates an empty queue.
     #[must_use]
     pub fn new() -> Self {
-        EventQueue::default()
+        CalendarQueue {
+            completion: None,
+            end: None,
+            keys: [[u128::MAX; 64]; W],
+            times: [[Time::ZERO; 64]; W],
+            occupied: [0; W],
+            next_seq: 0,
+            len: 0,
+        }
     }
 
     /// Schedules `event` at absolute time `at`.
@@ -115,79 +170,124 @@ impl EventQueue {
     ///
     /// Panics if the event's calendar slot is already occupied (two
     /// pending arrivals for one agent, or a second pending singleton
-    /// event) — the simulator never does this; see the type docs.
+    /// event) — the simulator never does this; see the type docs — or if
+    /// an arrival's agent identity exceeds the `W * 64` slots this width
+    /// covers.
     pub fn schedule(&mut self, at: Time, event: Event) {
         let seq = self.next_seq;
         self.next_seq += 1;
-        let slot = match event {
-            Event::ArbitrationComplete => &mut self.completion,
-            Event::TransactionEnd => &mut self.end,
+        let key = time_key(at);
+        match event {
+            Event::ArbitrationComplete => {
+                assert!(
+                    self.completion.is_none(),
+                    "calendar slot for {event:?} already occupied"
+                );
+                self.completion = Some((at, seq, key));
+            }
+            Event::TransactionEnd => {
+                assert!(
+                    self.end.is_none(),
+                    "calendar slot for {event:?} already occupied"
+                );
+                self.end = Some((at, seq, key));
+            }
             Event::RequestArrival(agent) => {
                 let idx = agent.index();
-                if idx >= self.arrivals.len() {
-                    self.arrivals.resize(idx + 1, None);
-                    self.occupied.resize(self.arrivals.len().div_ceil(64), 0);
-                }
-                self.occupied[idx / 64] |= 1 << (idx % 64);
-                &mut self.arrivals[idx]
+                assert!(
+                    idx < 64 * W,
+                    "agent {} exceeds the {} slots of this calendar width",
+                    agent.get(),
+                    64 * W
+                );
+                let (w, bit) = (idx / 64, 1u64 << (idx % 64));
+                assert!(
+                    self.occupied[w] & bit == 0,
+                    "calendar slot for {event:?} already occupied"
+                );
+                self.occupied[w] |= bit;
+                self.keys[w][idx % 64] = (u128::from(key) << 64) | u128::from(seq);
+                self.times[w][idx % 64] = at;
             }
-        };
-        assert!(
-            slot.is_none(),
-            "calendar slot for {event:?} already occupied"
-        );
-        *slot = Some((at, seq));
+        }
         self.len += 1;
     }
 
-    /// The earliest pending event as `(time, tie-break rank, seq, event)`,
-    /// by scanning the two singleton slots and the *occupied* arrival
-    /// slots (walking set bits of the occupancy mask).
-    fn min_entry(&self) -> Option<(Time, u8, u64, Event)> {
-        let mut best: Option<(Time, u8, u64, Event)> = None;
-        if let Some((t, seq)) = self.completion {
-            best = Some((t, 0, seq, Event::ArbitrationComplete));
+    /// Locates the earliest pending event: fold the two singleton slots by
+    /// `(time key, rank)` — completion outranks end at equal times — then
+    /// running-minimum the packed keys of the occupied arrival slots. An
+    /// arrival preempts the best singleton only when its time key is
+    /// *strictly* smaller (arrivals carry the highest tie-break rank).
+    fn pick(&self) -> Pick {
+        let mut single_key = u64::MAX;
+        let mut single = Pick::Empty;
+        if let Some((_, _, key)) = self.completion {
+            single_key = key;
+            single = Pick::Completion;
         }
-        if let Some((t, seq)) = self.end {
-            if best.is_none_or(|(bt, br, bs, _)| (t, 1, seq) < (bt, br, bs)) {
-                best = Some((t, 1, seq, Event::TransactionEnd));
+        if let Some((_, _, key)) = self.end {
+            if key < single_key {
+                single_key = key;
+                single = Pick::End;
             }
         }
-        for (word_idx, &word) in self.occupied.iter().enumerate() {
-            let mut word = word;
-            while word != 0 {
-                let idx = word_idx * 64 + word.trailing_zeros() as usize;
-                word &= word - 1;
-                let (t, seq) = self.arrivals[idx].expect("occupancy bit set for an empty slot");
-                if best.is_none_or(|(bt, br, bs, _)| (t, 2, seq) < (bt, br, bs)) {
-                    let agent = AgentId::new(idx as u32 + 1).expect("slot index + 1 is nonzero");
-                    best = Some((t, 2, seq, Event::RequestArrival(agent)));
+        let mut best_key = u128::MAX;
+        let mut best_idx = usize::MAX;
+        for w in 0..W {
+            let mut bits = self.occupied[w];
+            while bits != 0 {
+                let i = bits.trailing_zeros() as usize;
+                bits &= bits - 1;
+                let key = self.keys[w][i];
+                if key < best_key {
+                    best_key = key;
+                    best_idx = w * 64 + i;
                 }
             }
         }
-        best
+        // `single_key == u64::MAX` ⇔ no singleton pending, and a real
+        // arrival's time key is strictly below `u64::MAX`, so this one
+        // comparison also resolves the "arrivals only" case.
+        if best_idx != usize::MAX && ((best_key >> 64) as u64) < single_key {
+            Pick::Arrival(best_idx)
+        } else {
+            single
+        }
     }
 
     /// Pops the earliest event.
     pub fn pop(&mut self) -> Option<(Time, Event)> {
-        let (t, _, _, event) = self.min_entry()?;
-        match event {
-            Event::ArbitrationComplete => self.completion = None,
-            Event::TransactionEnd => self.end = None,
-            Event::RequestArrival(agent) => {
-                let idx = agent.index();
-                self.arrivals[idx] = None;
-                self.occupied[idx / 64] &= !(1 << (idx % 64));
+        let popped = match self.pick() {
+            Pick::Empty => return None,
+            Pick::Completion => {
+                let (t, _, _) = self.completion.take().expect("picked slot is occupied");
+                (t, Event::ArbitrationComplete)
             }
-        }
+            Pick::End => {
+                let (t, _, _) = self.end.take().expect("picked slot is occupied");
+                (t, Event::TransactionEnd)
+            }
+            Pick::Arrival(idx) => {
+                let (w, i) = (idx / 64, idx % 64);
+                self.occupied[w] &= !(1u64 << i);
+                self.keys[w][i] = u128::MAX;
+                let agent = AgentId::new(idx as u32 + 1).expect("slot index + 1 is nonzero");
+                (self.times[w][i], Event::RequestArrival(agent))
+            }
+        };
         self.len -= 1;
-        Some((t, event))
+        Some(popped)
     }
 
     /// Timestamp of the earliest pending event.
     #[must_use]
     pub fn peek_time(&self) -> Option<Time> {
-        self.min_entry().map(|(t, _, _, _)| t)
+        match self.pick() {
+            Pick::Empty => None,
+            Pick::Completion => self.completion.map(|(t, _, _)| t),
+            Pick::End => self.end.map(|(t, _, _)| t),
+            Pick::Arrival(idx) => Some(self.times[idx / 64][idx % 64]),
+        }
     }
 
     /// Number of pending events.
@@ -203,12 +303,18 @@ impl EventQueue {
     }
 }
 
+impl<const W: usize> Default for CalendarQueue<W> {
+    fn default() -> Self {
+        CalendarQueue::new()
+    }
+}
+
 /// The pre-calendar `BinaryHeap` event queue, kept as the reference
-/// implementation the slot calendar is property-tested against (and for
-/// ad-hoc A/B timing with `--features queue-ref`). Same pop order,
-/// bit-for-bit; unlike [`EventQueue`] it accepts arbitrarily many pending
-/// events of each kind.
-#[cfg(any(test, feature = "queue-ref"))]
+/// implementation the slot calendar is property-tested against, and as
+/// the queue behind the legacy per-agent runner that oracles the
+/// struct-of-arrays event loop. Same pop order, bit-for-bit; unlike
+/// [`CalendarQueue`] it accepts arbitrarily many pending events of each
+/// kind.
 pub mod reference {
     use std::cmp::Ordering;
     use std::collections::BinaryHeap;
@@ -297,7 +403,6 @@ pub mod reference {
     }
 }
 
-#[cfg(any(test, feature = "queue-ref"))]
 pub use reference::HeapEventQueue;
 
 #[cfg(test)]
@@ -307,6 +412,28 @@ mod tests {
 
     fn id(n: u32) -> AgentId {
         AgentId::new(n).unwrap()
+    }
+
+    #[test]
+    fn time_key_is_monotone_and_collapses_signed_zero() {
+        let samples = [
+            -f64::MAX,
+            -1.5,
+            -f64::MIN_POSITIVE,
+            0.0,
+            f64::MIN_POSITIVE,
+            1.0,
+            1.5,
+            f64::MAX,
+        ];
+        for pair in samples.windows(2) {
+            let (a, b) = (Time::from(pair[0]), Time::from(pair[1]));
+            assert!(time_key(a) < time_key(b), "{a:?} vs {b:?}");
+        }
+        assert_eq!(time_key(Time::from(-0.0)), time_key(Time::from(0.0)));
+        for s in samples {
+            assert!(time_key(Time::from(s)) < u64::MAX);
+        }
     }
 
     #[test]
@@ -365,11 +492,39 @@ mod tests {
     }
 
     #[test]
+    fn narrow_width_covers_agent_64_and_spans_words_at_two() {
+        let mut narrow: CalendarQueue<1> = CalendarQueue::new();
+        narrow.schedule(Time::from(1.0), Event::RequestArrival(id(64)));
+        assert_eq!(narrow.pop().unwrap().1, Event::RequestArrival(id(64)));
+
+        let mut wide: CalendarQueue<2> = CalendarQueue::new();
+        wide.schedule(Time::from(2.0), Event::RequestArrival(id(65)));
+        wide.schedule(Time::from(1.0), Event::RequestArrival(id(128)));
+        assert_eq!(wide.pop().unwrap().1, Event::RequestArrival(id(128)));
+        assert_eq!(wide.pop().unwrap().1, Event::RequestArrival(id(65)));
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds the 64 slots")]
+    fn narrow_width_rejects_agents_beyond_its_slots() {
+        let mut q: CalendarQueue<1> = CalendarQueue::new();
+        q.schedule(Time::from(1.0), Event::RequestArrival(id(65)));
+    }
+
+    #[test]
     #[should_panic(expected = "already occupied")]
     fn double_scheduling_a_slot_panics() {
         let mut q = EventQueue::new();
         q.schedule(Time::from(1.0), Event::RequestArrival(id(3)));
         q.schedule(Time::from(2.0), Event::RequestArrival(id(3)));
+    }
+
+    #[test]
+    #[should_panic(expected = "already occupied")]
+    fn double_scheduling_a_singleton_panics() {
+        let mut q = EventQueue::new();
+        q.schedule(Time::from(1.0), Event::TransactionEnd);
+        q.schedule(Time::from(2.0), Event::TransactionEnd);
     }
 
     /// Shadow occupancy for generating valid calendar traces.
@@ -390,13 +545,56 @@ mod tests {
         }
     }
 
+    /// Drives one interleaved schedule/pop trace against the reference
+    /// heap at an arbitrary calendar width.
+    fn check_against_heap<const W: usize>(ops: &[(bool, u8, u32, u32)]) {
+        let mut calendar: CalendarQueue<W> = CalendarQueue::new();
+        let mut heap = HeapEventQueue::new();
+        let mut busy = Occupancy::default();
+        for &(is_pop, kind, agent, half_ticks) in ops {
+            if is_pop {
+                let got = calendar.pop();
+                prop_assert_eq!(got, heap.pop());
+                if let Some((_, event)) = got {
+                    *busy.slot(event) = false;
+                }
+            } else {
+                let event = match kind {
+                    0 => Event::ArbitrationComplete,
+                    1 => Event::TransactionEnd,
+                    _ => Event::RequestArrival(id(agent)),
+                };
+                // Respect the calendar's one-event-per-slot invariant
+                // (which the simulator upholds by construction).
+                let slot = busy.slot(event);
+                if *slot {
+                    continue;
+                }
+                *slot = true;
+                let at = Time::from(f64::from(half_ticks) * 0.5);
+                calendar.schedule(at, event);
+                heap.schedule(at, event);
+            }
+            prop_assert_eq!(calendar.len(), heap.len());
+            prop_assert_eq!(calendar.peek_time(), heap.peek_time());
+        }
+        // Drain: the full remaining pop sequences must also agree.
+        loop {
+            let (a, b) = (calendar.pop(), heap.pop());
+            prop_assert_eq!(a, b);
+            if a.is_none() {
+                break;
+            }
+        }
+    }
+
     proptest! {
         #![proptest_config(ProptestConfig::with_cases(256))]
 
         /// The calendar pops the identical `(Time, Event)` sequence the
         /// legacy heap pops, for arbitrary interleaved schedule/pop traces
         /// — including equal-timestamp ties (times are quantized to halves
-        /// so collisions are common).
+        /// so collisions are common) — at both monomorphized widths.
         #[test]
         fn calendar_matches_reference_heap(
             ops in prop::collection::vec(
@@ -404,44 +602,8 @@ mod tests {
                 0..120,
             ),
         ) {
-            let mut calendar = EventQueue::new();
-            let mut heap = HeapEventQueue::new();
-            let mut busy = Occupancy::default();
-            for (is_pop, kind, agent, half_ticks) in ops {
-                if is_pop {
-                    let got = calendar.pop();
-                    prop_assert_eq!(got, heap.pop());
-                    if let Some((_, event)) = got {
-                        *busy.slot(event) = false;
-                    }
-                } else {
-                    let event = match kind {
-                        0 => Event::ArbitrationComplete,
-                        1 => Event::TransactionEnd,
-                        _ => Event::RequestArrival(id(agent)),
-                    };
-                    // Respect the calendar's one-event-per-slot invariant
-                    // (which the simulator upholds by construction).
-                    let slot = busy.slot(event);
-                    if *slot {
-                        continue;
-                    }
-                    *slot = true;
-                    let at = Time::from(f64::from(half_ticks) * 0.5);
-                    calendar.schedule(at, event);
-                    heap.schedule(at, event);
-                }
-                prop_assert_eq!(calendar.len(), heap.len());
-                prop_assert_eq!(calendar.peek_time(), heap.peek_time());
-            }
-            // Drain: the full remaining pop sequences must also agree.
-            loop {
-                let (a, b) = (calendar.pop(), heap.pop());
-                prop_assert_eq!(a, b);
-                if a.is_none() {
-                    break;
-                }
-            }
+            check_against_heap::<1>(&ops);
+            check_against_heap::<2>(&ops);
         }
     }
 }

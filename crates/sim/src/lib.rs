@@ -45,15 +45,14 @@
 
 mod config;
 mod event;
+mod legacy;
 mod report;
 mod system;
 mod trace;
 
 pub use busarb_obs::TraceFormat;
 pub use config::{ArbitrationStartRule, OverheadModel, SystemConfig, TraceExportConfig};
-#[cfg(any(test, feature = "queue-ref"))]
-pub use event::HeapEventQueue;
-pub use event::{Event, EventQueue};
+pub use event::{CalendarQueue, Event, EventQueue, HeapEventQueue};
 pub use report::RunReport;
 pub use system::Simulation;
 pub use trace::{Trace, TraceEvent, TraceKind};

@@ -1,27 +1,106 @@
 //! The bus system model.
 
-use std::collections::VecDeque;
-
 use busarb_core::{Arbiter, Grant, ProtocolKind};
 use busarb_obs::{open_file_sink, MetricsRegistry, TraceHeader, TraceSink, TRACE_SCHEMA};
 use busarb_stats::{BatchMeans, BatchTally, Cdf, Summary};
-use busarb_types::{AgentId, Error, Priority, Time, TraceEvent};
+use busarb_types::{AgentId, AgentMask, Error, Priority, Time, TraceEvent};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use crate::config::{ArbitrationStartRule, SystemConfig};
-use crate::event::{Event, EventQueue};
+use crate::event::{CalendarQueue, Event};
+use crate::legacy;
 use crate::report::RunReport;
 use crate::trace::{Trace, TraceKind};
 
-/// Per-agent runtime state.
-#[derive(Clone, Debug)]
-struct AgentState {
-    /// Arrival time and class of outstanding requests, oldest first.
-    outstanding: VecDeque<(Time, Priority)>,
-    /// With multiple outstanding requests: a request generation that found
-    /// the agent at its limit and is waiting for a completion.
-    blocked_issue: bool,
+/// Struct-of-arrays agent state: one *plane* per property instead of one
+/// struct per agent, sized `W` occupancy words wide (64 agents per word,
+/// matching [`CalendarQueue`]).
+///
+/// Each agent owns `cap` ring slots (`cap = max_outstanding`; agent `a`'s
+/// slot `j` lives at flat index `a * cap + j`), so the common
+/// one-outstanding configuration collapses to a flat arrival-time array
+/// plus one urgency bit per agent — no per-agent `VecDeque` headers, no
+/// pointer chasing, and the blocked flags of all agents fit in a single
+/// [`AgentMask`] word per 64 agents. The legacy array-of-structs layout
+/// survives unchanged in [`crate::legacy`] as the equivalence oracle.
+#[derive(Debug)]
+struct AgentPlanes<const W: usize> {
+    /// Outstanding-request capacity per agent (`max_outstanding`).
+    cap: u32,
+    /// Arrival-time plane: `cap` ring slots per agent, oldest at `head`.
+    arrived: Box<[Time]>,
+    /// Urgency plane over the same ring slots: bit `s % 64` of word
+    /// `s / 64` is set iff flat slot `s` holds an urgent request.
+    urgent: Box<[u64]>,
+    /// Ring head (position of the oldest outstanding request) per agent.
+    head: Box<[u32]>,
+    /// Outstanding-request count per agent.
+    len: Box<[u32]>,
+    /// Agents whose think-time expiry found them at the outstanding limit
+    /// and wait for a completion before issuing.
+    blocked: AgentMask<W>,
+}
+
+impl<const W: usize> AgentPlanes<W> {
+    fn new(n: u32, cap: u32) -> Self {
+        let slots = n as usize * cap as usize;
+        AgentPlanes {
+            cap,
+            arrived: vec![Time::ZERO; slots].into_boxed_slice(),
+            urgent: vec![0u64; slots.div_ceil(64).max(1)].into_boxed_slice(),
+            head: vec![0u32; n as usize].into_boxed_slice(),
+            len: vec![0u32; n as usize].into_boxed_slice(),
+            blocked: AgentMask::new(),
+        }
+    }
+
+    /// Number of requests the agent currently has outstanding.
+    #[inline]
+    fn outstanding(&self, agent: AgentId) -> u32 {
+        self.len[agent.index()]
+    }
+
+    /// Appends a request to the agent's ring (wrap by compare-subtract;
+    /// `cap` is a runtime value, so `%` would cost a hardware divide).
+    #[inline]
+    fn push(&mut self, agent: AgentId, at: Time, priority: Priority) {
+        let a = agent.index();
+        let mut pos = self.head[a] + self.len[a];
+        if pos >= self.cap {
+            pos -= self.cap;
+        }
+        let slot = a * self.cap as usize + pos as usize;
+        self.arrived[slot] = at;
+        let (w, bit) = (slot / 64, 1u64 << (slot % 64));
+        match priority {
+            Priority::Urgent => self.urgent[w] |= bit,
+            Priority::Ordinary => self.urgent[w] &= !bit,
+        }
+        self.len[a] += 1;
+    }
+
+    /// Removes and returns the agent's oldest outstanding request.
+    #[inline]
+    fn pop(&mut self, agent: AgentId) -> (Time, Priority) {
+        let a = agent.index();
+        assert!(self.len[a] > 0, "the master had an outstanding request");
+        let pos = self.head[a];
+        let slot = a * self.cap as usize + pos as usize;
+        let mut next = pos + 1;
+        if next >= self.cap {
+            next = 0;
+        }
+        self.head[a] = next;
+        self.len[a] -= 1;
+        let urgent = self.urgent[slot / 64] >> (slot % 64) & 1 != 0;
+        let priority = if urgent {
+            Priority::Urgent
+        } else {
+            Priority::Ordinary
+        };
+        (self.arrived[slot], priority)
+    }
 }
 
 /// A configured simulation, ready to run an arbiter through the paper's
@@ -85,15 +164,42 @@ impl Simulation {
     /// statically dispatched (and inlinable), which is measurably faster
     /// than [`Simulation::run`] on arbitration-dominated runs.
     ///
+    /// The event loop is additionally monomorphized over the calendar
+    /// width: scenarios of up to 64 agents run the one-occupancy-word
+    /// fast path (`W = 1`), larger ones the full two-word width.
+    ///
     /// The report is **bit-for-bit identical** to the dynamic path for the
-    /// same arbiter and configuration — both run the same generic runner.
+    /// same arbiter and configuration — both run the same generic runner —
+    /// and to the legacy per-agent path ([`Simulation::run_legacy`]).
     ///
     /// # Panics
     ///
     /// Panics under the same conditions as [`Simulation::run`].
     #[must_use]
     pub fn run_mono<A: Arbiter>(&self, arbiter: A) -> RunReport {
-        Runner::new(&self.config, arbiter).run()
+        if self.config.scenario.agents() <= 64 {
+            Runner::<A, 1>::new(&self.config, arbiter).run()
+        } else {
+            Runner::<A, 2>::new(&self.config, arbiter).run()
+        }
+    }
+
+    /// Runs the model through the **legacy per-agent event loop** — the
+    /// pre-plane implementation preserved in [`crate::legacy`]: per-agent
+    /// structs with `VecDeque` request queues and the reference
+    /// `BinaryHeap` event queue. It shares no hot-path data structures
+    /// with [`Simulation::run_mono`], yet must produce a bit-for-bit
+    /// identical [`RunReport`] (metrics snapshot included); the
+    /// `soa_equiv` property test enforces exactly that across every
+    /// protocol and start rule. Use it as the oracle in differential
+    /// tests, never for measurement.
+    ///
+    /// # Panics
+    ///
+    /// Panics under the same conditions as [`Simulation::run`].
+    #[must_use]
+    pub fn run_legacy<A: Arbiter>(&self, arbiter: A) -> RunReport {
+        legacy::Runner::new(&self.config, arbiter).run()
     }
 
     /// Builds a default-parameter arbiter of `kind` for the scenario's
@@ -147,13 +253,15 @@ impl Simulation {
 /// The live state of one run, generic over the arbiter so the event loop
 /// monomorphizes (no virtual dispatch inside the hot loop when `A` is a
 /// concrete protocol type; the boxed path instantiates `A = Box<dyn
-/// Arbiter>` and behaves exactly as before).
-struct Runner<'c, A: Arbiter> {
+/// Arbiter>` and behaves exactly as before) and over the calendar width
+/// `W` so queue scans and agent planes compile down to the exact number
+/// of 64-slot words the scenario needs.
+struct Runner<'c, A: Arbiter, const W: usize> {
     config: &'c SystemConfig,
     arbiter: A,
     rng: StdRng,
-    queue: EventQueue,
-    agents: Vec<AgentState>,
+    queue: CalendarQueue<W>,
+    planes: AgentPlanes<W>,
 
     /// Agent currently transferring, if any.
     transferring: Option<AgentId>,
@@ -167,6 +275,10 @@ struct Runner<'c, A: Arbiter> {
     cdf: Option<Cdf>,
     warmup_remaining: usize,
     warmup_end: Time,
+    /// Samples left before the per-agent tally closes its current batch —
+    /// a countdown so the batch boundary costs one decrement per sample
+    /// instead of a 64-bit remainder.
+    batch_countdown: usize,
     last_counted: Time,
     events: u64,
     grants: u64,
@@ -186,7 +298,7 @@ struct Runner<'c, A: Arbiter> {
     urgent_wait: Summary,
 }
 
-impl<'c, A: Arbiter> Runner<'c, A> {
+impl<'c, A: Arbiter, const W: usize> Runner<'c, A, W> {
     fn new(config: &'c SystemConfig, arbiter: A) -> Self {
         let n = config.scenario.agents();
         assert_eq!(
@@ -218,14 +330,8 @@ impl<'c, A: Arbiter> Runner<'c, A> {
             config,
             arbiter,
             rng: StdRng::seed_from_u64(config.seed),
-            queue: EventQueue::new(),
-            agents: vec![
-                AgentState {
-                    outstanding: VecDeque::new(),
-                    blocked_issue: false,
-                };
-                n as usize
-            ],
+            queue: CalendarQueue::new(),
+            planes: AgentPlanes::new(n, config.max_outstanding),
             transferring: None,
             arb_in_flight: None,
             next_master: None,
@@ -234,6 +340,7 @@ impl<'c, A: Arbiter> Runner<'c, A> {
             cdf: config.collect_cdf.then(Cdf::new),
             warmup_remaining: config.warmup_samples,
             warmup_end: Time::ZERO,
+            batch_countdown: config.batches.samples_per_batch,
             last_counted: Time::ZERO,
             events: 0,
             grants: 0,
@@ -313,10 +420,8 @@ impl<'c, A: Arbiter> Runner<'c, A> {
     /// An agent's think time expires: issue a request (or defer at the
     /// outstanding limit).
     fn on_generation(&mut self, t: Time, agent: AgentId) {
-        let limit = self.config.max_outstanding as usize;
-        let state = &mut self.agents[agent.index()];
-        if state.outstanding.len() >= limit {
-            state.blocked_issue = true;
+        if self.planes.outstanding(agent) >= self.config.max_outstanding {
+            self.planes.blocked.insert(agent);
             return;
         }
         self.issue(t, agent);
@@ -336,9 +441,7 @@ impl<'c, A: Arbiter> Runner<'c, A> {
         } else {
             Priority::Ordinary
         };
-        self.agents[agent.index()]
-            .outstanding
-            .push_back((t, priority));
+        self.planes.push(agent, t, priority);
         self.arbiter.on_request(t, agent, priority);
         self.metrics.on_request(self.arbiter.pending() as u32);
         if self.observing {
@@ -419,11 +522,7 @@ impl<'c, A: Arbiter> Runner<'c, A> {
             .transferring
             .take()
             .expect("a transfer was in progress");
-        let state = &mut self.agents[agent.index()];
-        let (arrived, priority) = state
-            .outstanding
-            .pop_front()
-            .expect("the master had an outstanding request");
+        let (arrived, priority) = self.planes.pop(agent);
         let wait = (t - arrived).as_f64();
         self.metrics.on_completion(agent, wait);
         if self.observing {
@@ -435,8 +534,7 @@ impl<'c, A: Arbiter> Runner<'c, A> {
         if self.config.max_outstanding == 1 {
             let next = self.think_time(agent);
             self.queue.schedule(t + next, Event::RequestArrival(agent));
-        } else if self.agents[agent.index()].blocked_issue {
-            self.agents[agent.index()].blocked_issue = false;
+        } else if self.planes.blocked.remove(agent) {
             self.issue(t, agent);
             let next = self.think_time(agent);
             self.queue.schedule(t + next, Event::RequestArrival(agent));
@@ -472,9 +570,10 @@ impl<'c, A: Arbiter> Runner<'c, A> {
             cdf.record(wait);
         }
         self.last_counted = t;
-        let spb = self.config.batches.samples_per_batch;
-        if self.bm.samples_recorded().is_multiple_of(spb) {
+        self.batch_countdown -= 1;
+        if self.batch_countdown == 0 {
             self.tally.close_batch();
+            self.batch_countdown = self.config.batches.samples_per_batch;
         }
     }
 

@@ -285,6 +285,14 @@ impl AgentSet {
     pub fn bits(self) -> u128 {
         self.0
     }
+
+    /// Rebuilds a set from a raw membership bitmask (the inverse of
+    /// [`AgentSet::bits`]). Every `u128` is a valid membership word, so
+    /// this is total.
+    #[must_use]
+    pub fn from_bits(bits: u128) -> AgentSet {
+        AgentSet(bits)
+    }
 }
 
 impl fmt::Debug for AgentSet {

@@ -41,12 +41,14 @@
 mod agent;
 mod error;
 pub mod fingerprint;
+mod plane;
 mod request;
 mod time;
 mod trace;
 
 pub use agent::{AgentId, AgentSet};
 pub use error::Error;
+pub use plane::{AgentMask, MaskIter};
 pub use request::{Priority, Request, RequestTag};
 pub use time::Time;
 pub use trace::{TraceEvent, TraceKind};

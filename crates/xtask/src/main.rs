@@ -46,10 +46,40 @@ const TOKEN_SITES: [(&str, &str); 4] = [
 ];
 
 /// Per-arbitration hot paths that must not allocate.
-const HOT_SITES: [(&str, &[&str]); 12] = [
+const HOT_SITES: [(&str, &[&str]); 18] = [
     (
         "crates/bus/src/contention.rs",
         &["settle", "resolve_inner", "apply_rule"],
+    ),
+    // The slot-calendar event queue (and the legacy heap oracle sharing
+    // these names) runs once per event in the steady state; scheduling
+    // and popping must stay pure word operations.
+    (
+        "crates/sim/src/event.rs",
+        &["schedule", "pop", "pick", "peek_time"],
+    ),
+    // Plane-based arbiters: request intake, the word-parallel winner
+    // scans, and the signature fingerprints all operate on fixed-size
+    // masks and per-agent slot arrays allocated at construction.
+    (
+        "crates/core/src/fcfs.rs",
+        &["arbitrate", "on_request", "verify_signature"],
+    ),
+    (
+        "crates/core/src/hybrid.rs",
+        &["arbitrate", "on_request", "verify_signature"],
+    ),
+    (
+        "crates/core/src/adaptive.rs",
+        &["arbitrate", "on_request", "verify_signature"],
+    ),
+    (
+        "crates/core/src/central.rs",
+        &["arbitrate", "on_request", "scan", "verify_signature"],
+    ),
+    (
+        "crates/core/src/ticket.rs",
+        &["arbitrate", "on_request", "verify_signature"],
     ),
     ("crates/bus/src/signal/rr1.rs", &["arbitrate"]),
     ("crates/bus/src/signal/rr2.rs", &["arbitrate"]),
