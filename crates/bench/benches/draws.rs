@@ -1,0 +1,68 @@
+//! Draw-engine sampling microbenches: the cost of one Erlang k = 100
+//! (CV = 0.1) interrequest draw under the fast engine's batched
+//! Marsaglia–Tsang path versus the reference path's k-fold `ln` loop,
+//! plus the CV = 1 exponential case for scale.
+//!
+//! The k-fold loop is the reference engine's algorithm (an Erlang is the
+//! sum of k exponentials, each `-θ ln u`); the fast engine draws the
+//! same distribution in O(1) per sample. Criterion reports time per
+//! sample, so the speedup here is exactly the per-draw cost ratio that
+//! `bench_run`'s `draw_bound` table measures end-to-end.
+
+use busarb_types::AgentId;
+use busarb_workload::{DrawEngine, FastEngine, InterrequestTime, ReferenceEngine, Scenario};
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+
+const MEAN: f64 = 10.0;
+const DRAWS: u64 = 4096;
+
+fn erlang_scenario(cv: f64) -> Scenario {
+    let dist = InterrequestTime::from_mean_cv(MEAN, cv).expect("valid distribution");
+    assert!(
+        matches!(
+            (cv, &dist),
+            (1.0, InterrequestTime::Exponential { .. })
+                | (_, InterrequestTime::Erlang { shape: 100, .. })
+        ),
+        "unexpected distribution family for cv {cv}: {dist:?}"
+    );
+    Scenario::from_workloads(
+        vec![busarb_workload::AgentWorkload { interrequest: dist }; 2],
+        "draw-bench",
+    )
+    .expect("valid scenario")
+}
+
+fn bench_interrequest_draws(c: &mut Criterion) {
+    let agent = AgentId::new(1).expect("valid identity");
+    let mut group = c.benchmark_group("interrequest_draw");
+    group.throughput(Throughput::Elements(DRAWS));
+    for (name, cv) in [("erlang_k100", 0.1), ("exponential", 1.0)] {
+        let scenario = erlang_scenario(cv);
+        group.bench_function(format!("reference/{name}"), |b| {
+            let mut engine = ReferenceEngine::for_scenario(42, &scenario);
+            b.iter(|| {
+                let mut acc = 0.0;
+                for _ in 0..DRAWS {
+                    acc += engine.think_time(black_box(agent)).as_f64();
+                }
+                black_box(acc)
+            });
+        });
+        group.bench_function(format!("fast/{name}"), |b| {
+            let mut engine = FastEngine::for_scenario(42, &scenario);
+            b.iter(|| {
+                let mut acc = 0.0;
+                for _ in 0..DRAWS {
+                    acc += engine.think_time(black_box(agent)).as_f64();
+                }
+                black_box(acc)
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_interrequest_draws);
+criterion_main!(benches);

@@ -1,18 +1,29 @@
 //! `bench_run` — times one simulation cell per protocol through both
-//! dispatch paths and writes the results to `BENCH_run.json`.
+//! dispatch paths and both draw engines, and writes the results to
+//! `BENCH_run.json`.
 //!
 //! ```text
 //! bench_run [--out PATH] [--reps N] [--smoke] [--floor PATH]
+//!           [--engine reference|fast|both]
 //! ```
 //!
 //! Each protocol runs the same Quick-scale cell (30 agents, load 2.0,
 //! deterministic per-protocol seed) through the monomorphized entry
-//! ([`Simulation::run_kind`]) and the boxed `dyn Arbiter` entry. The JSON
-//! records, per protocol, the event count, minimum wall-clock of `reps`
-//! runs per path, the derived events/sec and ns/arbitration figures, and
-//! the static-over-dynamic dispatch speedup. Both paths produce
-//! bit-for-bit identical reports (pinned by the `dispatch_equivalence`
-//! regression test), so only the timings differ.
+//! ([`Simulation::run_kind`]) and the boxed `dyn Arbiter` entry, once
+//! per selected draw engine. The JSON records, per (protocol, engine),
+//! the event count, minimum wall-clock of `reps` runs per path, the
+//! derived events/sec and ns/arbitration figures, and the
+//! static-over-dynamic dispatch speedup. Both dispatch paths produce
+//! bit-for-bit identical reports within one engine (pinned by the
+//! `dispatch_equivalence` regression test), so only the timings differ.
+//!
+//! When both engines are selected (the default), the report also carries
+//! a `draw_bound` section: the same cell at CV = 0.1 (Erlang k = 100
+//! interrequest times, 100 uniforms per draw on the reference path),
+//! timed under each engine with the fast-over-reference speedup per
+//! protocol. This is the draw-dominated regime the fast engine exists
+//! for; the CV = 1.0 table above is arbitration-dominated and moves far
+//! less.
 //!
 //! `--smoke` drops to the Smoke scale with a single rep — a CI-friendly
 //! end-to-end check that the binary runs, not a measurement.
@@ -48,7 +59,7 @@ use busarb_experiments::common::seed_for;
 use busarb_obs::MetricsSnapshot;
 use busarb_experiments::Scale;
 use busarb_sim::{RunReport, Simulation, SystemConfig};
-use busarb_workload::Scenario;
+use busarb_workload::{DrawEngineKind, Scenario};
 use serde::Serialize;
 
 const AGENTS: u32 = 30;
@@ -87,9 +98,16 @@ const PROTOCOLS: [ProtocolKind; 13] = [
     ProtocolKind::TicketFcfs,
 ];
 
+/// The CV used for the draw-bound comparison cells: 0.1 maps to Erlang
+/// shape k = 100, so every interrequest draw costs the reference engine
+/// one hundred uniforms and a `ln`.
+const DRAW_BOUND_CV: f64 = 0.1;
+
 #[derive(Serialize)]
 struct ProtocolTiming {
     protocol: String,
+    /// Which draw engine produced this row ("reference" or "fast").
+    engine: String,
     events: u64,
     arbitrations: u64,
     mono_min_seconds: f64,
@@ -105,6 +123,19 @@ struct ProtocolTiming {
     metrics: MetricsSnapshot,
 }
 
+/// One protocol's reference-vs-fast comparison in the draw-bound
+/// (CV = 0.1, Erlang k = 100) regime. Monomorphized dispatch only.
+#[derive(Serialize)]
+struct DrawBoundTiming {
+    protocol: String,
+    reference_events: u64,
+    fast_events: u64,
+    reference_events_per_sec: f64,
+    fast_events_per_sec: f64,
+    /// `fast_events_per_sec / reference_events_per_sec`.
+    fast_speedup: f64,
+}
+
 #[derive(Serialize)]
 struct BenchReport {
     bench: String,
@@ -112,10 +143,17 @@ struct BenchReport {
     agents: u32,
     load: f64,
     reps: usize,
+    /// The draw engines this report carries figures for.
+    engines: Vec<String>,
     /// Ops/sec of the frozen [`calibration_kernel`] on this runner —
     /// the machine-speed reference the `--floor` gate scales by.
     calibration_ops_per_sec: f64,
     timings: Vec<ProtocolTiming>,
+    /// CV of the `draw_bound` cells (see [`DRAW_BOUND_CV`]).
+    draw_bound_cv: f64,
+    /// Reference-vs-fast comparison in the draw-dominated regime; empty
+    /// when `--engine` restricts the run to a single engine.
+    draw_bound: Vec<DrawBoundTiming>,
 }
 
 /// Frozen synthetic integer kernel (xor-multiply mixing, the same
@@ -149,6 +187,9 @@ struct Args {
     reps: usize,
     scale: Scale,
     floor: Option<PathBuf>,
+    /// `None` = time both engines (and the draw-bound comparison);
+    /// `Some` restricts the dispatch table to one engine.
+    engine: Option<DrawEngineKind>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -156,6 +197,7 @@ fn parse_args() -> Result<Args, String> {
     let mut reps = 7usize;
     let mut scale = Scale::Quick;
     let mut floor = None;
+    let mut engine = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -172,6 +214,16 @@ fn parse_args() -> Result<Args, String> {
                 reps = 1;
             }
             "--floor" => floor = Some(PathBuf::from(args.next().ok_or("--floor needs a path")?)),
+            "--engine" => {
+                let value = args.next().ok_or("--engine needs a value")?;
+                engine = match value.as_str() {
+                    "both" => None,
+                    other => Some(
+                        DrawEngineKind::parse(other)
+                            .ok_or_else(|| format!("unknown engine '{other}' (reference|fast|both)"))?,
+                    ),
+                };
+            }
             other => return Err(format!("unexpected argument '{other}'")),
         }
     }
@@ -183,16 +235,22 @@ fn parse_args() -> Result<Args, String> {
         reps,
         scale,
         floor,
+        engine,
     })
 }
 
-/// Committed per-protocol events/sec figures pulled out of a
+/// One committed floor entry: `(protocol, engine, mono events/sec)`.
+type FloorRate = (String, String, f64);
+
+/// Committed per-(protocol, engine) events/sec figures pulled out of a
 /// `BENCH_run.json`, after checking the file was recorded at `scale`
 /// (cross-scale throughput is not comparable — see the module docs).
-/// Only `scale`, `timings[].protocol`, and
+/// Only `scale`, `timings[].protocol`, `timings[].engine`, and
 /// `timings[].mono_events_per_sec` are read; every other field
-/// (metrics, derived figures) is ignored.
-fn load_floor(path: &std::path::Path, scale: Scale) -> Result<(f64, Vec<(String, f64)>), String> {
+/// (metrics, derived figures) is ignored. Floor files written before
+/// the engine dimension existed lack the `engine` field; those entries
+/// are treated as reference-engine figures.
+fn load_floor(path: &std::path::Path, scale: Scale) -> Result<(f64, Vec<FloorRate>), String> {
     let text = std::fs::read_to_string(path)
         .map_err(|e| format!("cannot read floor file {}: {e}", path.display()))?;
     let floor = serde_json::from_str(&text)
@@ -228,11 +286,15 @@ fn load_floor(path: &std::path::Path, scale: Scale) -> Result<(f64, Vec<(String,
                 .get("protocol")
                 .and_then(serde::Value::as_str)
                 .ok_or_else(|| "floor timing entry lacks a protocol name".to_string())?;
+            let engine = entry
+                .get("engine")
+                .and_then(serde::Value::as_str)
+                .unwrap_or("reference");
             let rate = entry
                 .get("mono_events_per_sec")
                 .and_then(serde::Value::as_f64)
                 .ok_or_else(|| format!("floor entry {protocol} lacks mono_events_per_sec"))?;
-            Ok((protocol.to_string(), rate))
+            Ok((protocol.to_string(), engine.to_string(), rate))
         })
         .collect::<Result<Vec<_>, String>>()?;
     Ok((calibration, rates))
@@ -259,10 +321,14 @@ fn check_floor(
     );
     let mut violations = Vec::new();
     for t in timings {
-        let Some((_, committed)) = floor.iter().find(|(name, _)| *name == t.protocol) else {
+        let Some((_, _, committed)) = floor
+            .iter()
+            .find(|(name, engine, _)| *name == t.protocol && *engine == t.engine)
+        else {
             eprintln!(
-                "perf floor: {} absent from {}, skipped",
+                "perf floor: {} ({}) absent from {}, skipped",
                 t.protocol,
+                t.engine,
                 path.display()
             );
             continue;
@@ -270,8 +336,9 @@ fn check_floor(
         let limit = committed * speed * (1.0 - FLOOR_DROP);
         if t.mono_events_per_sec < limit {
             violations.push(format!(
-                "{}: {:.2}M events/s is below the floor of {:.2}M (committed {:.2}M - {:.0}%)",
+                "{} ({}): {:.2}M events/s is below the floor of {:.2}M (committed {:.2}M - {:.0}%)",
                 t.protocol,
+                t.engine,
                 t.mono_events_per_sec / 1e6,
                 limit / 1e6,
                 committed / 1e6,
@@ -279,8 +346,9 @@ fn check_floor(
             ));
         } else {
             eprintln!(
-                "perf floor: {:>14} ok ({:.2}M >= {:.2}M)",
+                "perf floor: {:>14} ({:>9}) ok ({:.2}M >= {:.2}M)",
                 t.protocol,
+                t.engine,
                 t.mono_events_per_sec / 1e6,
                 limit / 1e6
             );
@@ -289,12 +357,13 @@ fn check_floor(
     Ok(violations)
 }
 
-fn cell_config(kind: ProtocolKind, scale: Scale) -> SystemConfig {
-    let scenario = Scenario::equal_load(AGENTS, LOAD, 1.0).expect("valid scenario");
+fn cell_config(kind: ProtocolKind, scale: Scale, engine: DrawEngineKind, cv: f64) -> SystemConfig {
+    let scenario = Scenario::equal_load(AGENTS, LOAD, cv).expect("valid scenario");
     SystemConfig::new(scenario)
         .with_batches(scale.batches())
         .with_warmup(scale.warmup())
         .with_seed(seed_for(&format!("bench-run/{kind}")))
+        .with_draw_engine(engine)
 }
 
 /// One timed run of `f`, returning (elapsed seconds, report).
@@ -304,8 +373,13 @@ fn time_once(f: impl FnOnce() -> RunReport) -> (f64, RunReport) {
     (start.elapsed().as_secs_f64(), report)
 }
 
-fn time_protocol(kind: ProtocolKind, scale: Scale, reps: usize) -> ProtocolTiming {
-    let sim = Simulation::new(cell_config(kind, scale)).expect("valid config");
+fn time_protocol(
+    kind: ProtocolKind,
+    scale: Scale,
+    reps: usize,
+    engine: DrawEngineKind,
+) -> ProtocolTiming {
+    let sim = Simulation::new(cell_config(kind, scale, engine, 1.0)).expect("valid config");
     let run_mono = || sim.run_kind(kind).expect("valid system size");
     let run_dyn = || sim.run(kind.build(AGENTS).expect("valid size"));
     // Untimed warm-up of both paths, then `reps` *interleaved* timing
@@ -330,6 +404,7 @@ fn time_protocol(kind: ProtocolKind, scale: Scale, reps: usize) -> ProtocolTimin
     let arbitrations = mono_report.arbitrations;
     ProtocolTiming {
         protocol: kind.to_string(),
+        engine: engine.to_string(),
         events,
         arbitrations,
         mono_min_seconds: mono_min,
@@ -343,12 +418,47 @@ fn time_protocol(kind: ProtocolKind, scale: Scale, reps: usize) -> ProtocolTimin
     }
 }
 
+/// Times the CV = 0.1 (Erlang k = 100) cell under both engines through
+/// the monomorphized path. The two engines draw different interrequest
+/// streams, so event counts differ slightly; each rate uses its own
+/// count. Reference and fast runs interleave inside each rep so both
+/// see the same slice of machine noise.
+fn time_draw_bound(kind: ProtocolKind, scale: Scale, reps: usize) -> DrawBoundTiming {
+    let reference = Simulation::new(cell_config(kind, scale, DrawEngineKind::Reference, DRAW_BOUND_CV))
+        .expect("valid config");
+    let fast = Simulation::new(cell_config(kind, scale, DrawEngineKind::Fast, DRAW_BOUND_CV))
+        .expect("valid config");
+    let run_reference = || reference.run_kind(kind).expect("valid system size");
+    let run_fast = || fast.run_kind(kind).expect("valid system size");
+    let (mut reference_report, mut fast_report) = (run_reference(), run_fast());
+    let (mut reference_min, mut fast_min) = (f64::INFINITY, f64::INFINITY);
+    for _ in 0..reps {
+        let (s, r) = time_once(run_reference);
+        reference_min = reference_min.min(s);
+        reference_report = r;
+        let (s, r) = time_once(run_fast);
+        fast_min = fast_min.min(s);
+        fast_report = r;
+    }
+    let reference_rate = reference_report.events as f64 / reference_min;
+    let fast_rate = fast_report.events as f64 / fast_min;
+    DrawBoundTiming {
+        protocol: kind.to_string(),
+        reference_events: reference_report.events,
+        fast_events: fast_report.events,
+        reference_events_per_sec: reference_rate,
+        fast_events_per_sec: fast_rate,
+        fast_speedup: fast_rate / reference_rate,
+    }
+}
+
 fn main() -> ExitCode {
     let args = match parse_args() {
         Ok(v) => v,
         Err(msg) => {
             eprintln!(
-                "error: {msg}\nusage: bench_run [--out PATH] [--reps N] [--smoke] [--floor PATH]"
+                "error: {msg}\nusage: bench_run [--out PATH] [--reps N] [--smoke] [--floor PATH] \
+                 [--engine reference|fast|both]"
             );
             return ExitCode::FAILURE;
         }
@@ -357,20 +467,47 @@ fn main() -> ExitCode {
     let calibration = calibrate();
     eprintln!("calibration: {:.2}G ops/s", calibration / 1e9);
 
+    let engines: Vec<DrawEngineKind> = match args.engine {
+        Some(one) => vec![one],
+        None => vec![DrawEngineKind::Reference, DrawEngineKind::Fast],
+    };
     let mut timings = Vec::new();
-    for &kind in &PROTOCOLS {
-        let t = time_protocol(kind, args.scale, args.reps);
-        eprintln!(
-            "{:>14}: mono {:.4}s ({:.2}M events/s, {:.0} ns/arb)  dyn {:.4}s  mono/dyn {:.2}x",
-            t.protocol,
-            t.mono_min_seconds,
-            t.mono_events_per_sec / 1e6,
-            t.mono_ns_per_arbitration,
-            t.dyn_min_seconds,
-            t.mono_speedup_vs_dyn
-        );
-        timings.push(t);
+    for &engine in &engines {
+        for &kind in &PROTOCOLS {
+            let t = time_protocol(kind, args.scale, args.reps, engine);
+            eprintln!(
+                "{:>14} ({:>9}): mono {:.4}s ({:.2}M events/s, {:.0} ns/arb)  dyn {:.4}s  mono/dyn {:.2}x",
+                t.protocol,
+                t.engine,
+                t.mono_min_seconds,
+                t.mono_events_per_sec / 1e6,
+                t.mono_ns_per_arbitration,
+                t.dyn_min_seconds,
+                t.mono_speedup_vs_dyn
+            );
+            timings.push(t);
+        }
     }
+
+    let draw_bound: Vec<DrawBoundTiming> = if args.engine.is_none() {
+        PROTOCOLS
+            .iter()
+            .map(|&kind| {
+                let t = time_draw_bound(kind, args.scale, args.reps);
+                eprintln!(
+                    "{:>14} (cv {DRAW_BOUND_CV}): reference {:.2}M events/s  fast {:.2}M  speedup {:.2}x",
+                    t.protocol,
+                    t.reference_events_per_sec / 1e6,
+                    t.fast_events_per_sec / 1e6,
+                    t.fast_speedup
+                );
+                t
+            })
+            .collect()
+    } else {
+        eprintln!("draw-bound comparison skipped (--engine restricts the run to one engine)");
+        Vec::new()
+    };
 
     if let Some(path) = &args.floor {
         match check_floor(&timings, path, args.scale, calibration) {
@@ -399,8 +536,11 @@ fn main() -> ExitCode {
         agents: AGENTS,
         load: LOAD,
         reps: args.reps,
+        engines: engines.iter().map(ToString::to_string).collect(),
         calibration_ops_per_sec: calibration,
         timings,
+        draw_bound_cv: DRAW_BOUND_CV,
+        draw_bound,
     };
     match serde_json::to_string_pretty(&report) {
         Ok(json) => {

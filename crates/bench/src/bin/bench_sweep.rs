@@ -2,7 +2,7 @@
 //! counts and writes the results to `BENCH_sweep.json`.
 //!
 //! ```text
-//! bench_sweep [--out PATH] [--reps N]
+//! bench_sweep [--out PATH] [--reps N] [--engine reference|fast]
 //! ```
 //!
 //! The JSON records, per worker count, the minimum and mean wall-clock of
@@ -23,6 +23,7 @@ use std::time::Instant;
 
 use busarb_experiments::common::{paper_loads, PAPER_SIZES};
 use busarb_experiments::{grid::Grid, run_cells_with, Scale};
+use busarb_workload::DrawEngineKind;
 use serde::Serialize;
 
 #[derive(Serialize)]
@@ -38,6 +39,8 @@ struct WorkerTiming {
 struct BenchReport {
     bench: String,
     scale: String,
+    /// The workload draw engine every timed cell ran under.
+    engine: String,
     cells: usize,
     host_parallelism: usize,
     /// Worker counts not timed because they exceed `host_parallelism`
@@ -47,9 +50,10 @@ struct BenchReport {
     timings: Vec<WorkerTiming>,
 }
 
-fn parse_args() -> Result<(PathBuf, usize), String> {
+fn parse_args() -> Result<(PathBuf, usize, DrawEngineKind), String> {
     let mut out = PathBuf::from("BENCH_sweep.json");
     let mut reps = 3usize;
+    let mut engine = DrawEngineKind::default();
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -61,13 +65,18 @@ fn parse_args() -> Result<(PathBuf, usize), String> {
                     .parse()
                     .map_err(|e| format!("invalid --reps: {e}"))?;
             }
+            "--engine" => {
+                let value = args.next().ok_or("--engine needs a value")?;
+                engine = DrawEngineKind::parse(&value)
+                    .ok_or_else(|| format!("unknown engine '{value}' (reference|fast)"))?;
+            }
             other => return Err(format!("unexpected argument '{other}'")),
         }
     }
     if reps == 0 {
         return Err("--reps must be at least 1".to_string());
     }
-    Ok((out, reps))
+    Ok((out, reps, engine))
 }
 
 fn time_sweep(workers: usize, points: &[(u32, f64)]) -> f64 {
@@ -81,13 +90,17 @@ fn time_sweep(workers: usize, points: &[(u32, f64)]) -> f64 {
 }
 
 fn main() -> ExitCode {
-    let (out, reps) = match parse_args() {
+    let (out, reps, engine) = match parse_args() {
         Ok(v) => v,
         Err(msg) => {
-            eprintln!("error: {msg}\nusage: bench_sweep [--out PATH] [--reps N]");
+            eprintln!(
+                "error: {msg}\nusage: bench_sweep [--out PATH] [--reps N] [--engine reference|fast]"
+            );
             return ExitCode::FAILURE;
         }
     };
+    busarb_experiments::set_engine(engine);
+    eprintln!("engine: {engine}");
     let points: Vec<(u32, f64)> = PAPER_SIZES
         .iter()
         .flat_map(|&n| paper_loads(n).into_iter().map(move |load| (n, load)))
@@ -130,6 +143,7 @@ fn main() -> ExitCode {
     let report = BenchReport {
         bench: "grid_sweep_smoke".to_string(),
         scale: "smoke".to_string(),
+        engine: engine.to_string(),
         cells: points.len(),
         host_parallelism,
         skipped_workers,

@@ -3,8 +3,8 @@
 //!
 //! ```text
 //! repro [--scale paper|quick|smoke] [--json DIR] [--jobs N]
-//!       [--metrics FILE] [--trace FILE] [--trace-format jsonl|binary]
-//!       <command>
+//!       [--engine reference|fast] [--metrics FILE] [--trace FILE]
+//!       [--trace-format jsonl|binary] <command>
 //!
 //! commands:
 //!   table4.1            bandwidth allocation, equal request rates
@@ -31,13 +31,18 @@
 //!   cell                run the pinned traced cell, export its trace,
 //!                       replay the export, and cross-check the aggregates
 //!   inspect FILE        replay an exported trace and print its aggregates
+//!   tolerance [FACTOR]  run Table 4.1 under both draw engines and check
+//!                       the fast means land within FACTOR x the summed
+//!                       confidence halfwidths (default 1.5)
 //!   all                 everything above (shares one simulation grid)
 //! ```
 //!
-//! `--metrics FILE` collects a per-cell metrics snapshot from every
-//! simulation the command runs and writes them (plus a deterministic
-//! tag-sorted merge) as JSON. `--trace FILE` sets the export path used
-//! by the `cell` command.
+//! `--engine reference|fast` selects the workload draw engine for every
+//! simulation the command runs (the `tolerance` command runs both and
+//! ignores the flag). `--metrics FILE` collects a per-cell metrics
+//! snapshot from every simulation the command runs and writes them
+//! (plus a deterministic tag-sorted merge) as JSON. `--trace FILE` sets
+//! the export path used by the `cell` command.
 
 use std::fs;
 use std::path::{Path, PathBuf};
@@ -46,15 +51,18 @@ use std::process::ExitCode;
 use busarb_core::{Arbiter, ProtocolKind};
 use busarb_experiments::{
     ablations, bursty, figure4_1, grid::Grid, observe, priority_study, protocol_slug, scaling,
-    table4_1, table4_2, table4_3, table4_4, table4_5, tails, validation, worst_case_fcfs, Scale,
+    table4_1, table4_2, table4_3, table4_4, table4_5, tails, validation, worst_case_fcfs,
+    EstimateJson, Scale,
 };
 use busarb_obs::TraceFormat;
+use busarb_workload::DrawEngineKind;
 use serde::Serialize;
 
 struct Options {
     scale: Scale,
     json_dir: Option<PathBuf>,
     jobs: usize,
+    engine: DrawEngineKind,
     metrics: Option<PathBuf>,
     trace: Option<PathBuf>,
     trace_format: TraceFormat,
@@ -66,6 +74,7 @@ fn parse_args() -> Result<Options, String> {
     let mut scale = Scale::Paper;
     let mut json_dir = None;
     let mut jobs = 0;
+    let mut engine = DrawEngineKind::default();
     let mut metrics = None;
     let mut trace = None;
     let mut trace_format = TraceFormat::Jsonl;
@@ -78,6 +87,11 @@ fn parse_args() -> Result<Options, String> {
                 let value = args.next().ok_or("--scale needs a value")?;
                 scale = Scale::parse(&value)
                     .ok_or_else(|| format!("unknown scale '{value}' (paper|quick|smoke)"))?;
+            }
+            "--engine" => {
+                let value = args.next().ok_or("--engine needs a value")?;
+                engine = DrawEngineKind::parse(&value)
+                    .ok_or_else(|| format!("unknown engine '{value}' (reference|fast)"))?;
             }
             "--json" => {
                 let value = args.next().ok_or("--json needs a directory")?;
@@ -113,6 +127,7 @@ fn parse_args() -> Result<Options, String> {
         scale,
         json_dir,
         jobs,
+        engine,
         metrics,
         trace,
         trace_format,
@@ -123,14 +138,14 @@ fn parse_args() -> Result<Options, String> {
 
 fn usage() -> &'static str {
     "usage: repro [--scale paper|quick|smoke] [--json DIR] [--jobs N]\n\
-     \u{20}            [--metrics FILE] [--trace FILE] [--trace-format jsonl|binary]\n\
-     \u{20}            <command>\n\
+     \u{20}            [--engine reference|fast] [--metrics FILE] [--trace FILE]\n\
+     \u{20}            [--trace-format jsonl|binary] <command>\n\
      commands: table4.1 table4.2 fig4.1 table4.3 table4.4 table4.5\n\
      \u{20}         ablation.counters ablation.window ablation.rr3\n\
      \u{20}         ablation.start-rule ablation.overhead ablation.width-overhead\n\
      \u{20}         hybrid conservation\n\
      \u{20}         tails bursty worst-case.fcfs priority scaling validate.cis\n\
-     \u{20}         protocols cell inspect all"
+     \u{20}         protocols cell inspect tolerance all"
 }
 
 fn emit<T: Serialize>(opts: &Options, name: &str, value: &T, text: String) {
@@ -159,6 +174,101 @@ fn run_ablation(opts: &Options, result: &ablations::Ablation) {
     emit(opts, &name, result, ablations::format(result));
 }
 
+/// One compared Table 4.1 estimate in the `tolerance` report.
+#[derive(Serialize)]
+struct ToleranceCell {
+    agents: u32,
+    load: f64,
+    column: &'static str,
+    reference: EstimateJson,
+    fast: EstimateJson,
+    distance: f64,
+    budget: f64,
+    pass: bool,
+}
+
+/// The `tolerance` command's JSON output.
+#[derive(Serialize)]
+struct ToleranceReport {
+    factor: f64,
+    cells: Vec<ToleranceCell>,
+    failures: usize,
+}
+
+/// Runs Table 4.1 under both draw engines and checks every estimate the
+/// fast engine produces against the reference run: the means must agree
+/// to within `factor * (halfwidth_ref + halfwidth_fast)`.
+fn tolerance(opts: &Options, factor: f64) -> ExitCode {
+    eprintln!("tolerance: Table 4.1 under the reference engine...");
+    busarb_experiments::set_engine(DrawEngineKind::Reference);
+    let reference = table4_1::run(opts.scale);
+    eprintln!("tolerance: Table 4.1 under the fast engine...");
+    busarb_experiments::set_engine(DrawEngineKind::Fast);
+    let fast = table4_1::run(opts.scale);
+    busarb_experiments::set_engine(opts.engine);
+
+    let mut cells = Vec::new();
+    for (rs, fs) in reference.sections.iter().zip(&fast.sections) {
+        for (rr, fr) in rs.rows.iter().zip(&fs.rows) {
+            let columns = [
+                ("rr", rr.rr, fr.rr),
+                ("fcfs", rr.fcfs, fr.fcfs),
+                ("aap", rr.aap, fr.aap),
+            ];
+            for (column, r, f) in columns {
+                let (Some(r), Some(f)) = (r, f) else { continue };
+                let distance = (f.mean - r.mean).abs();
+                let budget = factor * (r.halfwidth + f.halfwidth);
+                cells.push(ToleranceCell {
+                    agents: rs.agents,
+                    load: rr.load,
+                    column,
+                    reference: r,
+                    fast: f,
+                    distance,
+                    budget,
+                    pass: distance <= budget,
+                });
+            }
+        }
+    }
+    let failures = cells.iter().filter(|c| !c.pass).count();
+
+    let mut text = format!(
+        "Tolerance check: fast vs reference Table 4.1 (factor {factor})\n{:>6} {:>6} {:>6} {:>16} {:>16} {:>10} {:>10}  verdict\n",
+        "agents", "load", "column", "reference", "fast", "|diff|", "budget"
+    );
+    for c in &cells {
+        text.push_str(&format!(
+            "{:>6} {:>6.2} {:>6} {:>16} {:>16} {:>10.4} {:>10.4}  {}\n",
+            c.agents,
+            c.load,
+            c.column,
+            c.reference.to_string(),
+            c.fast.to_string(),
+            c.distance,
+            c.budget,
+            if c.pass { "ok" } else { "FAIL" },
+        ));
+    }
+    text.push_str(&format!(
+        "{} of {} estimates within tolerance",
+        cells.len() - failures,
+        cells.len()
+    ));
+    let report = ToleranceReport {
+        factor,
+        cells,
+        failures,
+    };
+    emit(opts, "tolerance", &report, text);
+    if failures > 0 {
+        eprintln!("error: {failures} estimate(s) outside tolerance");
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}
+
 fn main() -> ExitCode {
     let opts = match parse_args() {
         Ok(o) => o,
@@ -172,6 +282,7 @@ fn main() -> ExitCode {
         }
     };
     busarb_experiments::set_jobs(opts.jobs);
+    busarb_experiments::set_engine(opts.engine);
     if opts.metrics.is_some() {
         busarb_experiments::enable_rollups();
     }
@@ -180,6 +291,7 @@ fn main() -> ExitCode {
         b.total_samples()
     });
     eprintln!("jobs: {}", busarb_experiments::jobs());
+    eprintln!("engine: {}", busarb_experiments::engine());
 
     match opts.command.as_str() {
         "table4.1" => {
@@ -312,6 +424,19 @@ fn main() -> ExitCode {
                 &observe::InspectJson::from(&replayed),
                 observe::format_replay(&replayed),
             );
+        }
+        "tolerance" => {
+            let factor = match opts.argument.as_deref() {
+                None => 1.5,
+                Some(v) => match v.parse::<f64>() {
+                    Ok(f) if f > 0.0 => f,
+                    _ => {
+                        eprintln!("error: invalid tolerance factor '{v}'\n{}", usage());
+                        return ExitCode::FAILURE;
+                    }
+                },
+            };
+            return tolerance(&opts, factor);
         }
         "all" => {
             eprintln!("computing the shared simulation grid...");

@@ -12,6 +12,8 @@
 //!   --cv C             interrequest-time CV in [0, 1] (default 1.0)
 //!   --samples S        samples per batch, 10 batches (default 2000)
 //!   --seed S           PRNG seed (default 1)
+//!   --engine E         workload draw engine: reference | fast
+//!                      (default reference)
 //!   --urgent P         urgent-request probability (default 0)
 //!   --outstanding R    max outstanding requests per agent (default 1)
 //!   --overhead A       arbitration overhead (default 0.5)
@@ -37,7 +39,7 @@ use busarb_core::ProtocolKind;
 use busarb_sim::{RunReport, Simulation, SystemConfig, TraceFormat};
 use busarb_stats::BatchMeansConfig;
 use busarb_types::{AgentId, Time};
-use busarb_workload::{BurstyTrace, Scenario};
+use busarb_workload::{BurstyTrace, DrawEngineKind, Scenario};
 
 #[derive(Clone, Copy, PartialEq, Debug)]
 enum Variant {
@@ -56,6 +58,7 @@ struct Options {
     cv: f64,
     samples: usize,
     seed: u64,
+    engine: DrawEngineKind,
     urgent: f64,
     outstanding: u32,
     overhead: f64,
@@ -77,6 +80,7 @@ impl Default for Options {
             cv: 1.0,
             samples: 2000,
             seed: 1,
+            engine: DrawEngineKind::Reference,
             urgent: 0.0,
             outstanding: 1,
             overhead: 0.5,
@@ -116,6 +120,11 @@ fn parse_args() -> Result<Options, String> {
                 opts.samples = value("--samples")?.parse().map_err(|e| format!("{e}"))?;
             }
             "--seed" => opts.seed = value("--seed")?.parse().map_err(|e| format!("{e}"))?,
+            "--engine" => {
+                let v = value("--engine")?;
+                opts.engine = DrawEngineKind::parse(&v)
+                    .ok_or_else(|| format!("unknown engine '{v}' (reference|fast)"))?;
+            }
             "--urgent" => opts.urgent = value("--urgent")?.parse().map_err(|e| format!("{e}"))?,
             "--outstanding" => {
                 opts.outstanding = value("--outstanding")?
@@ -150,7 +159,8 @@ fn parse_args() -> Result<Options, String> {
 
 fn usage() -> &'static str {
     "usage: simulate [--protocol NAME] [--agents N] [--load X] [--cv C]\n\
-     \u{20}               [--samples S] [--seed S] [--urgent P] [--outstanding R]\n\
+     \u{20}               [--samples S] [--seed S] [--engine reference|fast]\n\
+     \u{20}               [--urgent P] [--outstanding R]\n\
      \u{20}               [--overhead A] [--trace K] [--compare] [--jobs N]\n\
      \u{20}               [--trace-out FILE] [--trace-format jsonl|binary] [--metrics FILE]\n\
      \u{20}               [--boost F | --worst-case-rr | --worst-case-fcfs | --bursty B]\n\
@@ -197,6 +207,7 @@ fn run_one(opts: &Options, kind: ProtocolKind) -> Result<RunReport, String> {
         .with_batches(BatchMeansConfig::quick(opts.samples))
         .with_warmup(opts.samples / 2)
         .with_seed(opts.seed)
+        .with_draw_engine(opts.engine)
         .with_urgent_fraction(opts.urgent)
         .with_max_outstanding(opts.outstanding)
         .with_arbitration_overhead(Time::new(opts.overhead).map_err(|e| e.to_string())?);
@@ -244,8 +255,8 @@ fn main() -> ExitCode {
         return ExitCode::FAILURE;
     }
     println!(
-        "scenario: {} agents, total load {}, cv {}, seed {}, variant {:?}",
-        opts.agents, opts.load, opts.cv, opts.seed, opts.variant
+        "scenario: {} agents, total load {}, cv {}, seed {}, engine {}, variant {:?}",
+        opts.agents, opts.load, opts.cv, opts.seed, opts.engine, opts.variant
     );
     busarb_experiments::set_jobs(opts.jobs);
     let kinds: Vec<ProtocolKind> = if opts.compare {

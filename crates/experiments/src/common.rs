@@ -9,7 +9,7 @@ use busarb_core::{Arbiter, ProtocolKind};
 use busarb_obs::MetricsSnapshot;
 use busarb_sim::{RunReport, Simulation, SystemConfig};
 use busarb_stats::{BatchMeansConfig, Estimate, RatioEstimate};
-use busarb_workload::Scenario;
+use busarb_workload::{DrawEngineKind, Scenario};
 use serde::Serialize;
 
 /// How much simulation effort to spend.
@@ -120,7 +120,8 @@ pub fn run_cell(
     let mut config = SystemConfig::new(scenario)
         .with_batches(scale.batches())
         .with_warmup(scale.warmup())
-        .with_seed(seed_for(tag));
+        .with_seed(seed_for(tag))
+        .with_draw_engine(engine());
     if collect_cdf {
         config = config.with_cdf();
     }
@@ -156,7 +157,8 @@ pub fn run_cell_kind(
     let mut config = SystemConfig::new(scenario)
         .with_batches(scale.batches())
         .with_warmup(scale.warmup())
-        .with_seed(seed_for(tag));
+        .with_seed(seed_for(tag))
+        .with_draw_engine(engine());
     if collect_cdf {
         config = config.with_cdf();
     }
@@ -214,6 +216,34 @@ pub fn merge_rollups(cells: &[(String, MetricsSnapshot)]) -> MetricsSnapshot {
         merged.merge(metrics);
     }
     merged
+}
+
+/// Process-wide draw-engine selection for the experiment layer:
+/// 0 = reference, 1 = fast. A global (like [`JOBS`]) rather than a
+/// parameter because every `run_cell`/`run_cell_kind` call in a sweep
+/// must use the same engine, and threading it through dozens of
+/// experiment signatures would buy nothing.
+static ENGINE: AtomicUsize = AtomicUsize::new(0);
+
+/// Selects the draw engine used by every subsequent [`run_cell`] /
+/// [`run_cell_kind`] call. Called by the `repro` and `simulate` binaries
+/// when `--engine` is given; the default is [`DrawEngineKind::Reference`],
+/// which preserves the golden-fixture byte contract.
+pub fn set_engine(kind: DrawEngineKind) {
+    let v = match kind {
+        DrawEngineKind::Reference => 0,
+        DrawEngineKind::Fast => 1,
+    };
+    ENGINE.store(v, Ordering::Relaxed);
+}
+
+/// The draw engine [`run_cell`] / [`run_cell_kind`] will use.
+#[must_use]
+pub fn engine() -> DrawEngineKind {
+    match ENGINE.load(Ordering::Relaxed) {
+        0 => DrawEngineKind::Reference,
+        _ => DrawEngineKind::Fast,
+    }
 }
 
 /// Configured sweep parallelism: 0 means "auto" (one worker per
@@ -418,6 +448,15 @@ mod tests {
         assert_eq!(jobs(), 3);
         set_jobs(0);
         assert!(jobs() >= 1);
+    }
+
+    #[test]
+    fn engine_setter_round_trips() {
+        assert_eq!(engine(), DrawEngineKind::Reference);
+        set_engine(DrawEngineKind::Fast);
+        assert_eq!(engine(), DrawEngineKind::Fast);
+        set_engine(DrawEngineKind::Reference);
+        assert_eq!(engine(), DrawEngineKind::Reference);
     }
 
     #[test]

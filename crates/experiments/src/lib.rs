@@ -47,6 +47,6 @@ pub mod validation;
 pub mod worst_case_fcfs;
 
 pub use common::{
-    enable_rollups, jobs, merge_rollups, offer_rollup, protocol_slug, run_cells, run_cells_with,
-    set_jobs, take_rollups, EstimateJson, Scale,
+    enable_rollups, engine, jobs, merge_rollups, offer_rollup, protocol_slug, run_cells,
+    run_cells_with, set_engine, set_jobs, take_rollups, EstimateJson, Scale,
 };

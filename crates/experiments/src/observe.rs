@@ -16,7 +16,7 @@ use busarb_sim::{RunReport, Simulation, SystemConfig};
 use busarb_workload::Scenario;
 use serde::Serialize;
 
-use crate::common::{merge_rollups, offer_rollup, seed_for, take_rollups, Scale};
+use crate::common::{engine, merge_rollups, offer_rollup, seed_for, take_rollups, Scale};
 
 /// System size of the pinned observability cell.
 pub const PINNED_AGENTS: u32 = 10;
@@ -43,7 +43,8 @@ pub fn run_pinned(scale: Scale, export: Option<(&Path, TraceFormat)>) -> RunRepo
     let mut config = SystemConfig::new(scenario)
         .with_batches(scale.batches())
         .with_warmup(scale.warmup())
-        .with_seed(seed_for(PINNED_TAG));
+        .with_seed(seed_for(PINNED_TAG))
+        .with_draw_engine(engine());
     if let Some((path, format)) = export {
         config = config.with_trace_export(path, format);
     }

@@ -11,28 +11,35 @@
 
 use busarb_core::ProtocolKind;
 use busarb_experiments::common::{run_cell, run_cell_kind};
-use busarb_experiments::Scale;
-use busarb_workload::Scenario;
+use busarb_experiments::{set_engine, Scale};
+use busarb_workload::{DrawEngineKind, Scenario};
 
+/// Both draw engines, one test function: the engine selector is
+/// process-global, so looping inside a single `#[test]` keeps the two
+/// passes from racing each other under the parallel test harness.
 #[test]
 fn mono_and_dyn_dispatch_produce_identical_reports() {
     let n = 10;
-    for &kind in ProtocolKind::all() {
-        let tag = format!("dispatch-equiv/{kind}");
-        let scenario = || Scenario::equal_load(n, 2.0, 1.0).expect("valid scenario");
-        let dynamic = run_cell(
-            scenario(),
-            kind.build(n).expect("valid size"),
-            Scale::Smoke,
-            &tag,
-            true,
-        );
-        let mono = run_cell_kind(scenario(), kind, Scale::Smoke, &tag, true);
-        assert_eq!(
-            format!("{dynamic:?}"),
-            format!("{mono:?}"),
-            "{kind}: dyn and monomorphized runs diverged"
-        );
-        assert!(dynamic.events > 0, "{kind}: no events simulated");
+    for engine in [DrawEngineKind::Reference, DrawEngineKind::Fast] {
+        set_engine(engine);
+        for &kind in ProtocolKind::all() {
+            let tag = format!("dispatch-equiv/{kind}");
+            let scenario = || Scenario::equal_load(n, 2.0, 1.0).expect("valid scenario");
+            let dynamic = run_cell(
+                scenario(),
+                kind.build(n).expect("valid size"),
+                Scale::Smoke,
+                &tag,
+                true,
+            );
+            let mono = run_cell_kind(scenario(), kind, Scale::Smoke, &tag, true);
+            assert_eq!(
+                format!("{dynamic:?}"),
+                format!("{mono:?}"),
+                "{kind}/{engine}: dyn and monomorphized runs diverged"
+            );
+            assert!(dynamic.events > 0, "{kind}/{engine}: no events simulated");
+        }
     }
+    set_engine(DrawEngineKind::default());
 }

@@ -5,7 +5,7 @@ use std::path::PathBuf;
 use busarb_obs::TraceFormat;
 use busarb_stats::BatchMeansConfig;
 use busarb_types::Time;
-use busarb_workload::Scenario;
+use busarb_workload::{DrawEngineKind, Scenario};
 
 /// Destination and format of a write-through structured trace export.
 ///
@@ -115,6 +115,12 @@ pub struct SystemConfig {
     pub start_rule: ArbitrationStartRule,
     /// PRNG seed; identical seeds replay identical runs.
     pub seed: u64,
+    /// Which draw engine supplies workload randomness. `Reference`
+    /// (the default) preserves the byte-identical golden-fixture
+    /// contract; `Fast` trades bit-compatibility with those goldens for
+    /// throughput while staying internally deterministic per
+    /// `(seed, agent)`.
+    pub draw_engine: DrawEngineKind,
     /// Responses discarded before statistics collection begins.
     pub warmup_samples: usize,
     /// Batch-means configuration (paper: 10 × 8000, 90% CI).
@@ -148,6 +154,7 @@ impl SystemConfig {
             overhead_model: None,
             start_rule: ArbitrationStartRule::default(),
             seed: 0x5EED_CAFE,
+            draw_engine: DrawEngineKind::default(),
             warmup_samples: 2000,
             batches: BatchMeansConfig::paper(),
             collect_cdf: false,
@@ -163,6 +170,13 @@ impl SystemConfig {
     #[must_use]
     pub fn with_seed(mut self, seed: u64) -> Self {
         self.seed = seed;
+        self
+    }
+
+    /// Selects the draw engine (see [`DrawEngineKind`]).
+    #[must_use]
+    pub fn with_draw_engine(mut self, engine: DrawEngineKind) -> Self {
+        self.draw_engine = engine;
         self
     }
 
@@ -268,6 +282,7 @@ mod tests {
         assert_eq!(c.trace_limit, 0);
         assert!(c.overhead_model.is_none());
         assert!(c.trace_export.is_none());
+        assert_eq!(c.draw_engine, DrawEngineKind::Reference);
     }
 
     #[test]
@@ -290,6 +305,7 @@ mod tests {
     fn builders_apply() {
         let c = SystemConfig::new(Scenario::equal_load(4, 1.0, 1.0).unwrap())
             .with_seed(7)
+            .with_draw_engine(DrawEngineKind::Fast)
             .with_batches(BatchMeansConfig::quick(10))
             .with_warmup(5)
             .with_cdf()
@@ -301,6 +317,7 @@ mod tests {
             .with_trace(100)
             .with_trace_export("/tmp/trace.jsonl", TraceFormat::Binary);
         assert_eq!(c.seed, 7);
+        assert_eq!(c.draw_engine, DrawEngineKind::Fast);
         assert_eq!(c.batches.samples_per_batch, 10);
         assert_eq!(c.warmup_samples, 5);
         assert!(c.collect_cdf);

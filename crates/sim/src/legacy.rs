@@ -22,8 +22,7 @@ use busarb_core::{Arbiter, Grant};
 use busarb_obs::{open_file_sink, MetricsRegistry, TraceHeader, TraceSink, TRACE_SCHEMA};
 use busarb_stats::{BatchMeans, BatchTally, Cdf, Summary};
 use busarb_types::{AgentId, Priority, Time, TraceEvent};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use busarb_workload::DrawEngine;
 
 use crate::config::{ArbitrationStartRule, SystemConfig};
 use crate::event::{Event, HeapEventQueue};
@@ -41,11 +40,13 @@ struct AgentState {
     blocked_issue: bool,
 }
 
-/// The live state of one legacy-path run.
-pub(crate) struct Runner<'c, A: Arbiter> {
+/// The live state of one legacy-path run, generic over the draw engine
+/// exactly like the plane runner (engine semantics are part of the
+/// lock-step contract).
+pub(crate) struct Runner<'c, A: Arbiter, E: DrawEngine> {
     config: &'c SystemConfig,
     arbiter: A,
-    rng: StdRng,
+    draws: E,
     queue: HeapEventQueue,
     agents: Vec<AgentState>,
 
@@ -74,7 +75,7 @@ pub(crate) struct Runner<'c, A: Arbiter> {
     urgent_wait: Summary,
 }
 
-impl<'c, A: Arbiter> Runner<'c, A> {
+impl<'c, A: Arbiter, E: DrawEngine> Runner<'c, A, E> {
     pub(crate) fn new(config: &'c SystemConfig, arbiter: A) -> Self {
         let n = config.scenario.agents();
         assert_eq!(
@@ -105,7 +106,7 @@ impl<'c, A: Arbiter> Runner<'c, A> {
         Runner {
             config,
             arbiter,
-            rng: StdRng::seed_from_u64(config.seed),
+            draws: E::for_scenario(config.seed, &config.scenario),
             queue: HeapEventQueue::new(),
             agents: vec![
                 AgentState {
@@ -141,11 +142,7 @@ impl<'c, A: Arbiter> Runner<'c, A> {
     }
 
     fn think_time(&mut self, agent: AgentId) -> Time {
-        self.config
-            .scenario
-            .workload(agent)
-            .interrequest
-            .sample(&mut self.rng)
+        self.draws.think_time(agent)
     }
 
     fn emit(&mut self, at: Time, kind: TraceKind) {
@@ -162,7 +159,7 @@ impl<'c, A: Arbiter> Runner<'c, A> {
         for agent in AgentId::all(self.config.scenario.agents()) {
             let mut first = self.think_time(agent);
             if self.config.initial_stagger {
-                first = first * self.rng.gen::<f64>();
+                first = first * self.draws.uniform(agent);
             }
             self.queue.schedule(first, Event::RequestArrival(agent));
         }
@@ -204,7 +201,7 @@ impl<'c, A: Arbiter> Runner<'c, A> {
 
     fn issue(&mut self, t: Time, agent: AgentId) {
         let priority = if self.config.urgent_fraction > 0.0
-            && self.rng.gen::<f64>() < self.config.urgent_fraction
+            && self.draws.uniform(agent) < self.config.urgent_fraction
         {
             Priority::Urgent
         } else {

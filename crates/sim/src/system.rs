@@ -4,8 +4,7 @@ use busarb_core::{Arbiter, Grant, ProtocolKind};
 use busarb_obs::{open_file_sink, MetricsRegistry, TraceHeader, TraceSink, TRACE_SCHEMA};
 use busarb_stats::{BatchMeans, BatchTally, Cdf, Summary};
 use busarb_types::{AgentId, AgentMask, Error, Priority, Time, TraceEvent};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use busarb_workload::{DrawEngine, DrawEngineKind, FastEngine, ReferenceEngine};
 
 use crate::config::{ArbitrationStartRule, SystemConfig};
 use crate::event::{CalendarQueue, Event};
@@ -165,8 +164,10 @@ impl Simulation {
     /// than [`Simulation::run`] on arbitration-dominated runs.
     ///
     /// The event loop is additionally monomorphized over the calendar
-    /// width: scenarios of up to 64 agents run the one-occupancy-word
-    /// fast path (`W = 1`), larger ones the full two-word width.
+    /// width (scenarios of up to 64 agents run the one-occupancy-word
+    /// fast path `W = 1`, larger ones the full two-word width) and over
+    /// the configured [`DrawEngine`], so engine selection costs nothing
+    /// inside the loop.
     ///
     /// The report is **bit-for-bit identical** to the dynamic path for the
     /// same arbiter and configuration — both run the same generic runner —
@@ -177,10 +178,20 @@ impl Simulation {
     /// Panics under the same conditions as [`Simulation::run`].
     #[must_use]
     pub fn run_mono<A: Arbiter>(&self, arbiter: A) -> RunReport {
-        if self.config.scenario.agents() <= 64 {
-            Runner::<A, 1>::new(&self.config, arbiter).run()
-        } else {
-            Runner::<A, 2>::new(&self.config, arbiter).run()
+        let narrow = self.config.scenario.agents() <= 64;
+        match (narrow, self.config.draw_engine) {
+            (true, DrawEngineKind::Reference) => {
+                Runner::<A, ReferenceEngine, 1>::new(&self.config, arbiter).run()
+            }
+            (true, DrawEngineKind::Fast) => {
+                Runner::<A, FastEngine, 1>::new(&self.config, arbiter).run()
+            }
+            (false, DrawEngineKind::Reference) => {
+                Runner::<A, ReferenceEngine, 2>::new(&self.config, arbiter).run()
+            }
+            (false, DrawEngineKind::Fast) => {
+                Runner::<A, FastEngine, 2>::new(&self.config, arbiter).run()
+            }
         }
     }
 
@@ -199,7 +210,14 @@ impl Simulation {
     /// Panics under the same conditions as [`Simulation::run`].
     #[must_use]
     pub fn run_legacy<A: Arbiter>(&self, arbiter: A) -> RunReport {
-        legacy::Runner::new(&self.config, arbiter).run()
+        match self.config.draw_engine {
+            DrawEngineKind::Reference => {
+                legacy::Runner::<A, ReferenceEngine>::new(&self.config, arbiter).run()
+            }
+            DrawEngineKind::Fast => {
+                legacy::Runner::<A, FastEngine>::new(&self.config, arbiter).run()
+            }
+        }
     }
 
     /// Builds a default-parameter arbiter of `kind` for the scenario's
@@ -253,13 +271,14 @@ impl Simulation {
 /// The live state of one run, generic over the arbiter so the event loop
 /// monomorphizes (no virtual dispatch inside the hot loop when `A` is a
 /// concrete protocol type; the boxed path instantiates `A = Box<dyn
-/// Arbiter>` and behaves exactly as before) and over the calendar width
+/// Arbiter>` and behaves exactly as before), over the calendar width
 /// `W` so queue scans and agent planes compile down to the exact number
-/// of 64-slot words the scenario needs.
-struct Runner<'c, A: Arbiter, const W: usize> {
+/// of 64-slot words the scenario needs, and over the draw engine `E` so
+/// think-time sampling inlines into the loop.
+struct Runner<'c, A: Arbiter, E: DrawEngine, const W: usize> {
     config: &'c SystemConfig,
     arbiter: A,
-    rng: StdRng,
+    draws: E,
     queue: CalendarQueue<W>,
     planes: AgentPlanes<W>,
 
@@ -298,7 +317,7 @@ struct Runner<'c, A: Arbiter, const W: usize> {
     urgent_wait: Summary,
 }
 
-impl<'c, A: Arbiter, const W: usize> Runner<'c, A, W> {
+impl<'c, A: Arbiter, E: DrawEngine, const W: usize> Runner<'c, A, E, W> {
     fn new(config: &'c SystemConfig, arbiter: A) -> Self {
         let n = config.scenario.agents();
         assert_eq!(
@@ -329,7 +348,7 @@ impl<'c, A: Arbiter, const W: usize> Runner<'c, A, W> {
         Runner {
             config,
             arbiter,
-            rng: StdRng::seed_from_u64(config.seed),
+            draws: E::for_scenario(config.seed, &config.scenario),
             queue: CalendarQueue::new(),
             planes: AgentPlanes::new(n, config.max_outstanding),
             transferring: None,
@@ -359,12 +378,9 @@ impl<'c, A: Arbiter, const W: usize> Runner<'c, A, W> {
         }
     }
 
+    #[inline]
     fn think_time(&mut self, agent: AgentId) -> Time {
-        self.config
-            .scenario
-            .workload(agent)
-            .interrequest
-            .sample(&mut self.rng)
+        self.draws.think_time(agent)
     }
 
     /// Routes one trace event to every attached consumer (bounded
@@ -389,9 +405,9 @@ impl<'c, A: Arbiter, const W: usize> Runner<'c, A, W> {
         for agent in AgentId::all(self.config.scenario.agents()) {
             let mut first = self.think_time(agent);
             if self.config.initial_stagger {
-                first = first * self.rng.gen::<f64>();
+                first = first * self.draws.uniform(agent);
             }
-            self.queue.schedule(first, Event::RequestArrival(agent));
+            self.queue.schedule_arrival(first, agent);
         }
 
         // Safety budget: a response needs only a handful of events, so this
@@ -428,14 +444,14 @@ impl<'c, A: Arbiter, const W: usize> Runner<'c, A, W> {
         if self.config.max_outstanding > 1 {
             // Pipelined agents keep generating while requests are pending.
             let next = self.think_time(agent);
-            self.queue.schedule(t + next, Event::RequestArrival(agent));
+            self.queue.schedule_arrival(t + next, agent);
         }
     }
 
     /// Assert the bus-request line for `agent` at time `t`.
     fn issue(&mut self, t: Time, agent: AgentId) {
         let priority = if self.config.urgent_fraction > 0.0
-            && self.rng.gen::<f64>() < self.config.urgent_fraction
+            && self.draws.uniform(agent) < self.config.urgent_fraction
         {
             Priority::Urgent
         } else {
@@ -533,11 +549,11 @@ impl<'c, A: Arbiter, const W: usize> Runner<'c, A, W> {
         // Think-time scheduling after the completion.
         if self.config.max_outstanding == 1 {
             let next = self.think_time(agent);
-            self.queue.schedule(t + next, Event::RequestArrival(agent));
+            self.queue.schedule_arrival(t + next, agent);
         } else if self.planes.blocked.remove(agent) {
             self.issue(t, agent);
             let next = self.think_time(agent);
-            self.queue.schedule(t + next, Event::RequestArrival(agent));
+            self.queue.schedule_arrival(t + next, agent);
         }
 
         // Hand the bus over / restart arbitration.

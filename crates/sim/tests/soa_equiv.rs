@@ -18,39 +18,48 @@
 use busarb_core::ProtocolKind;
 use busarb_sim::{ArbitrationStartRule, Simulation, SystemConfig};
 use busarb_stats::BatchMeansConfig;
-use busarb_workload::Scenario;
+use busarb_workload::{DrawEngineKind, Scenario};
 use proptest::prelude::*;
 
-/// One randomized cell: every protocol × both start rules is exercised
-/// inside a single case so a failure names the exact protocol.
+/// One randomized cell: every protocol × both start rules × both draw
+/// engines is exercised inside a single case so a failure names the
+/// exact protocol. Equivalence is *within* an engine — the two engines
+/// draw different variates by design, so reports are only compared
+/// between runners that share one.
 fn check_cell(agents: u32, load: f64, seed: u64, max_outstanding: u32, samples: usize) {
     for &kind in ProtocolKind::all() {
         for rule in [
             ArbitrationStartRule::Greedy,
             ArbitrationStartRule::TransactionAligned,
         ] {
-            let scenario = Scenario::equal_load(agents, load, 1.0).expect("valid scenario");
-            let mut config = SystemConfig::new(scenario)
-                .with_batches(BatchMeansConfig::quick(samples))
-                .with_warmup(samples / 2)
-                .with_seed(seed)
-                .with_start_rule(rule)
-                .with_cdf();
-            // The multiple-outstanding extension only applies to the
-            // central queue; the replicated protocols assert one request
-            // per agent.
-            if kind == ProtocolKind::CentralFcfs {
-                config = config.with_max_outstanding(max_outstanding);
+            for engine in [DrawEngineKind::Reference, DrawEngineKind::Fast] {
+                let scenario = Scenario::equal_load(agents, load, 1.0).expect("valid scenario");
+                let mut config = SystemConfig::new(scenario)
+                    .with_batches(BatchMeansConfig::quick(samples))
+                    .with_warmup(samples / 2)
+                    .with_seed(seed)
+                    .with_draw_engine(engine)
+                    .with_start_rule(rule)
+                    .with_cdf();
+                // The multiple-outstanding extension only applies to the
+                // central queue; the replicated protocols assert one request
+                // per agent.
+                if kind == ProtocolKind::CentralFcfs {
+                    config = config.with_max_outstanding(max_outstanding);
+                }
+                let sim = Simulation::new(config).expect("valid config");
+                let planes = sim.run_mono(kind.build(agents).expect("valid size"));
+                let legacy = sim.run_legacy(kind.build(agents).expect("valid size"));
+                assert_eq!(
+                    format!("{planes:?}"),
+                    format!("{legacy:?}"),
+                    "{kind}/{rule:?}/{engine}: plane and legacy runs diverged"
+                );
+                assert!(
+                    planes.events > 0,
+                    "{kind}/{rule:?}/{engine}: no events simulated"
+                );
             }
-            let sim = Simulation::new(config).expect("valid config");
-            let planes = sim.run_mono(kind.build(agents).expect("valid size"));
-            let legacy = sim.run_legacy(kind.build(agents).expect("valid size"));
-            assert_eq!(
-                format!("{planes:?}"),
-                format!("{legacy:?}"),
-                "{kind}/{rule:?}: plane and legacy runs diverged"
-            );
-            assert!(planes.events > 0, "{kind}/{rule:?}: no events simulated");
         }
     }
 }
@@ -84,4 +93,29 @@ proptest! {
 #[test]
 fn planes_match_legacy_at_default_scale() {
     check_cell(10, 2.0, 0xB05_A7B, 1, 120);
+}
+
+/// An Erlang-CV cell (CV = 0.5, shape 4), pinned so the fast engine's
+/// Marsaglia–Tsang sampler runs through the full event loop on both
+/// runner representations — `check_cell` above only draws exponentials.
+#[test]
+fn planes_match_legacy_under_erlang_draws() {
+    for engine in [DrawEngineKind::Reference, DrawEngineKind::Fast] {
+        let scenario = Scenario::equal_load(10, 2.0, 0.5).expect("valid scenario");
+        let config = SystemConfig::new(scenario)
+            .with_batches(BatchMeansConfig::quick(80))
+            .with_warmup(40)
+            .with_seed(0xE12A)
+            .with_draw_engine(engine)
+            .with_cdf();
+        let sim = Simulation::new(config).expect("valid config");
+        let kind = ProtocolKind::RoundRobin;
+        let planes = sim.run_mono(kind.build(10).expect("valid size"));
+        let legacy = sim.run_legacy(kind.build(10).expect("valid size"));
+        assert_eq!(
+            format!("{planes:?}"),
+            format!("{legacy:?}"),
+            "{engine}: plane and legacy runs diverged on Erlang draws"
+        );
+    }
 }

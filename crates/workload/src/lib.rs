@@ -24,15 +24,21 @@
 //!   and the Table 4.5 "just miss" worst case for round-robin).
 //! * [`load`] — conversions between offered load and mean interrequest
 //!   time.
+//! * [`DrawEngine`] — the pluggable source of workload randomness: the
+//!   byte-stable [`ReferenceEngine`] (ChaCha12 + exact `ln`) and the
+//!   statistically equivalent [`FastEngine`] (per-agent Philox4x32-10
+//!   counter streams with batched inverse-CDF sampling).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod distribution;
+mod engine;
 pub mod load;
 mod scenario;
 pub mod trace;
 
 pub use distribution::InterrequestTime;
+pub use engine::{DrawEngine, DrawEngineKind, FastEngine, ReferenceEngine, BATCH};
 pub use scenario::{AgentWorkload, Scenario};
 pub use trace::BurstyTrace;

@@ -1,0 +1,126 @@
+//! Statistical-equivalence suite for the fast draw engine.
+//!
+//! The fast engine is **not** bit-compatible with the reference engine —
+//! that is the point of it — so its contract is distributional: for every
+//! [`InterrequestTime`] family, samples drawn through [`FastEngine`] must
+//! reproduce the family's configured mean and CV to the same tolerance
+//! the reference sampler is held to (`distribution_props.rs`). A second
+//! property pins the fast engine's determinism contract: a given
+//! `(seed, agent)` stream replays identically no matter how draws to
+//! *other* agents interleave, which is what makes sweep results
+//! independent of worker count.
+
+use busarb_stats::Summary;
+use busarb_types::AgentId;
+use busarb_workload::{
+    AgentWorkload, BurstyTrace, DrawEngine, FastEngine, InterrequestTime, Scenario,
+};
+use proptest::prelude::*;
+
+/// A two-agent scenario where every agent draws from `d`.
+fn scenario_of(d: &InterrequestTime) -> Scenario {
+    Scenario::from_workloads(
+        vec![
+            AgentWorkload {
+                interrequest: d.clone()
+            };
+            2
+        ],
+        "stat-equiv",
+    )
+    .expect("valid scenario")
+}
+
+proptest! {
+    // Moment checks sample a lot; keep the case count moderate.
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Mirrors `sampled_moments_match_spec` for the reference sampler:
+    /// same CV grid, same tolerances, fast engine underneath.
+    #[test]
+    fn fast_engine_moments_match_spec(
+        mean in 0.1f64..50.0,
+        cv_index in 0usize..6,
+        seed in any::<u64>(),
+    ) {
+        // The paper's CV grid: deterministic, Erlang k = 100/16/9/4,
+        // exponential — every analytic family the simulator uses.
+        let cv = [0.0, 0.1, 0.25, 1.0 / 3.0, 0.5, 1.0][cv_index];
+        let d = InterrequestTime::from_mean_cv(mean, cv).unwrap();
+        let mut engine = FastEngine::for_scenario(seed, &scenario_of(&d));
+        let agent = AgentId::new(1).expect("valid identity");
+        let s: Summary = (0..40_000).map(|_| engine.think_time(agent).as_f64()).collect();
+        prop_assert!(
+            (s.mean() - mean).abs() < 0.05 * mean + 1e-9,
+            "mean {} vs spec {mean}",
+            s.mean()
+        );
+        let sample_cv = if s.mean() > 0.0 { s.std_dev() / s.mean() } else { 0.0 };
+        prop_assert!(
+            (sample_cv - d.cv()).abs() < 0.05 + 0.05 * d.cv(),
+            "cv {sample_cv} vs spec {}",
+            d.cv()
+        );
+        prop_assert!(s.min().unwrap() >= 0.0);
+    }
+
+    /// Determinism contract: agent 1's draw stream is a pure function of
+    /// `(seed, agent, draw count)` — replaying it against an arbitrary
+    /// interleaving of draws by the other agent yields identical values,
+    /// draw for draw.
+    #[test]
+    fn fast_streams_survive_arbitrary_interleaving(
+        seed in any::<u64>(),
+        cv_index in 0usize..3,
+        schedule in proptest::collection::vec(0u8..4, 1..60),
+    ) {
+        let cv = [0.1, 0.5, 1.0][cv_index];
+        let d = InterrequestTime::from_mean_cv(3.0, cv).unwrap();
+        let s = scenario_of(&d);
+        let watched = AgentId::new(1).expect("valid identity");
+        let other = AgentId::new(2).expect("valid identity");
+
+        let mut solo = FastEngine::for_scenario(seed, &s);
+        let mut noisy = FastEngine::for_scenario(seed, &s);
+        for &burst in &schedule {
+            // Noise on the *other* agent's stream between watched draws:
+            // think times and uniforms in proptest-chosen amounts.
+            for _ in 0..burst {
+                let _ = noisy.think_time(other);
+                let _ = noisy.uniform(other);
+            }
+            prop_assert_eq!(solo.think_time(watched), noisy.think_time(watched));
+            prop_assert_eq!(
+                solo.uniform(watched).to_bits(),
+                noisy.uniform(watched).to_bits()
+            );
+        }
+    }
+}
+
+/// The empirical (trace-resampling) family: fast-engine draws must
+/// reproduce the trace's own mean and CV.
+#[test]
+fn fast_engine_matches_empirical_trace_moments() {
+    let trace = BurstyTrace::with_mean(4.0)
+        .synthesize(0xDECAF)
+        .expect("valid trace");
+    let d = InterrequestTime::from_trace(trace).expect("valid distribution");
+    let mut engine = FastEngine::for_scenario(21, &scenario_of(&d));
+    let agent = AgentId::new(1).expect("valid identity");
+    let s: Summary = (0..60_000)
+        .map(|_| engine.think_time(agent).as_f64())
+        .collect();
+    assert!(
+        (s.mean() - d.mean()).abs() < 0.05 * d.mean(),
+        "mean {} vs trace {}",
+        s.mean(),
+        d.mean()
+    );
+    let sample_cv = s.std_dev() / s.mean();
+    assert!(
+        (sample_cv - d.cv()).abs() < 0.05 + 0.05 * d.cv(),
+        "cv {sample_cv} vs trace {}",
+        d.cv()
+    );
+}

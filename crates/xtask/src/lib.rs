@@ -168,6 +168,35 @@ pub fn hot_fn_allocations(content: &str, fns: &[&str]) -> Vec<String> {
     findings
 }
 
+/// Returns a message per libm `.ln(` call found inside the bodies of
+/// `fns` (empty = clean). The fast draw engine's hot path must route
+/// every logarithm through its table-based polynomial `fast_ln`; a
+/// stray `f64::ln` there silently reintroduces the libm call the engine
+/// exists to avoid, without failing any correctness test. As with
+/// [`hot_fn_allocations`], a function missing from `content` is itself
+/// a finding so renames cannot disarm the lint.
+#[must_use]
+pub fn slow_log_calls(content: &str, fns: &[&str]) -> Vec<String> {
+    let mut findings = Vec::new();
+    for &name in fns {
+        let bodies = fn_bodies(content, name);
+        if bodies.is_empty() {
+            findings.push(format!(
+                "ln-free function `{name}` not found (renamed? update xtask)"
+            ));
+            continue;
+        }
+        for body in bodies {
+            if body.contains(".ln(") {
+                findings.push(format!(
+                    "`.ln(` inside fast-path function `{name}` — use the table-based fast_ln"
+                ));
+            }
+        }
+    }
+    findings
+}
+
 /// Returns the 1-based line numbers of bare `.unwrap()` calls in library
 /// code: comment lines (`//`, `///`, `//!` — doctests are tests) are
 /// skipped, and scanning stops at the first `#[cfg(test)]`, which by
@@ -309,6 +338,31 @@ mod tests {
         assert!(hot_fn_allocations(ok, &["arbitrate"]).is_empty());
         let bad = "fn arbitrate(&mut self) { let s: Vec<u32> = it.collect(); }";
         assert_eq!(hot_fn_allocations(bad, &["arbitrate"]).len(), 1);
+    }
+
+    #[test]
+    fn real_fast_draw_path_is_ln_free() {
+        let engine_rs = include_str!("../../workload/src/engine.rs");
+        let findings = slow_log_calls(
+            engine_rs,
+            &["refill", "next_normal", "next_u64", "fast_ln", "think_time", "uniform"],
+        );
+        assert_eq!(findings, Vec::<String>::new());
+    }
+
+    #[test]
+    fn a_libm_ln_call_in_a_fast_path_fn_is_caught() {
+        let bad = "fn refill(&mut self) { let y = x.ln(); }";
+        let findings = slow_log_calls(bad, &["refill"]);
+        assert_eq!(findings.len(), 1);
+        assert!(findings[0].contains(".ln("));
+        // `fast_ln(...)` is a plain call, not the `f64::ln` method.
+        let ok = "fn refill(&mut self) { let y = fast_ln(tab, x); }";
+        assert!(slow_log_calls(ok, &["refill"]).is_empty());
+        // A renamed function must not silently disarm the lint.
+        let findings = slow_log_calls("fn other() {}", &["refill"]);
+        assert_eq!(findings.len(), 1);
+        assert!(findings[0].contains("not found"));
     }
 
     #[test]

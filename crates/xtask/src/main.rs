@@ -8,7 +8,10 @@ use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
 use busarb_core::ProtocolKind;
-use xtask::{has_forbid_unsafe, hot_fn_allocations, missing_tokens, unwrap_violations, Finding};
+use xtask::{
+    has_forbid_unsafe, hot_fn_allocations, missing_tokens, slow_log_calls, unwrap_violations,
+    Finding,
+};
 
 /// Dispatch surfaces that must mention every `ProtocolKind` variant by
 /// path, with the number of times each variant must occur there.
@@ -45,18 +48,34 @@ const TOKEN_SITES: [(&str, &str); 4] = [
     ("src/bin/busarb.rs", "\"serve\""),
 ];
 
+/// Fast-draw-engine hot paths that must route every logarithm through
+/// the table-based `fast_ln` instead of libm `f64::ln` (the whole point
+/// of the fast engine's sampling path).
+const LN_FREE_SITES: [(&str, &[&str]); 1] = [(
+    "crates/workload/src/engine.rs",
+    &["refill", "next_normal", "next_u64", "fast_ln", "think_time", "uniform"],
+)];
+
 /// Per-arbitration hot paths that must not allocate.
-const HOT_SITES: [(&str, &[&str]); 18] = [
+const HOT_SITES: [(&str, &[&str]); 19] = [
     (
         "crates/bus/src/contention.rs",
         &["settle", "resolve_inner", "apply_rule"],
     ),
     // The slot-calendar event queue (and the legacy heap oracle sharing
     // these names) runs once per event in the steady state; scheduling
-    // and popping must stay pure word operations.
+    // and popping must stay pure word operations. `schedule_arrival` /
+    // `insert_arrival` are the fused self-rearming fast path.
     (
         "crates/sim/src/event.rs",
-        &["schedule", "pop", "pick", "peek_time"],
+        &["schedule", "schedule_arrival", "insert_arrival", "pop", "pick", "peek_time"],
+    ),
+    // The fast draw engine's refill and raw-stream paths run once per
+    // BATCH think times / once per uniform; `Arc::clone` of the
+    // empirical sample table is the only permitted non-token operation.
+    (
+        "crates/workload/src/engine.rs",
+        &["refill", "next_u64", "next_normal", "think_time", "uniform", "fast_ln"],
     ),
     // Plane-based arbiters: request intake, the word-parallel winner
     // scans, and the signature fingerprints all operate on fixed-size
@@ -233,6 +252,20 @@ fn lint(root: &Path) -> Vec<Finding> {
         match read(root, rel) {
             Ok(content) => {
                 for message in hot_fn_allocations(&content, fns) {
+                    findings.push(Finding {
+                        file: rel.to_string(),
+                        message,
+                    });
+                }
+            }
+            Err(f) => findings.push(f),
+        }
+    }
+
+    for (rel, fns) in LN_FREE_SITES {
+        match read(root, rel) {
+            Ok(content) => {
+                for message in slow_log_calls(&content, fns) {
                     findings.push(Finding {
                         file: rel.to_string(),
                         message,

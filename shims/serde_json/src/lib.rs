@@ -317,12 +317,18 @@ fn newline_indent(out: &mut String, indent: Option<&str>, depth: usize) {
 
 /// JSON has no NaN/Infinity; like `serde_json`, emit `null`. Integral
 /// finite values keep a `.0` suffix so they read back as floats.
+///
+/// Formats through `Debug`, not `Display`: both emit the shortest
+/// round-tripping decimal, but `Debug` switches to scientific notation
+/// for extreme exponents the way upstream `serde_json` (ryu) does —
+/// `Display` would render 4e-14 as a 16-zero decimal expansion, which
+/// breaks byte-identity with goldens recorded under real `serde_json`.
 fn write_float(out: &mut String, x: f64) {
     if !x.is_finite() {
         out.push_str("null");
         return;
     }
-    let s = format!("{x}");
+    let s = format!("{x:?}");
     out.push_str(&s);
     if !s.contains('.') && !s.contains('e') && !s.contains('E') {
         out.push_str(".0");
@@ -429,10 +435,14 @@ mod tests {
             v.get("nest").and_then(Value::as_array).map(<[Value]>::len),
             Some(1)
         );
-        // f64 values round-trip bit-exactly through Display formatting.
+        // f64 values round-trip bit-exactly through the shortest-repr
+        // formatting, and extreme exponents stay in scientific notation
+        // exactly as upstream serde_json renders them.
         let x = 1.234_567_890_123_456_7e-3;
         let json = to_string(&x).unwrap();
         assert_eq!(from_str(&json).unwrap().as_f64(), Some(x));
+        assert_eq!(to_string(&3.977_439_750_067_086e-14).unwrap(), "3.977439750067086e-14");
+        assert_eq!(from_str("3.977439750067086e-14").unwrap().as_f64(), Some(3.977_439_750_067_086e-14));
     }
 
     #[test]
