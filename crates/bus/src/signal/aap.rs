@@ -120,10 +120,8 @@ impl SignalProtocol for Aap1System {
         );
         let resolution = self.contention.resolve(&competitors);
         self.scratch = competitors;
-        let winner = self
-            .layout
-            .decode_id(resolution.winner_value)
-            .expect("batch is non-empty");
+        // The batch is non-empty, so the value decodes.
+        let winner = self.layout.decode_id(resolution.winner_value)?;
         // The winner releases the request line at the start of its
         // tenure; if it was the last batch member the line drops and the
         // deferred requesters assert immediately.
@@ -259,10 +257,8 @@ impl SignalProtocol for Aap2System {
         );
         let resolution = self.contention.resolve(&competitors);
         self.scratch = competitors;
-        let winner = self
-            .layout
-            .decode_id(resolution.winner_value)
-            .expect("eligible set is non-empty");
+        // The eligible set is non-empty, so the value decodes.
+        let winner = self.layout.decode_id(resolution.winner_value)?;
         self.requesting.remove(winner);
         self.inhibited.insert(winner);
         Some(SignalOutcome {

@@ -139,10 +139,8 @@ impl SignalProtocol for Fcfs1System {
         }));
         let resolution = self.contention.resolve(&competitors);
         self.scratch = competitors;
-        let winner = self
-            .layout
-            .decode_id(resolution.winner_value)
-            .expect("non-empty competition has a winner");
+        // A non-empty competition always decodes to a winner.
+        let winner = self.layout.decode_id(resolution.winner_value)?;
         self.requesting.remove(winner);
         // "Lose" increments every remaining competitor's counter.
         let capacity = self.layout.counter_max();

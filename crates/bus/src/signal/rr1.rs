@@ -155,10 +155,8 @@ impl SignalProtocol for Rr1System {
         }));
         let resolution = self.contention.resolve(&competitors);
         self.scratch = competitors;
-        let winner = self
-            .layout
-            .decode_id(resolution.winner_value)
-            .expect("non-empty competition has a winner");
+        // A non-empty competition always decodes to a winner.
+        let winner = self.layout.decode_id(resolution.winner_value)?;
         // Every agent latches the broadcast winner identity, excluding
         // the rr bit — this is what re-synchronizes corrupted replicas.
         self.winner_registers.fill(winner.get());

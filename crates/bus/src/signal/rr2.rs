@@ -118,10 +118,8 @@ impl SignalProtocol for Rr2System {
         );
         let resolution = self.contention.resolve(&competitors);
         self.scratch = competitors;
-        let winner = self
-            .layout
-            .decode_id(resolution.winner_value)
-            .expect("eligible set is non-empty");
+        // The eligible set is non-empty, so the value decodes.
+        let winner = self.layout.decode_id(resolution.winner_value)?;
         self.last_winner = winner.get();
         self.requesting.remove(winner);
         Some(SignalOutcome {

@@ -148,10 +148,9 @@ impl SignalProtocol for Rr3System {
         } else {
             (value, rounds, 1)
         };
-        let winner = self
-            .layout
-            .decode_id(value)
-            .expect("second arbitration admits all requesters");
+        // The second arbitration admits all requesters, so the value
+        // decodes.
+        let winner = self.layout.decode_id(value)?;
         self.last_winner = winner.get();
         self.requesting.remove(winner);
         Some(SignalOutcome {

@@ -377,21 +377,24 @@ impl Arbiter for AdaptiveArbiter {
                         best = counter;
                     }
                 }
-                winner.expect("members is non-empty")
+                winner
             }
             AdaptiveMode::RoundRobin => {
                 // The RR scan is a pure mask operation: the highest
                 // identity strictly below the winner register, wrapping to
-                // the top when none is.
+                // the top when none is. The register always holds an
+                // identity (>= 1); `.ok()` folds a zero register into the
+                // wraparound branch instead of a hot-path panic.
                 if self.last_winner <= self.n {
-                    let bound = AgentId::new(self.last_winner).expect("register holds an identity");
-                    members.max_below(bound).or_else(|| members.max())
+                    AgentId::new(self.last_winner)
+                        .ok()
+                        .and_then(|bound| members.max_below(bound))
+                        .or_else(|| members.max())
                 } else {
                     members.max()
                 }
-                .expect("members is non-empty")
             }
-        };
+        }?; // `members` is non-empty, so both scans find a winner.
         match priority {
             Priority::Urgent => self.urgent.remove(winner),
             Priority::Ordinary => self.ordinary.remove(winner),

@@ -177,7 +177,7 @@ impl AssuredAccess {
                         // request line asserted, then a real arbitration.
                         self.inhibited.clear();
                         self.releases += 1;
-                        (self.requesting.max().expect("non-empty"), 2)
+                        (self.requesting.max()?, 2)
                     }
                 };
                 self.requesting.remove(winner);
@@ -205,7 +205,7 @@ impl AssuredAccess {
                         self.inhibited.clear();
                         self.batch_members = self.requesting;
                         self.releases += 1;
-                        (self.requesting.max().expect("non-empty"), 2)
+                        (self.requesting.max()?, 2)
                     }
                 };
                 self.requesting.remove(winner);

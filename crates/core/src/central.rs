@@ -100,7 +100,9 @@ impl CentralRoundRobin {
         };
         let top = 127 - rotated.leading_zeros();
         let winner = (top + shift) % n + 1;
-        Some(AgentId::new(winner).expect("winner >= 1"))
+        // `winner >= 1` by construction; `.ok()` folds the (impossible)
+        // zero into "no winner" instead of a hot-path panic.
+        AgentId::new(winner).ok()
     }
 }
 
@@ -130,12 +132,15 @@ impl Arbiter for CentralRoundRobin {
     fn arbitrate(&mut self, _now: Time) -> Option<Grant> {
         if self.urgent != 0 {
             // Urgent requests ignore the fairness protocol: served in
-            // identity order, matching the distributed default.
+            // identity order, matching the distributed default. The
+            // identity is built before the register/pointer updates so
+            // the (impossible) zero-winner path cannot tear state.
             let winner = 128 - self.urgent.leading_zeros();
+            let agent = AgentId::new(winner).ok()?;
             self.urgent &= !(1u128 << (winner - 1));
             self.pointer = winner;
             return Some(Grant {
-                agent: AgentId::new(winner).expect("winner >= 1"),
+                agent,
                 priority: Priority::Urgent,
                 arbitrations: 1,
             });
@@ -266,7 +271,8 @@ impl Arbiter for CentralFcfs {
 
     fn arbitrate(&mut self, _now: Time) -> Option<Grant> {
         let idx = self.next_index()?;
-        let r = self.queue.remove(idx).expect("index is in range");
+        // `next_index` returns an in-range index, so the remove succeeds.
+        let r = self.queue.remove(idx)?;
         Some(Grant {
             agent: r.agent,
             priority: r.priority,

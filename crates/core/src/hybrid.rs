@@ -208,7 +208,8 @@ impl Arbiter for HybridRrFcfs {
                 best = key;
             }
         }
-        let winner = winner.expect("members is non-empty");
+        // `members` is non-empty, so the scan always finds a winner.
+        let winner = winner?;
         match priority {
             Priority::Urgent => self.urgent.remove(winner),
             Priority::Ordinary => self.ordinary.remove(winner),

@@ -168,20 +168,25 @@ impl DistributedRoundRobin {
 
     /// Round-robin selection from `set` given the winner register: the
     /// highest identity below the register, else the highest overall.
-    /// Returns the winner and the number of line arbitrations consumed.
-    fn select(&mut self, set: AgentSet) -> (AgentId, u32) {
+    /// Returns the winner and the number of line arbitrations consumed;
+    /// `None` only for an empty `set`, which no caller passes.
+    fn select(&mut self, set: AgentSet) -> Option<(AgentId, u32)> {
         let below = if self.last_winner > AgentSet::MAX_ID {
             // Register holds N+1 beyond the set capacity: every identity
             // is below it.
             set.max()
         } else {
-            let bound = AgentId::new(self.last_winner).expect("register is always >= 1");
-            set.max_below(bound)
+            // The register is always >= 1; `.ok()` keeps the scan
+            // panic-free regardless (a zero register wraps like an
+            // empty below-set).
+            AgentId::new(self.last_winner)
+                .ok()
+                .and_then(|bound| set.max_below(bound))
         };
         match below {
-            Some(w) => (w, 1),
+            Some(w) => Some((w, 1)),
             None => {
-                let w = set.max().expect("selection from a non-empty set");
+                let w = set.max()?;
                 let cost = if self.implementation == RrImplementation::NoExtraLine {
                     // RR-3 discovers the wraparound via an empty
                     // arbitration (winning value 0), then re-arbitrates.
@@ -190,7 +195,7 @@ impl DistributedRoundRobin {
                 } else {
                     1
                 };
-                (w, cost)
+                Some((w, cost))
             }
         }
     }
@@ -224,11 +229,11 @@ impl Arbiter for DistributedRoundRobin {
     fn arbitrate(&mut self, _now: Time) -> Option<Grant> {
         if !self.urgent.is_empty() {
             let (winner, arbitrations) = if self.rr_within_priority {
-                self.select(self.urgent)
+                self.select(self.urgent)?
             } else {
                 // Urgent requests ignore the protocol: rr bit always set,
                 // so selection degenerates to the identity maximum.
-                (self.urgent.max().expect("urgent set non-empty"), 1)
+                (self.urgent.max()?, 1)
             };
             self.urgent.remove(winner);
             // Every agent records the winner of every arbitration.
@@ -242,7 +247,7 @@ impl Arbiter for DistributedRoundRobin {
         if self.ordinary.is_empty() {
             return None;
         }
-        let (winner, arbitrations) = self.select(self.ordinary);
+        let (winner, arbitrations) = self.select(self.ordinary)?;
         self.ordinary.remove(winner);
         self.last_winner = winner.get();
         Some(Grant {

@@ -221,8 +221,9 @@ impl Arbiter for TicketFcfs {
                 winner = Some(agent);
             }
         }
-        let winner = winner
-            .expect("the oldest outstanding ordinary ticket always equals the service counter");
+        // The oldest outstanding ordinary ticket always equals the
+        // service counter, so the scan finds a winner.
+        let winner = winner?;
         self.holders.remove(winner);
         self.serving = (self.serving + 1) % self.ticket_space();
         Some(Grant::ordinary(winner))

@@ -112,7 +112,9 @@ impl<W: Write> TraceSink for JsonlSink<W> {
                 "{{\"at\":{at},\"ev\":\"end\",\"agent\":{agent},\"wait\":{wait}}}"
             ),
         }
-        .expect("writing to a String cannot fail");
+        // Writing to a `String` cannot fail; mapping (instead of
+        // unwrapping) keeps the per-event path free of panic branches.
+        .map_err(io::Error::other)?;
         self.line.push('\n');
         self.writer.write_all(self.line.as_bytes())
     }

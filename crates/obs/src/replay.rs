@@ -125,12 +125,11 @@ impl ReplayBuilder {
             TraceKind::TransferEnd { agent, wait } => {
                 self.completions += 1;
                 if agent.get() > self.agents {
+                    // Static message: `push` sits on the per-event trace
+                    // path and must not allocate to report bad input.
                     return Err(std::io::Error::new(
                         std::io::ErrorKind::InvalidData,
-                        format!(
-                            "event names agent {agent} but the header has {} agents",
-                            self.agents
-                        ),
+                        "trace event names an agent outside the header's roster",
                     ));
                 }
                 if self.warmup_remaining > 0 {

@@ -320,15 +320,21 @@ impl<const W: usize> CalendarQueue<W> {
     pub fn pop(&mut self) -> Option<(Time, Event)> {
         let popped = match self.pick() {
             Pick::Empty => return None,
+            // `pick` only names a slot it saw occupied, so the takes
+            // below always succeed; `?` keeps the hot pop panic-free.
             Pick::Completion => {
-                let (t, _, _) = self.completion.take().expect("picked slot is occupied");
+                let (t, _, _) = self.completion.take()?;
                 (t, Event::ArbitrationComplete)
             }
             Pick::End => {
-                let (t, _, _) = self.end.take().expect("picked slot is occupied");
+                let (t, _, _) = self.end.take()?;
                 (t, Event::TransactionEnd)
             }
             Pick::Arrival(idx) => {
+                // `idx + 1 >= 1`, so the identity always constructs;
+                // built before any slot bookkeeping so a (debug-only)
+                // failure cannot leave the planes half-updated.
+                let agent = AgentId::new(idx as u32 + 1).ok()?;
                 let (w, i) = (idx / 64, idx % 64);
                 self.occupied[w] &= !(1u64 << i);
                 self.keys[w][i] = u128::MAX;
@@ -353,7 +359,6 @@ impl<const W: usize> CalendarQueue<W> {
                     self.gkey[w][g] = bk;
                     self.gidx[w][g] = bi;
                 }
-                let agent = AgentId::new(idx as u32 + 1).expect("slot index + 1 is nonzero");
                 (self.times[w][i], Event::RequestArrival(agent))
             }
         };

@@ -46,6 +46,16 @@ impl AgentId {
         NonZeroU32::new(id).map(AgentId).ok_or(Error::ZeroAgentId)
     }
 
+    /// Identity `raw`, saturating the unrepresentable zero to [`MIN`].
+    ///
+    /// Every caller passes `raw >= 1` by construction (bit scans add one
+    /// to a nonnegative position); this exists so the hot selection
+    /// loops carry no panic branch. Debug builds still assert.
+    pub(crate) fn from_raw_saturating(raw: u32) -> AgentId {
+        debug_assert!(raw >= 1, "from_raw_saturating requires raw >= 1");
+        AgentId(NonZeroU32::new(raw).unwrap_or(NonZeroU32::MIN))
+    }
+
     /// Returns the raw identity value.
     #[must_use]
     pub fn get(self) -> u32 {
@@ -70,7 +80,7 @@ impl AgentId {
     /// assert_eq!(ids, [1, 2, 3]);
     /// ```
     pub fn all(n: u32) -> impl DoubleEndedIterator<Item = AgentId> + Clone {
-        (1..=n).map(|i| AgentId::new(i).expect("range starts at 1"))
+        (1..=n).map(AgentId::from_raw_saturating)
     }
 
     /// Returns the number of arbitration lines needed to represent
@@ -230,7 +240,7 @@ impl AgentSet {
             None
         } else {
             let top = 127 - self.0.leading_zeros();
-            Some(AgentId::new(top + 1).expect("top + 1 >= 1"))
+            Some(AgentId::from_raw_saturating(top + 1))
         }
     }
 
@@ -240,7 +250,7 @@ impl AgentSet {
         if self.0 == 0 {
             None
         } else {
-            Some(AgentId::new(self.0.trailing_zeros() + 1).expect("tz + 1 >= 1"))
+            Some(AgentId::from_raw_saturating(self.0.trailing_zeros() + 1))
         }
     }
 

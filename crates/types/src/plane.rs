@@ -152,7 +152,7 @@ impl<const W: usize> AgentMask<W> {
             let word = self.words[w];
             if word != 0 {
                 let top = w as u32 * 64 + (63 - word.leading_zeros());
-                return Some(AgentId::new(top + 1).expect("top + 1 >= 1"));
+                return Some(AgentId::from_raw_saturating(top + 1));
             }
         }
         None
@@ -166,7 +166,7 @@ impl<const W: usize> AgentMask<W> {
             let word = self.words[w];
             if word != 0 {
                 let low = w as u32 * 64 + word.trailing_zeros();
-                return Some(AgentId::new(low + 1).expect("low + 1 >= 1"));
+                return Some(AgentId::from_raw_saturating(low + 1));
             }
         }
         None

@@ -90,6 +90,19 @@ impl Time {
         }
     }
 
+    /// `value` as a `Time`, clamping the non-finite inputs that
+    /// [`Time::new`] rejects to [`Time::ZERO`].
+    ///
+    /// The draw-engine refill loop uses this instead of `From<f64>`:
+    /// its inputs are finite by construction, and the `From` impl's
+    /// panic branch would otherwise sit on every batched sample. Debug
+    /// builds still assert finiteness.
+    #[must_use]
+    pub fn saturating(value: f64) -> Time {
+        debug_assert!(value.is_finite(), "Time::saturating requires a finite value");
+        Time::new(value).unwrap_or(Time::ZERO)
+    }
+
     /// Returns the wrapped `f64` value.
     #[must_use]
     pub fn as_f64(self) -> f64 {

@@ -177,7 +177,9 @@ impl InterrequestTime {
                 samples[rng.gen_range(0..samples.len())]
             }
         };
-        Time::from(value)
+        // Every branch above yields a finite value; `saturating` (same
+        // result, no panic branch) keeps the per-draw path unwind-free.
+        Time::saturating(value)
     }
 }
 

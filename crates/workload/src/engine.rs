@@ -381,11 +381,14 @@ impl AgentStream {
     #[inline(never)]
     fn refill(&mut self, tab: &LnTable) {
         match self.sampler {
-            Sampler::Deterministic { .. } => unreachable!("deterministic draws skip the buffer"),
+            // `think_time` short-circuits deterministic draws before the
+            // buffer; filling it anyway keeps refill total (no panic
+            // branch on the hot path).
+            Sampler::Deterministic { value } => self.buf = [value; BATCH],
             Sampler::Exponential { neg_mean } => {
                 for i in 0..BATCH {
                     let u = unit_nonzero(self.next_u64());
-                    self.buf[i] = Time::from(neg_mean * fast_ln(tab, u));
+                    self.buf[i] = Time::saturating(neg_mean * fast_ln(tab, u));
                 }
             }
             Sampler::Erlang { theta, d, c } => {
@@ -412,7 +415,7 @@ impl AgentStream {
                             break d * v;
                         }
                     };
-                    self.buf[i] = Time::from(theta * gamma);
+                    self.buf[i] = Time::saturating(theta * gamma);
                 }
             }
             Sampler::Empirical { ref samples } => {
@@ -420,7 +423,7 @@ impl AgentStream {
                 let len = samples.len() as u128;
                 for i in 0..BATCH {
                     let idx = ((u128::from(self.next_u64()) * len) >> 64) as usize;
-                    self.buf[i] = Time::from(samples[idx]);
+                    self.buf[i] = Time::saturating(samples[idx]);
                 }
             }
         }

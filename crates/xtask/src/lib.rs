@@ -23,6 +23,15 @@
 //! rules themselves are unit-tested against the real workspace sources —
 //! including the failure direction: removing a variant line from a real
 //! dispatch site must trip the lint (see the tests at the bottom).
+//!
+//! Since PR 9 the primary analysis lives in [`busarb_lint`] — a real
+//! lexer, item extractor, call graph, and check engine that understands
+//! *transitive* reachability (an allocation two helper calls below
+//! `settle` is still a finding). The heuristics here are kept for one
+//! release as a cross-check of that engine, and their text primitives
+//! ([`fn_bodies`], [`unwrap_violations`]) now ride on the engine's lexer
+//! so braces in string literals or `.unwrap()` in doc comments can no
+//! longer confuse them.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -60,19 +69,28 @@ pub fn missing_tokens<'t>(content: &str, tokens: &'t [String], min_count: usize)
 /// Extracts the bodies (outer braces included) of every `fn name` in
 /// `content` — trait impls can define the same method more than once per
 /// file (e.g. `arbitrate` for both AAP systems in `aap.rs`).
+///
+/// Structure (the `fn` keyword, the `;` of bodiless declarations, the
+/// brace nesting) is detected on a [`blank_noncode`] copy of the source,
+/// so braces inside string literals, char literals, and comments cannot
+/// derail body extraction; the returned slices come from the original
+/// `content`. `blank_noncode` is byte-preserving, so offsets agree.
+///
+/// [`blank_noncode`]: busarb_lint::lexer::blank_noncode
 #[must_use]
 pub fn fn_bodies<'c>(content: &'c str, name: &str) -> Vec<&'c str> {
+    let code = busarb_lint::lexer::blank_noncode(content);
     let mut bodies = Vec::new();
     let mut search_from = 0;
-    while let Some(rel) = content[search_from..].find("fn ") {
+    while let Some(rel) = code[search_from..].find("fn ") {
         let at = search_from + rel;
         search_from = at + 3;
         // `fn ` must start a token ("fn" preceded by nothing or
         // non-identifier) and be followed by exactly `name` and then a
         // non-identifier character (`(` or `<`).
-        let rest = &content[at + 3..];
+        let rest = &code[at + 3..];
         let starts_token = at == 0
-            || content[..at]
+            || code[..at]
                 .chars()
                 .next_back()
                 .is_some_and(|c| !c.is_alphanumeric() && c != '_');
@@ -85,17 +103,17 @@ pub fn fn_bodies<'c>(content: &'c str, name: &str) -> Vec<&'c str> {
         {
             continue;
         }
-        let Some(open_rel) = content[at..].find('{') else {
+        let Some(open_rel) = code[at..].find('{') else {
             continue;
         };
         // A `;` before the first `{` means this is a bodiless trait
         // declaration — the brace belongs to whatever follows it.
-        if content[at..at + open_rel].contains(';') {
+        if code[at..at + open_rel].contains(';') {
             continue;
         }
         let open = at + open_rel;
         let mut depth = 0usize;
-        for (i, b) in content[open..].bytes().enumerate() {
+        for (i, b) in code[open..].bytes().enumerate() {
             match b {
                 b'{' => depth += 1,
                 b'}' => {
@@ -148,12 +166,15 @@ pub fn hot_fn_allocations(content: &str, fns: &[&str]) -> Vec<String> {
             continue;
         }
         for body in bodies {
+            // Blank strings/comments so a token named in a comment (or an
+            // error-message literal) does not read as an allocation.
+            let body = busarb_lint::lexer::blank_noncode(body);
             for token in ALLOC_TOKENS {
                 if body.contains(token) {
                     findings.push(format!("`{token}` inside hot function `{name}`"));
                 }
             }
-            let mut rest = body;
+            let mut rest = body.as_str();
             while let Some(i) = rest.find(".collect") {
                 let after = &rest[i + ".collect".len()..];
                 if !after.starts_with("::<AgentSet>") {
@@ -187,7 +208,7 @@ pub fn slow_log_calls(content: &str, fns: &[&str]) -> Vec<String> {
             continue;
         }
         for body in bodies {
-            if body.contains(".ln(") {
+            if busarb_lint::lexer::blank_noncode(body).contains(".ln(") {
                 findings.push(format!(
                     "`.ln(` inside fast-path function `{name}` — use the table-based fast_ln"
                 ));
@@ -198,24 +219,29 @@ pub fn slow_log_calls(content: &str, fns: &[&str]) -> Vec<String> {
 }
 
 /// Returns the 1-based line numbers of bare `.unwrap()` calls in library
-/// code: comment lines (`//`, `///`, `//!` — doctests are tests) are
-/// skipped, and scanning stops at the first `#[cfg(test)]`, which by
-/// workspace convention introduces the trailing test module.
+/// code.
+///
+/// Lexer-accurate: `.unwrap()` is matched as a token sequence, so
+/// occurrences inside comments (doc comments included — doctests are
+/// tests), string literals, and `#[cfg(test)]` / `#[test]` regions never
+/// count, and — unlike the old line scanner, which stopped at the first
+/// `#[cfg(test)]` it saw — library code *after* a test module is still
+/// scanned.
 #[must_use]
 pub fn unwrap_violations(content: &str) -> Vec<usize> {
+    let tokens = busarb_lint::lexer::lex(content);
+    let spans = busarb_lint::items::test_spans(&tokens);
     let mut lines = Vec::new();
-    for (i, line) in content.lines().enumerate() {
-        let trimmed = line.trim_start();
-        if trimmed.starts_with("#[cfg(test)]") {
-            break;
-        }
-        if trimmed.starts_with("//") {
-            continue;
-        }
-        // The needle is spelled in two pieces so this very line does not
-        // trip the lint when it scans its own source.
-        if line.contains(concat!(".unwrap", "()")) {
-            lines.push(i + 1);
+    for i in 0..tokens.len().saturating_sub(3) {
+        let is = |k: usize, text: &str| tokens[i + k].text == text;
+        if tokens[i].kind == busarb_lint::lexer::TokenKind::Punct
+            && is(0, ".")
+            && is(1, "unwrap")
+            && is(2, "(")
+            && is(3, ")")
+            && !spans.iter().any(|s| s.contains(&i))
+        {
+            lines.push(tokens[i].line as usize);
         }
     }
     lines
@@ -369,6 +395,65 @@ mod tests {
     fn unwrap_policy_skips_comments_and_tests() {
         let src = "/// doc: x.unwrap()\nlet a = b.unwrap();\n#[cfg(test)]\nmod tests { fn t() { c.unwrap(); } }\n";
         assert_eq!(unwrap_violations(src), vec![2]);
+    }
+
+    /// Regression (PR 9): the old byte-level extractor miscounted braces
+    /// appearing inside string literals and comments, truncating or
+    /// overextending the body it scanned.
+    #[test]
+    fn fn_body_ignores_braces_in_strings_and_comments() {
+        // A `{` in a string: the old scanner saw three opens and ran past
+        // the real close, swallowing `next`'s allocating body.
+        let src = "fn hot(&self) -> &str { let s = \"{\"; s }\nfn next() { let v = Vec::new(); }";
+        let bodies = fn_bodies(src, "hot");
+        assert_eq!(bodies.len(), 1);
+        assert!(
+            !bodies[0].contains("Vec::new"),
+            "body leaked into the next fn: {:?}",
+            bodies[0]
+        );
+        assert!(hot_fn_allocations(src, &["hot"]).is_empty());
+
+        // A stray `}` in a comment: the old scanner closed early and the
+        // allocation after the comment escaped the scan.
+        let src = "fn hot(&self) {\n    // weird: }\n    let v = Vec::new();\n}";
+        let findings = hot_fn_allocations(src, &["hot"]);
+        assert_eq!(findings.len(), 1, "allocation after the comment must be seen");
+
+        // Both brace kinds inside a raw string.
+        let src = "fn hot(&self) -> String { r#\"{ } } {\"#.into() }\nfn after() {}";
+        assert_eq!(fn_bodies(src, "hot").len(), 1);
+        assert_eq!(fn_bodies(src, "after").len(), 1);
+    }
+
+    /// Regression (PR 9): an allocation token that appears only in a
+    /// comment or error-message string inside a hot fn is not a finding.
+    #[test]
+    fn alloc_tokens_in_strings_and_comments_do_not_count() {
+        let src = "fn settle(&mut self) {\n    // never call Vec::new here\n    let m = \"format! is banned\";\n    drop(m);\n}";
+        assert_eq!(hot_fn_allocations(src, &["settle"]), Vec::<String>::new());
+        let src = "fn refill(&mut self) { let s = \"use .ln( nowhere\"; drop(s); }";
+        assert!(slow_log_calls(src, &["refill"]).is_empty());
+    }
+
+    /// Regression (PR 9): the old line scanner stopped at the *first*
+    /// `#[cfg(test)]`, so a bare unwrap in library code after a test
+    /// module was invisible; and `.unwrap()` mentioned mid-line in a
+    /// trailing comment was flagged.
+    #[test]
+    fn unwrap_policy_is_lexer_accurate() {
+        // Library code after a test module is still scanned.
+        let src = "#[cfg(test)]\nmod tests { fn t() { a.unwrap(); } }\nfn lib() { b.unwrap(); }\n";
+        assert_eq!(unwrap_violations(src), vec![3]);
+        // A trailing comment mentioning .unwrap() is not a violation.
+        let src = "fn lib() { fine(); } // then .unwrap() it\n";
+        assert_eq!(unwrap_violations(src), Vec::<usize>::new());
+        // A string literal naming .unwrap() is not a violation.
+        let src = "fn lib() { log(\"never .unwrap() here\"); }\n";
+        assert_eq!(unwrap_violations(src), Vec::<usize>::new());
+        // `#[test]` fns outside a cfg(test) module are exempt too.
+        let src = "#[test]\nfn t() { a.unwrap(); }\nfn lib() { b.unwrap(); }\n";
+        assert_eq!(unwrap_violations(src), vec![3]);
     }
 
     #[test]

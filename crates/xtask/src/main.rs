@@ -1,7 +1,18 @@
-//! `cargo xtask lint` — structural lints the compiler cannot express.
+//! `cargo xtask lint` — workspace static analysis.
 //!
-//! See the crate docs in `lib.rs` for the catalogue. Exit status: 0 when
-//! the workspace is clean, 1 when any lint fires, 2 on usage errors.
+//! Since PR 9 the primary analysis is the [`busarb_lint`] engine
+//! (lexer → items → call graph → checks → baseline → report); the
+//! string-level heuristics in this crate's library are kept for one
+//! release as a cross-check and run after the engine. Exit status: 0
+//! when the workspace is clean, 1 when any finding is open, 2 on usage
+//! or configuration errors.
+//!
+//! ```text
+//! cargo xtask lint                 # engine + legacy cross-check, text report
+//! cargo xtask lint --json OUT.json # also write the busarb-lint/1 JSON report
+//! cargo xtask lint --strict        # ignore the committed baseline (nightly CI)
+//! cargo xtask lint --list          # enumerate every registered check
+//! ```
 
 use std::fs;
 use std::path::{Path, PathBuf};
@@ -129,6 +140,30 @@ const HOT_SITES: [(&str, &[&str]); 19] = [
     ("crates/tail/src/adapters.rs", &["on_event"]),
 ];
 
+/// Legacy heuristics enumerated by `--list` alongside the engine checks.
+const LEGACY_CHECKS: [(&str, &str); 5] = [
+    (
+        "legacy-dispatch-tokens",
+        "every variant/slug/roster token occurs at each dispatch surface (string count)",
+    ),
+    (
+        "legacy-hot-alloc",
+        "no allocation token in named hot fns (per-fn body scan)",
+    ),
+    (
+        "legacy-slow-ln",
+        "no `.ln(` in the fast draw engine's named fns",
+    ),
+    (
+        "legacy-unwrap-policy",
+        "no bare `.unwrap()` in non-test library code",
+    ),
+    (
+        "legacy-forbid-unsafe",
+        "every crate root carries `#![forbid(unsafe_code)]`",
+    ),
+];
+
 fn workspace_root() -> PathBuf {
     Path::new(env!("CARGO_MANIFEST_DIR")).join("../..")
 }
@@ -200,7 +235,8 @@ fn crate_roots(root: &Path) -> Vec<String> {
     roots
 }
 
-fn lint(root: &Path) -> Vec<Finding> {
+/// The pre-engine heuristic pass, kept as a cross-check for one release.
+fn legacy_lint(root: &Path) -> Vec<Finding> {
     let mut findings = Vec::new();
     let variants: Vec<String> = ProtocolKind::all()
         .iter()
@@ -307,29 +343,116 @@ fn lint(root: &Path) -> Vec<Finding> {
     findings
 }
 
-fn main() -> ExitCode {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    match args.first().map(String::as_str) {
-        Some("lint") => {}
-        _ => {
-            eprintln!("usage: cargo xtask lint");
-            return ExitCode::from(2);
+/// Parsed `lint` subcommand flags.
+struct Options {
+    json: Option<PathBuf>,
+    strict: bool,
+    list: bool,
+}
+
+fn parse_options(args: &[String]) -> Result<Options, String> {
+    let mut opts = Options {
+        json: None,
+        strict: false,
+        list: false,
+    };
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--json" => {
+                let path = it.next().ok_or("--json requires a path")?;
+                opts.json = Some(PathBuf::from(path));
+            }
+            "--strict" => opts.strict = true,
+            "--list" => opts.list = true,
+            other => return Err(format!("unknown flag `{other}`")),
         }
     }
+    Ok(opts)
+}
+
+fn list_checks() {
+    println!("engine checks (busarb-lint):");
+    for c in busarb_lint::CHECKS {
+        println!("  {:<18} [{}] {}", c.id, c.family, c.description);
+    }
+    println!("legacy cross-checks (retained for one release):");
+    for (id, description) in LEGACY_CHECKS {
+        println!("  {id:<24} {description}");
+    }
+}
+
+fn run_lint(opts: &Options) -> Result<bool, String> {
     let root = workspace_root();
-    let findings = lint(&root);
-    if findings.is_empty() {
-        println!(
-            "xtask lint: clean ({} protocols x {} dispatch surfaces, hot paths, panic policy, unsafe policy)",
-            ProtocolKind::all().len(),
-            VARIANT_SITES.len() + SLUG_SITES.len(),
-        );
-        ExitCode::SUCCESS
+
+    let baseline = if opts.strict {
+        busarb_lint::Baseline::empty()
     } else {
-        for finding in &findings {
-            eprintln!("xtask lint: {finding}");
+        let path = root.join("lint-baseline.json");
+        let text = fs::read_to_string(&path)
+            .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+        busarb_lint::Baseline::parse(&text)?
+    };
+
+    let ws = busarb_lint::Workspace::load(&root).map_err(|e| format!("workspace: {e}"))?;
+    let variants: Vec<String> = ProtocolKind::all()
+        .iter()
+        .map(|k| format!("{k:?}"))
+        .collect();
+    let slugs: Vec<String> = ProtocolKind::all()
+        .iter()
+        .map(ToString::to_string)
+        .collect();
+    let cfg = busarb_lint::busarb_config(variants, slugs);
+    let report = busarb_lint::run(&ws, &cfg, &baseline);
+
+    if let Some(path) = &opts.json {
+        fs::write(path, report.to_json())
+            .map_err(|e| format!("cannot write {}: {e}", path.display()))?;
+    }
+    print!("{}", report.to_text());
+
+    // Legacy heuristics, retained for one release as a cross-check: any
+    // violation they still catch should also be caught (more precisely)
+    // by the engine above, so a firing here with a clean engine report
+    // points at an engine-config gap worth closing.
+    let legacy = legacy_lint(&root);
+    for finding in &legacy {
+        eprintln!("xtask lint (legacy cross-check): {finding}");
+    }
+    println!(
+        "xtask lint: legacy cross-check {} ({} finding(s))",
+        if legacy.is_empty() { "clean" } else { "FAILED" },
+        legacy.len(),
+    );
+
+    Ok(report.is_clean() && legacy.is_empty())
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let usage = "usage: cargo xtask lint [--json PATH] [--strict] [--list]";
+    if args.first().map(String::as_str) != Some("lint") {
+        eprintln!("{usage}");
+        return ExitCode::from(2);
+    }
+    let opts = match parse_options(&args[1..]) {
+        Ok(opts) => opts,
+        Err(e) => {
+            eprintln!("xtask lint: {e}\n{usage}");
+            return ExitCode::from(2);
         }
-        eprintln!("xtask lint: {} finding(s)", findings.len());
-        ExitCode::FAILURE
+    };
+    if opts.list {
+        list_checks();
+        return ExitCode::SUCCESS;
+    }
+    match run_lint(&opts) {
+        Ok(true) => ExitCode::SUCCESS,
+        Ok(false) => ExitCode::FAILURE,
+        Err(e) => {
+            eprintln!("xtask lint: {e}");
+            ExitCode::from(2)
+        }
     }
 }

@@ -1,0 +1,91 @@
+//! The subset proof: everything the old string-count heuristic flags,
+//! the engine flags too — and the engine catches a class of violation
+//! the heuristic is structurally blind to. The witness is a dispatch
+//! surface where a variant's token appears only inside a comment: the
+//! raw substring count is satisfied, so `missing_tokens` passes, while
+//! the engine counts code tokens only and reports the variant missing.
+
+use busarb_lint::checks::TokenSite;
+use busarb_lint::{run, Baseline, Config, SourceFile, Workspace};
+use xtask::missing_tokens;
+
+/// A roster file where `ProtocolKind::RotatingRr` survives only in a
+/// comment — exactly what a careless "drop the protocol" edit leaves
+/// behind.
+const COMMENT_ONLY_VARIANT: &str = "\
+// Wired protocols: ProtocolKind::Rr, ProtocolKind::RotatingRr.
+pub fn roster() -> u32 {
+    let wired = (ProtocolKind::Rr,);
+    drop(wired);
+    1
+}
+";
+
+fn engine_findings(src: &str, variants: &[&str]) -> Vec<busarb_lint::Finding> {
+    let ws = Workspace::from_files(vec![SourceFile {
+        path: "crates/toy/src/roster.rs".to_string(),
+        text: src.to_string(),
+    }]);
+    let cfg = Config {
+        enum_name: "ProtocolKind".to_string(),
+        variants: variants.iter().map(|v| (*v).to_string()).collect(),
+        slugs: vec![],
+        graph_paths: vec![],
+        hot_roots: vec![],
+        fast_math_roots: vec![],
+        runner_roots: vec![],
+        determinism_paths: vec![],
+        variant_sites: vec![TokenSite {
+            file: "crates/toy/src/roster.rs",
+            min_count: 1,
+        }],
+        slug_sites: vec![],
+        match_sites: vec![],
+    };
+    run(&ws, &cfg, &Baseline::empty()).open
+}
+
+#[test]
+fn the_old_heuristic_is_a_strict_subset_of_the_engine() {
+    let tokens = vec![
+        "ProtocolKind::Rr".to_string(),
+        "ProtocolKind::RotatingRr".to_string(),
+    ];
+
+    // Old heuristic: the comment satisfies the substring count, so the
+    // dropped variant passes unnoticed.
+    assert_eq!(
+        missing_tokens(COMMENT_ONLY_VARIANT, &tokens, 1),
+        Vec::<&str>::new(),
+        "the string heuristic is fooled by the comment"
+    );
+
+    // Engine: comments never count, so `RotatingRr` is reported.
+    let findings = engine_findings(COMMENT_ONLY_VARIANT, &["Rr", "RotatingRr"]);
+    assert_eq!(findings.len(), 1, "{findings:?}");
+    assert_eq!(findings[0].check, "dispatch-token");
+    assert_eq!(findings[0].symbol, "RotatingRr");
+}
+
+#[test]
+fn whatever_the_old_heuristic_flags_the_engine_flags_too() {
+    // Drop the variant from code AND comments: both layers report it,
+    // so migrating off the heuristic loses no coverage.
+    let src = "pub fn roster() -> u32 { let w = (ProtocolKind::Rr,); drop(w); 1 }\n";
+    let tokens = vec![
+        "ProtocolKind::Rr".to_string(),
+        "ProtocolKind::RotatingRr".to_string(),
+    ];
+    assert_eq!(
+        missing_tokens(src, &tokens, 1),
+        vec!["ProtocolKind::RotatingRr"]
+    );
+    let findings = engine_findings(src, &["Rr", "RotatingRr"]);
+    assert_eq!(findings.len(), 1, "{findings:?}");
+    assert_eq!(findings[0].symbol, "RotatingRr");
+
+    // And on the fully wired twin both layers are clean.
+    let src = "pub fn roster() -> u32 {\n    let w = (ProtocolKind::Rr, ProtocolKind::RotatingRr);\n    drop(w);\n    2\n}\n";
+    assert_eq!(missing_tokens(src, &tokens, 1), Vec::<&str>::new());
+    assert_eq!(engine_findings(src, &["Rr", "RotatingRr"]), vec![]);
+}
