@@ -50,7 +50,8 @@ use std::process::ExitCode;
 
 use busarb_core::{Arbiter, ProtocolKind};
 use busarb_experiments::{
-    ablations, bursty, figure4_1, grid::Grid, observe, priority_study, protocol_slug, scaling,
+    ablations, bursty, coherence, figure4_1, grid::Grid, observe, priority_study, protocol_slug,
+    scaling,
     table4_1, table4_2, table4_3, table4_4, table4_5, tails, validation, worst_case_fcfs,
     EstimateJson, Scale,
 };
@@ -144,7 +145,7 @@ fn usage() -> &'static str {
      \u{20}         ablation.counters ablation.window ablation.rr3\n\
      \u{20}         ablation.start-rule ablation.overhead ablation.width-overhead\n\
      \u{20}         hybrid conservation\n\
-     \u{20}         tails bursty worst-case.fcfs priority scaling validate.cis\n\
+     \u{20}         tails bursty coherence worst-case.fcfs priority scaling validate.cis\n\
      \u{20}         protocols cell inspect tolerance all"
 }
 
@@ -335,6 +336,10 @@ fn main() -> ExitCode {
         "bursty" => {
             let b = bursty::run(opts.scale);
             emit(&opts, "bursty", &b, bursty::format(&b));
+        }
+        "coherence" => {
+            let c = coherence::run(opts.scale);
+            emit(&opts, "coherence", &c, coherence::format(&c));
         }
         "scaling" => {
             let sc = scaling::run(opts.scale);

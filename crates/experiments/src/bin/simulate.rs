@@ -30,6 +30,10 @@
 //!   --worst-case-rr    the Table 4.5 "just miss" workload (slow agent 1)
 //!   --worst-case-fcfs  the 4.5-footnote re-synchronizing FCFS workload
 //!   --bursty B         trace-driven bursty traffic (quiet/burst ratio B)
+//!   --workload mesi    closed-loop MESI coherence workload: every request
+//!                      is a cache miss and the agent stalls until its
+//!                      grant completes (--load/--cv are ignored; requires
+//!                      --outstanding 1)
 //! ```
 
 use std::path::PathBuf;
@@ -39,7 +43,7 @@ use busarb_core::ProtocolKind;
 use busarb_sim::{RunReport, Simulation, SystemConfig, TraceFormat};
 use busarb_stats::BatchMeansConfig;
 use busarb_types::{AgentId, Time};
-use busarb_workload::{BurstyTrace, DrawEngineKind, Scenario};
+use busarb_workload::{BurstyTrace, CoherenceConfig, DrawEngineKind, Scenario};
 
 #[derive(Clone, Copy, PartialEq, Debug)]
 enum Variant {
@@ -48,6 +52,7 @@ enum Variant {
     WorstCaseRr,
     WorstCaseFcfs,
     Bursty(f64),
+    Mesi,
 }
 
 #[derive(Clone, Debug)]
@@ -150,6 +155,13 @@ fn parse_args() -> Result<Options, String> {
                 opts.variant =
                     Variant::Bursty(value("--bursty")?.parse().map_err(|e| format!("{e}"))?);
             }
+            "--workload" => {
+                opts.variant = match value("--workload")?.as_str() {
+                    "mesi" => Variant::Mesi,
+                    "open" => Variant::EqualLoad,
+                    other => return Err(format!("unknown workload '{other}' (open|mesi)")),
+                };
+            }
             "--help" | "-h" => return Err(String::new()),
             other => return Err(format!("unexpected argument '{other}'")),
         }
@@ -164,6 +176,7 @@ fn usage() -> &'static str {
      \u{20}               [--overhead A] [--trace K] [--compare] [--jobs N]\n\
      \u{20}               [--trace-out FILE] [--trace-format jsonl|binary] [--metrics FILE]\n\
      \u{20}               [--boost F | --worst-case-rr | --worst-case-fcfs | --bursty B]\n\
+     \u{20}               [--workload open|mesi]\n\
      protocols: fixed-priority aap-1 aap-2 aap-2m rr fcfs-1 fcfs-2\n\
      \u{20}          central-rr central-fcfs hybrid adaptive rotating-rr ticket-fcfs"
 }
@@ -198,6 +211,8 @@ fn build_scenario(opts: &Options) -> Result<Scenario, String> {
             .map_err(|e| e.to_string())?;
             Scenario::from_trace_equal(opts.agents, trace).map_err(|e| e.to_string())
         }
+        Variant::Mesi => Scenario::closed_loop(opts.agents, CoherenceConfig::default_mix())
+            .map_err(|e| e.to_string()),
     }
 }
 

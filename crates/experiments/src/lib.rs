@@ -31,6 +31,7 @@
 
 pub mod ablations;
 pub mod bursty;
+pub mod coherence;
 pub mod common;
 pub mod figure4_1;
 pub mod grid;

@@ -1,0 +1,33 @@
+//! Worker-count determinism of the closed-loop MESI sweep.
+//!
+//! The coherence study fans its size × protocol cells across workers
+//! (`run_cells`); its pinned `results/coherence.json` fixture is only
+//! meaningful if the sweep is bit-for-bit identical at any `--jobs`.
+//! The cache feedback path makes this a sharper claim than for the
+//! open-loop sweeps: every arrival time depends on the full history of
+//! grants, so any cross-worker leak (a shared draw stream, a rollup-
+//! order dependence) would show up here first. A single `#[test]` in
+//! its own binary because the jobs and engine selectors are
+//! process-global: concurrent tests flipping them would race.
+
+use busarb_experiments::{coherence, set_engine, set_jobs, Scale};
+use busarb_workload::DrawEngineKind;
+
+#[test]
+fn closed_loop_sweeps_are_worker_count_independent() {
+    for engine in [DrawEngineKind::Reference, DrawEngineKind::Fast] {
+        set_engine(engine);
+        set_jobs(1);
+        let serial = format!("{:?}", coherence::run(Scale::Smoke));
+        for jobs in [2usize, 4] {
+            set_jobs(jobs);
+            let parallel = format!("{:?}", coherence::run(Scale::Smoke));
+            assert_eq!(
+                serial, parallel,
+                "{engine}: --jobs {jobs} changed the coherence study"
+            );
+        }
+    }
+    set_jobs(0);
+    set_engine(DrawEngineKind::default());
+}

@@ -16,6 +16,8 @@
 //! | `dispatch-token`        | dispatch    | lexer-accurate variant/slug occurrence counts |
 //! | `dispatch-match`        | dispatch    | every registered `ProtocolKind` match names every variant |
 //! | `panic-surface`         | panics      | catalog of panic sites reachable from the mono runner (informational) |
+//! | `unwrap-policy`         | panics      | no bare `.unwrap()` in non-test library code |
+//! | `forbid-unsafe`         | policy      | every crate root carries `#![forbid(unsafe_code)]` |
 //! | `root-missing`          | engine      | a configured root fn no longer exists  |
 //! | `baseline-unused`       | engine      | a suppression matches nothing (rot)    |
 
@@ -86,6 +88,16 @@ pub const CHECKS: &[CheckInfo] = &[
         id: "panic-surface",
         family: "panics",
         description: "machine-readable catalog of every panic site reachable from the mono runner (informational, never fails)",
+    },
+    CheckInfo {
+        id: "unwrap-policy",
+        family: "panics",
+        description: "no bare `.unwrap()` in non-test library code (binaries and main.rs are exempt)",
+    },
+    CheckInfo {
+        id: "forbid-unsafe",
+        family: "policy",
+        description: "every crate root (src/lib.rs) carries #![forbid(unsafe_code)]",
     },
     CheckInfo {
         id: "root-missing",
@@ -439,6 +451,70 @@ pub fn check_determinism(files: &[FileFns<'_>], paths: &[&str], findings: &mut V
                     t.text
                 ),
             });
+        }
+    }
+}
+
+/// Workspace panic/unsafe policy, migrated from the pre-engine string
+/// heuristics in `cargo xtask lint` (which this check retires):
+///
+/// * **`unwrap-policy`** — a bare `.unwrap()` in library code must
+///   justify itself as `.expect("why this cannot fail")`. Binaries and
+///   `main.rs` roots may panic on bad input; `#[cfg(test)]` regions and
+///   `#[test]` fns are exempt (doc comments never lex as code).
+/// * **`forbid-unsafe`** — every crate root (`src/lib.rs`, shims
+///   included) must carry `#![forbid(unsafe_code)]`.
+pub fn check_policy(files: &[FileFns<'_>], findings: &mut Vec<Finding>) {
+    for f in files {
+        if !f.path.contains("/bin/") && !f.path.ends_with("/main.rs") {
+            let test_spans: Vec<core::ops::Range<usize>> = f
+                .items
+                .iter()
+                .filter(|i| i.is_test)
+                .map(|i| i.body.clone())
+                .collect();
+            let enclosing_fn = |idx: usize| -> String {
+                f.items
+                    .iter()
+                    .find(|i| i.body.contains(&idx))
+                    .map_or_else(|| "(file scope)".to_string(), FnItem::qualified_name)
+            };
+            for i in 0..f.tokens.len().saturating_sub(3) {
+                let is = |k: usize, text: &str| f.tokens[i + k].text == text;
+                if f.tokens[i].kind == TokenKind::Punct
+                    && is(0, ".")
+                    && is(1, "unwrap")
+                    && is(2, "(")
+                    && is(3, ")")
+                    && !test_spans.iter().any(|r| r.contains(&i))
+                {
+                    findings.push(Finding {
+                        check: "unwrap-policy",
+                        file: f.path.to_string(),
+                        line: f.tokens[i].line,
+                        symbol: enclosing_fn(i),
+                        message: "bare `.unwrap()` in library code — use `.expect(\"why this cannot fail\")`"
+                            .to_string(),
+                    });
+                }
+            }
+        }
+        if f.path.ends_with("src/lib.rs") {
+            let has_forbid = (0..f.tokens.len().saturating_sub(3)).any(|i| {
+                f.tokens[i].text == "forbid"
+                    && f.tokens[i + 1].text == "("
+                    && f.tokens[i + 2].text == "unsafe_code"
+                    && f.tokens[i + 3].text == ")"
+            });
+            if !has_forbid {
+                findings.push(Finding {
+                    check: "forbid-unsafe",
+                    file: f.path.to_string(),
+                    line: 0,
+                    symbol: "(crate root)".to_string(),
+                    message: "missing `#![forbid(unsafe_code)]`".to_string(),
+                });
+            }
         }
     }
 }

@@ -66,12 +66,19 @@ pub fn busarb_config(variants: Vec<String>, slugs: Vec<String>) -> Config {
         root("crates/workload/src/engine.rs", Some("FastEngine"), "think_time"),
         root("crates/workload/src/engine.rs", Some("FastEngine"), "uniform"),
         root("crates/workload/src/engine.rs", Some("AgentStream"), "refill"),
+        // Closed-loop MESI model: miss classification on every grant
+        // completion, and the reference-stream scan that enqueues the
+        // next miss.
+        root("crates/mem/src/lib.rs", Some("CoherenceSystem"), "next_miss"),
+        root("crates/mem/src/lib.rs", Some("CoherenceSystem"), "complete"),
         // Always-on metrics registry, updated on every transition.
         root("crates/obs/src/registry.rs", None, "on_event"),
         root("crates/obs/src/registry.rs", None, "on_request"),
         root("crates/obs/src/registry.rs", None, "on_grant"),
         root("crates/obs/src/registry.rs", None, "on_transfer_start"),
         root("crates/obs/src/registry.rs", None, "on_completion"),
+        root("crates/obs/src/registry.rs", None, "on_coherence"),
+        root("crates/obs/src/registry.rs", None, "on_invalidation"),
         root("crates/obs/src/metrics.rs", None, "record"),
         // Streaming analyzers: once per trace event.
         root("crates/tail/src/usage.rs", None, "push"),
@@ -117,6 +124,7 @@ pub fn busarb_config(variants: Vec<String>, slugs: Vec<String>) -> Config {
             "crates/core/",
             "crates/sim/",
             "crates/workload/",
+            "crates/mem/",
             "crates/obs/",
             "crates/tail/",
             "crates/stats/",
@@ -145,6 +153,7 @@ pub fn busarb_config(variants: Vec<String>, slugs: Vec<String>) -> Config {
         ],
         determinism_paths: vec![
             "crates/sim/",
+            "crates/mem/",
             "crates/obs/",
             "crates/tail/",
             "crates/stats/",

@@ -143,6 +143,7 @@ pub fn run(ws: &Workspace, cfg: &Config, baseline: &Baseline) -> Report {
         &mut findings,
     );
     checks::check_determinism(&file_fns, &cfg.determinism_paths, &mut findings);
+    checks::check_policy(&file_fns, &mut findings);
     checks::check_dispatch_tokens(
         &file_fns,
         &cfg.enum_name,

@@ -4,7 +4,7 @@ use std::fmt::Write as _;
 use std::io::{self, Write};
 use std::path::Path;
 
-use busarb_types::{TraceEvent, TraceKind};
+use busarb_types::{CoherenceOp, TraceEvent, TraceKind};
 
 use crate::{TraceFormat, TraceHeader, TraceSink};
 
@@ -17,6 +17,36 @@ pub(crate) const TAG_REQUEST: u8 = 0;
 pub(crate) const TAG_ARBITRATION: u8 = 1;
 pub(crate) const TAG_TRANSFER: u8 = 2;
 pub(crate) const TAG_END: u8 = 3;
+pub(crate) const TAG_COHERENCE: u8 = 4;
+
+/// Binary wire code for a coherence operation.
+pub(crate) fn coherence_op_code(op: CoherenceOp) -> u8 {
+    match op {
+        CoherenceOp::ReadMiss => 0,
+        CoherenceOp::WriteMiss => 1,
+        CoherenceOp::Upgrade => 2,
+    }
+}
+
+/// Inverse of [`coherence_op_code`]; `None` for unknown codes.
+pub(crate) fn coherence_op_from_code(code: u8) -> Option<CoherenceOp> {
+    Some(match code {
+        0 => CoherenceOp::ReadMiss,
+        1 => CoherenceOp::WriteMiss,
+        2 => CoherenceOp::Upgrade,
+        _ => return None,
+    })
+}
+
+/// JSONL slug → coherence operation (inverse of [`CoherenceOp::slug`]).
+pub(crate) fn coherence_op_from_slug(slug: &str) -> Option<CoherenceOp> {
+    Some(match slug {
+        "read-miss" => CoherenceOp::ReadMiss,
+        "write-miss" => CoherenceOp::WriteMiss,
+        "upgrade" => CoherenceOp::Upgrade,
+        _ => return None,
+    })
+}
 
 fn invalid(msg: impl Into<String>) -> io::Error {
     io::Error::new(io::ErrorKind::InvalidData, msg.into())
@@ -111,6 +141,15 @@ impl<W: Write> TraceSink for JsonlSink<W> {
                 self.line,
                 "{{\"at\":{at},\"ev\":\"end\",\"agent\":{agent},\"wait\":{wait}}}"
             ),
+            TraceKind::Coherence {
+                agent,
+                op,
+                invalidated,
+            } => write!(
+                self.line,
+                "{{\"at\":{at},\"ev\":\"coh\",\"agent\":{agent},\"op\":\"{}\",\"invalidated\":{invalidated}}}",
+                op.slug()
+            ),
         }
         // Writing to a `String` cannot fail; mapping (instead of
         // unwrapping) keeps the per-event path free of panic branches.
@@ -126,8 +165,9 @@ impl<W: Write> TraceSink for JsonlSink<W> {
 
 /// A write-through binary sink: `BTRC` magic, version byte, `u32`
 /// little-endian length-prefixed JSON header, then fixed-layout
-/// little-endian records (tag byte, `f64` timestamp, `u32` agent, and
-/// one further `f64` for arbitration/completion records).
+/// little-endian records (tag byte, `f64` timestamp, `u32` agent, then
+/// one further `f64` for arbitration/completion records, or an op-code
+/// byte plus `u32` invalidation count for coherence records).
 #[derive(Debug)]
 pub struct BinarySink<W: Write> {
     writer: W,
@@ -159,22 +199,43 @@ impl<W: Write> TraceSink for BinarySink<W> {
     fn record(&mut self, event: &TraceEvent) -> io::Result<()> {
         // tag + at + agent + extra: at most 21 bytes per record.
         let mut buf = [0u8; 21];
-        let (tag, agent, extra) = match event.kind {
-            TraceKind::Request { agent } => (TAG_REQUEST, agent, None),
-            TraceKind::ArbitrationStart { winner, completes } => {
-                (TAG_ARBITRATION, winner, Some(completes.as_f64()))
-            }
-            TraceKind::TransferStart { agent } => (TAG_TRANSFER, agent, None),
-            TraceKind::TransferEnd { agent, wait } => (TAG_END, agent, Some(wait)),
-        };
-        buf[0] = tag;
         buf[1..9].copy_from_slice(&event.at.as_f64().to_le_bytes());
-        buf[9..13].copy_from_slice(&agent.get().to_le_bytes());
-        let len = if let Some(x) = extra {
-            buf[13..21].copy_from_slice(&x.to_le_bytes());
-            21
-        } else {
-            13
+        let len = match event.kind {
+            TraceKind::Request { agent } => {
+                buf[0] = TAG_REQUEST;
+                buf[9..13].copy_from_slice(&agent.get().to_le_bytes());
+                13
+            }
+            TraceKind::ArbitrationStart { winner, completes } => {
+                buf[0] = TAG_ARBITRATION;
+                buf[9..13].copy_from_slice(&winner.get().to_le_bytes());
+                buf[13..21].copy_from_slice(&completes.as_f64().to_le_bytes());
+                21
+            }
+            TraceKind::TransferStart { agent } => {
+                buf[0] = TAG_TRANSFER;
+                buf[9..13].copy_from_slice(&agent.get().to_le_bytes());
+                13
+            }
+            TraceKind::TransferEnd { agent, wait } => {
+                buf[0] = TAG_END;
+                buf[9..13].copy_from_slice(&agent.get().to_le_bytes());
+                buf[13..21].copy_from_slice(&wait.to_le_bytes());
+                21
+            }
+            TraceKind::Coherence {
+                agent,
+                op,
+                invalidated,
+            } => {
+                // Coherence records have their own body layout: op code
+                // byte plus a u32 invalidation count (18 bytes total).
+                buf[0] = TAG_COHERENCE;
+                buf[9..13].copy_from_slice(&agent.get().to_le_bytes());
+                buf[13] = coherence_op_code(op);
+                buf[14..18].copy_from_slice(&invalidated.to_le_bytes());
+                18
+            }
         };
         self.writer.write_all(&buf[..len])
     }
@@ -263,16 +324,25 @@ mod tests {
         for i in 0..40u32 {
             t += 0.1 + f64::from(i) / 3.0;
             let agent = id(1 + i % 4);
-            let kind = match i % 4 {
+            let kind = match i % 5 {
                 0 => TraceKind::Request { agent },
                 1 => TraceKind::ArbitrationStart {
                     winner: agent,
                     completes: Time::from(t + 0.5),
                 },
                 2 => TraceKind::TransferStart { agent },
-                _ => TraceKind::TransferEnd {
+                3 => TraceKind::TransferEnd {
                     agent,
                     wait: t / 7.0,
+                },
+                _ => TraceKind::Coherence {
+                    agent,
+                    op: match i % 3 {
+                        0 => CoherenceOp::ReadMiss,
+                        1 => CoherenceOp::WriteMiss,
+                        _ => CoherenceOp::Upgrade,
+                    },
+                    invalidated: i % 4,
                 },
             };
             out.push(TraceEvent {

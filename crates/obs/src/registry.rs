@@ -1,6 +1,6 @@
 //! The metrics registry the event loop drives.
 
-use busarb_types::{AgentId, Time};
+use busarb_types::{AgentId, CoherenceOp, Time};
 
 use crate::metrics::{LogHistogram, WindowedRate};
 use crate::snapshot::{MetricsSnapshot, RateSnapshot};
@@ -25,6 +25,10 @@ pub struct MetricsRegistry {
     transfers_started: u64,
     completions: u64,
     completions_per_agent: Vec<u64>,
+    read_misses: Vec<u64>,
+    write_misses: Vec<u64>,
+    upgrades: Vec<u64>,
+    invalidations: Vec<u64>,
     pending_peak: u32,
     wait: LogHistogram,
     queue_depth: LogHistogram,
@@ -47,6 +51,10 @@ impl MetricsRegistry {
             transfers_started: 0,
             completions: 0,
             completions_per_agent: vec![0; agents as usize],
+            read_misses: vec![0; agents as usize],
+            write_misses: vec![0; agents as usize],
+            upgrades: vec![0; agents as usize],
+            invalidations: vec![0; agents as usize],
             pending_peak: 0,
             wait: LogHistogram::new(),
             queue_depth: LogHistogram::new(),
@@ -98,6 +106,25 @@ impl MetricsRegistry {
         self.wait.record(wait);
     }
 
+    /// A coherence bus transaction by `agent` completed, classified by
+    /// the MESI transition it performed (closed-loop workloads only).
+    #[inline]
+    pub fn on_coherence(&mut self, agent: AgentId, op: CoherenceOp) {
+        let slot = agent.index();
+        match op {
+            CoherenceOp::ReadMiss => self.read_misses[slot] += 1,
+            CoherenceOp::WriteMiss => self.write_misses[slot] += 1,
+            CoherenceOp::Upgrade => self.upgrades[slot] += 1,
+        }
+    }
+
+    /// `victim`'s cached copy of a line was invalidated by another
+    /// agent's write (closed-loop workloads only).
+    #[inline]
+    pub fn on_invalidation(&mut self, victim: AgentId) {
+        self.invalidations[victim.index()] += 1;
+    }
+
     /// Total events observed so far.
     #[must_use]
     pub fn events(&self) -> u64 {
@@ -129,6 +156,10 @@ impl MetricsRegistry {
             transfers_started: self.transfers_started,
             completions: self.completions,
             completions_per_agent: self.completions_per_agent.clone(),
+            read_misses: self.read_misses.clone(),
+            write_misses: self.write_misses.clone(),
+            upgrades: self.upgrades.clone(),
+            invalidations: self.invalidations.clone(),
             pending_peak: self.pending_peak,
             wait: crate::snapshot::HistogramSnapshot::of(&self.wait),
             queue_depth: crate::snapshot::HistogramSnapshot::of(&self.queue_depth),
@@ -159,6 +190,10 @@ mod tests {
         m.on_transfer_start();
         m.on_completion(id(1), 1.5);
         m.on_completion(id(3), 2.5);
+        m.on_coherence(id(1), CoherenceOp::ReadMiss);
+        m.on_coherence(id(1), CoherenceOp::WriteMiss);
+        m.on_coherence(id(3), CoherenceOp::Upgrade);
+        m.on_invalidation(id(2));
 
         assert_eq!(m.events(), 10);
         assert_eq!(m.grants(), 2);
@@ -173,6 +208,10 @@ mod tests {
         assert_eq!(s.transfers_started, 1);
         assert_eq!(s.completions, 2);
         assert_eq!(s.completions_per_agent, vec![1, 0, 1]);
+        assert_eq!(s.read_misses, vec![1, 0, 0]);
+        assert_eq!(s.write_misses, vec![1, 0, 0]);
+        assert_eq!(s.upgrades, vec![0, 0, 1]);
+        assert_eq!(s.invalidations, vec![0, 1, 0]);
         assert_eq!(s.pending_peak, 2);
         assert_eq!(s.wait.count, 2);
         assert_eq!(s.wait.sum, 4.0);

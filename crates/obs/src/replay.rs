@@ -36,6 +36,9 @@ pub struct Replay {
     pub transfers: u64,
     /// Transfer completions in the trace (whole run).
     pub completions: u64,
+    /// Coherence events in the trace (whole run; zero for open-loop
+    /// workloads).
+    pub coherence_events: u64,
     /// Completions consumed by the warm-up discard.
     pub warmup_consumed: u64,
     /// Measured completions per agent, indexed by `AgentId::index()`.
@@ -75,6 +78,7 @@ pub struct ReplayBuilder {
     grants: u64,
     transfers: u64,
     completions: u64,
+    coherence_events: u64,
     per_agent_samples: Vec<u64>,
 }
 
@@ -107,6 +111,7 @@ impl ReplayBuilder {
             grants: 0,
             transfers: 0,
             completions: 0,
+            coherence_events: 0,
             per_agent_samples: vec![0u64; header.agents as usize],
         })
     }
@@ -122,6 +127,7 @@ impl ReplayBuilder {
             TraceKind::Request { .. } => self.requests += 1,
             TraceKind::ArbitrationStart { .. } => self.grants += 1,
             TraceKind::TransferStart { .. } => self.transfers += 1,
+            TraceKind::Coherence { .. } => self.coherence_events += 1,
             TraceKind::TransferEnd { agent, wait } => {
                 self.completions += 1;
                 if agent.get() > self.agents {
@@ -166,6 +172,7 @@ impl ReplayBuilder {
             grants: self.grants,
             transfers: self.transfers,
             completions: self.completions,
+            coherence_events: self.coherence_events,
             warmup_consumed: self.warmup_samples - self.warmup_remaining,
             per_agent_samples: self.per_agent_samples,
         }

@@ -141,6 +141,16 @@ pub struct MetricsSnapshot {
     pub completions: u64,
     /// Completions per agent, indexed by `AgentId::index()`.
     pub completions_per_agent: Vec<u64>,
+    /// MESI read misses per agent (closed-loop workloads; all zeros
+    /// otherwise), indexed by `AgentId::index()`.
+    pub read_misses: Vec<u64>,
+    /// MESI write misses per agent, indexed by `AgentId::index()`.
+    pub write_misses: Vec<u64>,
+    /// MESI S→M upgrades per agent, indexed by `AgentId::index()`.
+    pub upgrades: Vec<u64>,
+    /// Cached copies invalidated per agent (victim-attributed), indexed
+    /// by `AgentId::index()`.
+    pub invalidations: Vec<u64>,
     /// Largest number of simultaneously pending requests observed.
     pub pending_peak: u32,
     /// Waiting-time distribution (whole run, warm-up included).
@@ -185,17 +195,19 @@ impl MetricsSnapshot {
         self.arbitrations += other.arbitrations;
         self.transfers_started += other.transfers_started;
         self.completions += other.completions;
-        if self.completions_per_agent.len() < other.completions_per_agent.len() {
-            self.completions_per_agent
-                .resize(other.completions_per_agent.len(), 0);
+        fn add_per_agent(into: &mut Vec<u64>, from: &[u64]) {
+            if into.len() < from.len() {
+                into.resize(from.len(), 0);
+            }
+            for (into, from) in into.iter_mut().zip(from) {
+                *into += from;
+            }
         }
-        for (into, from) in self
-            .completions_per_agent
-            .iter_mut()
-            .zip(&other.completions_per_agent)
-        {
-            *into += from;
-        }
+        add_per_agent(&mut self.completions_per_agent, &other.completions_per_agent);
+        add_per_agent(&mut self.read_misses, &other.read_misses);
+        add_per_agent(&mut self.write_misses, &other.write_misses);
+        add_per_agent(&mut self.upgrades, &other.upgrades);
+        add_per_agent(&mut self.invalidations, &other.invalidations);
         self.pending_peak = self.pending_peak.max(other.pending_peak);
         self.wait.merge(&other.wait);
         self.queue_depth.merge(&other.queue_depth);
@@ -208,7 +220,7 @@ impl MetricsSnapshot {
 mod tests {
     use super::*;
     use crate::metrics::HISTOGRAM_BUCKETS;
-    use busarb_types::{AgentId, Time};
+    use busarb_types::{AgentId, CoherenceOp, Time};
 
     fn sample(agents: u32, base: f64) -> MetricsSnapshot {
         let mut m = crate::MetricsRegistry::new(agents);
@@ -217,6 +229,10 @@ mod tests {
         m.on_grant(Time::from(base), 2);
         m.on_transfer_start();
         m.on_completion(AgentId::new(1).unwrap(), base);
+        m.on_coherence(AgentId::new(1).unwrap(), CoherenceOp::WriteMiss);
+        if agents >= 2 {
+            m.on_invalidation(AgentId::new(2).unwrap());
+        }
         m.snapshot()
     }
 
@@ -232,6 +248,10 @@ mod tests {
         assert_eq!(a.arbitrations, 4);
         assert_eq!(a.completions, 2);
         assert_eq!(a.completions_per_agent, vec![2, 0, 0, 0]);
+        assert_eq!(a.write_misses, vec![2, 0, 0, 0]);
+        assert_eq!(a.invalidations, vec![0, 2, 0, 0]);
+        assert_eq!(a.read_misses, vec![0, 0, 0, 0]);
+        assert_eq!(a.upgrades, vec![0, 0, 0, 0]);
         assert_eq!(a.wait.count, 2);
         assert_eq!(a.wait.sum, 4.0);
         assert_eq!(a.wait.min, 1.0);

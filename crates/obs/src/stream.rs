@@ -22,7 +22,10 @@ use std::path::Path;
 
 use busarb_types::{AgentId, Time, TraceEvent, TraceKind};
 
-use crate::export::{MAGIC, TAG_ARBITRATION, TAG_END, TAG_REQUEST, TAG_TRANSFER, VERSION};
+use crate::export::{
+    coherence_op_from_code, coherence_op_from_slug, MAGIC, TAG_ARBITRATION, TAG_COHERENCE,
+    TAG_END, TAG_REQUEST, TAG_TRANSFER, VERSION,
+};
 use crate::{TraceFormat, TraceHeader};
 
 /// Upper bound on one JSONL line (header or event). A well-formed event
@@ -310,7 +313,8 @@ impl<R: Read> TraceReader<R> {
             let value = serde_json::from_str(text).map_err(|e| {
                 StreamError::new(line_start, Some(self.line), format!("bad event: {e}"))
             })?;
-            return event_from_value(&value)
+            let agents = self.header.agents;
+            return event_from_value(&value, agents)
                 .map(Some)
                 .map_err(|msg| StreamError::new(line_start, Some(self.line), msg));
         }
@@ -331,9 +335,13 @@ impl<R: Read> TraceReader<R> {
             }
         }
         let tag = tag[0];
-        let needs_extra = match tag {
-            TAG_REQUEST | TAG_TRANSFER => false,
-            TAG_ARBITRATION | TAG_END => true,
+        // Per-tag body length (after the tag byte): `at` + agent for
+        // every kind, plus an extra f64 for arbitration/completion
+        // records or an op byte + u32 count for coherence records.
+        let body_len = match tag {
+            TAG_REQUEST | TAG_TRANSFER => 12,
+            TAG_ARBITRATION | TAG_END => 20,
+            TAG_COHERENCE => 17,
             other => {
                 return Err(StreamError::new(
                     record_start,
@@ -343,39 +351,48 @@ impl<R: Read> TraceReader<R> {
             }
         };
         let mut fixed = [0u8; 20];
-        let body = if needs_extra {
-            &mut fixed[..20]
-        } else {
-            &mut fixed[..12]
-        };
-        self.input.read_exact(body).map_err(|_| {
+        self.input.read_exact(&mut fixed[..body_len]).map_err(|_| {
             StreamError::new(
                 record_start,
                 None,
                 "truncated binary record (stream ends mid-record)",
             )
         })?;
-        let body_len = body.len();
-        let at = Time::from(f64::from_le_bytes(
-            fixed[..8].try_into().expect("8-byte slice"),
-        ));
+        let position = |msg: String| StreamError::new(record_start, None, msg);
+        let at = finite_time(
+            f64::from_le_bytes(fixed[..8].try_into().expect("8-byte slice")),
+            "timestamp",
+        )
+        .map_err(position)?;
         let raw_agent = u32::from_le_bytes(fixed[8..12].try_into().expect("4-byte slice"));
-        let agent = AgentId::new(raw_agent).map_err(|e| {
+        let agent = AgentId::try_from_raw(raw_agent, self.header.agents).map_err(|e| {
             StreamError::new(record_start, None, format!("bad agent identity: {e}"))
         })?;
-        let extra = if needs_extra {
-            f64::from_le_bytes(fixed[12..20].try_into().expect("8-byte slice"))
-        } else {
-            0.0
-        };
+        let extra_f64 = || f64::from_le_bytes(fixed[12..20].try_into().expect("8-byte slice"));
         let kind = match tag {
             TAG_REQUEST => TraceKind::Request { agent },
             TAG_ARBITRATION => TraceKind::ArbitrationStart {
                 winner: agent,
-                completes: Time::from(extra),
+                completes: finite_time(extra_f64(), "completion time").map_err(position)?,
             },
             TAG_TRANSFER => TraceKind::TransferStart { agent },
-            _ => TraceKind::TransferEnd { agent, wait: extra },
+            TAG_END => TraceKind::TransferEnd {
+                agent,
+                wait: finite_duration(extra_f64(), "wait").map_err(position)?,
+            },
+            _ => {
+                // TAG_COHERENCE (any other tag was rejected above).
+                let op = coherence_op_from_code(fixed[12]).ok_or_else(|| {
+                    position(format!("unknown coherence op code {}", fixed[12]))
+                })?;
+                let invalidated =
+                    u32::from_le_bytes(fixed[13..17].try_into().expect("4-byte slice"));
+                TraceKind::Coherence {
+                    agent,
+                    op,
+                    invalidated,
+                }
+            }
         };
         self.offset = record_start + 1 + body_len as u64;
         Ok(Some(TraceEvent { at, kind }))
@@ -430,38 +447,72 @@ fn parse_header(
         .map_err(|e| StreamError::new(offset, line, format!("bad header: {e}")))
 }
 
-/// Parses one JSONL event object. Returns the complaint (without
-/// position information — the caller owns that) on malformed input.
-pub(crate) fn event_from_value(v: &serde::Value) -> Result<TraceEvent, String> {
+/// Validates a trace duration: finite and non-negative (negative zero
+/// is allowed — it compares equal to zero). Rejecting here turns what
+/// would be a release-mode silent saturation (or debug-mode panic)
+/// inside [`Time`] into a structured parse error with a byte offset.
+fn finite_duration(value: f64, what: &str) -> Result<f64, String> {
+    if value.is_nan() || value.is_infinite() || value < 0.0 {
+        return Err(format!("non-finite or negative {what} {value}"));
+    }
+    Ok(value)
+}
+
+/// Validates and converts a trace timestamp to [`Time`].
+fn finite_time(value: f64, what: &str) -> Result<Time, String> {
+    finite_duration(value, what).map(Time::saturating)
+}
+
+/// Parses one JSONL event object, validating agent identities against
+/// the `agents` roster declared by the trace header. Returns the
+/// complaint (without position information — the caller owns that) on
+/// malformed input.
+pub(crate) fn event_from_value(v: &serde::Value, agents: u32) -> Result<TraceEvent, String> {
     fn f64_field(v: &serde::Value, key: &str) -> Result<f64, String> {
         v.get(key)
             .and_then(serde::Value::as_f64)
             .ok_or_else(|| format!("missing or mistyped `{key}`"))
     }
-    fn agent_field(v: &serde::Value, key: &str) -> Result<AgentId, String> {
+    fn u32_field(v: &serde::Value, key: &str) -> Result<u32, String> {
         let raw = v
             .get(key)
             .and_then(serde::Value::as_u64)
             .ok_or_else(|| format!("missing or mistyped `{key}`"))?;
-        let raw = u32::try_from(raw).map_err(|_| "agent identity exceeds u32".to_string())?;
-        AgentId::new(raw).map_err(|e| format!("bad agent identity: {e}"))
+        u32::try_from(raw).map_err(|_| format!("`{key}` exceeds u32"))
     }
-    let at = Time::from(f64_field(v, "at")?);
+    let agent_field = |key: &str| -> Result<AgentId, String> {
+        AgentId::try_from_raw(u32_field(v, key)?, agents)
+            .map_err(|e| format!("bad agent identity: {e}"))
+    };
+    let at = finite_time(f64_field(v, "at")?, "timestamp")?;
     let kind = match v.get("ev").and_then(serde::Value::as_str) {
         Some("req") => TraceKind::Request {
-            agent: agent_field(v, "agent")?,
+            agent: agent_field("agent")?,
         },
         Some("arb") => TraceKind::ArbitrationStart {
-            winner: agent_field(v, "winner")?,
-            completes: Time::from(f64_field(v, "completes")?),
+            winner: agent_field("winner")?,
+            completes: finite_time(f64_field(v, "completes")?, "completion time")?,
         },
         Some("xfer") => TraceKind::TransferStart {
-            agent: agent_field(v, "agent")?,
+            agent: agent_field("agent")?,
         },
         Some("end") => TraceKind::TransferEnd {
-            agent: agent_field(v, "agent")?,
-            wait: f64_field(v, "wait")?,
+            agent: agent_field("agent")?,
+            wait: finite_duration(f64_field(v, "wait")?, "wait")?,
         },
+        Some("coh") => {
+            let slug = v
+                .get("op")
+                .and_then(serde::Value::as_str)
+                .ok_or_else(|| "missing or mistyped `op`".to_string())?;
+            let op = coherence_op_from_slug(slug)
+                .ok_or_else(|| format!("unknown coherence op {slug:?}"))?;
+            TraceKind::Coherence {
+                agent: agent_field("agent")?,
+                op,
+                invalidated: u32_field(v, "invalidated")?,
+            }
+        }
         other => return Err(format!("unknown event kind {other:?}")),
     };
     Ok(TraceEvent { at, kind })
@@ -490,21 +541,31 @@ mod tests {
     }
 
     fn events() -> Vec<TraceEvent> {
+        use busarb_types::CoherenceOp;
         let mut out = Vec::new();
         let mut t = 0.0f64;
         for i in 0..40u32 {
             t += 0.1 + f64::from(i) / 3.0;
             let agent = id(1 + i % 4);
-            let kind = match i % 4 {
+            let kind = match i % 5 {
                 0 => TraceKind::Request { agent },
                 1 => TraceKind::ArbitrationStart {
                     winner: agent,
                     completes: Time::from(t + 0.5),
                 },
                 2 => TraceKind::TransferStart { agent },
-                _ => TraceKind::TransferEnd {
+                3 => TraceKind::TransferEnd {
                     agent,
                     wait: t / 7.0,
+                },
+                _ => TraceKind::Coherence {
+                    agent,
+                    op: match i % 3 {
+                        0 => CoherenceOp::ReadMiss,
+                        1 => CoherenceOp::WriteMiss,
+                        _ => CoherenceOp::Upgrade,
+                    },
+                    invalidated: i % 4,
                 },
             };
             out.push(TraceEvent {
@@ -554,6 +615,57 @@ mod tests {
         }
     }
 
+    /// Boundary waiting times must survive export → stream **bit
+    /// exactly** in both framings (`to_bits`, not `==`, which cannot
+    /// see the sign of zero). The JSONL sink writes `Display` forms —
+    /// `-0` for negative zero, full decimal expansions for subnormals —
+    /// and the serde shim must hand back the identical double; the
+    /// binary sink carries the raw bits and the reader must not launder
+    /// them through any lossy normalization.
+    #[test]
+    fn boundary_wait_values_round_trip_bit_exactly() {
+        let waits = [
+            -0.0,
+            0.0,
+            5e-324,                  // smallest subnormal
+            f64::MIN_POSITIVE / 2.0, // mid-range subnormal
+            f64::MIN_POSITIVE,       // smallest normal
+            f64::EPSILON,
+            0.1,       // classic shortest-form case
+            1.0 / 3.0, // needs all 17 significant digits
+        ];
+        for format in [TraceFormat::Jsonl, TraceFormat::Binary] {
+            let mut bytes = Vec::new();
+            let mut sink: Box<dyn TraceSink> = match format {
+                TraceFormat::Jsonl => Box::new(JsonlSink::new(&mut bytes, &header()).unwrap()),
+                TraceFormat::Binary => Box::new(BinarySink::new(&mut bytes, &header()).unwrap()),
+            };
+            for (i, &wait) in waits.iter().enumerate() {
+                sink.record(&TraceEvent {
+                    at: Time::from(1.0 + i as f64),
+                    kind: TraceKind::TransferEnd { agent: id(1), wait },
+                })
+                .unwrap();
+            }
+            sink.finish().unwrap();
+            drop(sink);
+
+            let mut reader = TraceReader::new(&bytes[..]).unwrap();
+            for &wait in &waits {
+                let event = reader.next_event().unwrap().expect("event present");
+                let TraceKind::TransferEnd { wait: back, .. } = event.kind else {
+                    panic!("{format}: wrong kind {event:?}");
+                };
+                assert_eq!(
+                    back.to_bits(),
+                    wait.to_bits(),
+                    "{format}: {wait:?} came back as {back:?}"
+                );
+            }
+            assert_eq!(reader.next_event().unwrap(), None);
+        }
+    }
+
     #[test]
     fn truncated_binary_record_reports_record_offset() {
         let bytes = encode(TraceFormat::Binary);
@@ -582,10 +694,109 @@ mod tests {
         let mut starts = Vec::new();
         while at < bytes.len() {
             starts.push(at as u64);
-            let extra = matches!(bytes[at], 1 | 3);
-            at += 1 + 12 + if extra { 8 } else { 0 };
+            let body = match bytes[at] {
+                1 | 3 => 20,
+                4 => 17,
+                _ => 12,
+            };
+            at += 1 + body;
         }
         starts
+    }
+
+    /// One raw binary record: tag, timestamp, agent, then `rest` bytes.
+    fn bin_record(tag: u8, at: f64, agent: u32, rest: &[u8]) -> Vec<u8> {
+        let mut r = vec![tag];
+        r.extend_from_slice(&at.to_le_bytes());
+        r.extend_from_slice(&agent.to_le_bytes());
+        r.extend_from_slice(rest);
+        r
+    }
+
+    #[test]
+    fn corrupt_binary_records_error_at_the_record_start() {
+        let base = encode(TraceFormat::Binary);
+        let start = base.len() as u64;
+        let cases: Vec<(Vec<u8>, &str)> = vec![
+            (bin_record(9, 1.0, 1, &[]), "unknown binary record tag"),
+            (
+                bin_record(4, 1.0, 1, &[9, 0, 0, 0, 0]),
+                "unknown coherence op code",
+            ),
+            // The header declares a roster of 4 agents; identity 5 and
+            // the reserved identity 0 are both out of range.
+            (bin_record(0, 1.0, 5, &[]), "bad agent identity"),
+            (bin_record(0, 1.0, 0, &[]), "bad agent identity"),
+            (
+                bin_record(0, f64::NAN, 1, &[]),
+                "non-finite or negative timestamp",
+            ),
+            (
+                bin_record(0, -1.0, 1, &[]),
+                "non-finite or negative timestamp",
+            ),
+            (
+                bin_record(3, 1.0, 1, &f64::INFINITY.to_le_bytes()),
+                "non-finite or negative wait",
+            ),
+            // A coherence record cut off mid-body.
+            (bin_record(4, 1.0, 1, &[0, 0, 0]), "truncated"),
+        ];
+        for (record, fragment) in cases {
+            let mut bytes = base.clone();
+            bytes.extend_from_slice(&record);
+            let mut reader = TraceReader::new(&bytes[..]).unwrap();
+            let err = loop {
+                match reader.next_event() {
+                    Ok(Some(_)) => {}
+                    Ok(None) => panic!("corrupt record must error ({fragment})"),
+                    Err(e) => break e,
+                }
+            };
+            assert_eq!(err.offset, start, "{fragment}");
+            assert_eq!(err.line, None, "{fragment}");
+            assert!(err.message.contains(fragment), "{fragment}: {err}");
+        }
+    }
+
+    #[test]
+    fn jsonl_rejects_out_of_roster_agents_and_bad_durations() {
+        let base = encode(TraceFormat::Jsonl);
+        for (line, fragment) in [
+            (r#"{"at":1.0,"ev":"req","agent":5}"#, "bad agent identity"),
+            (r#"{"at":1.0,"ev":"req","agent":0}"#, "bad agent identity"),
+            (
+                r#"{"at":-1.0,"ev":"req","agent":1}"#,
+                "non-finite or negative timestamp",
+            ),
+            (
+                r#"{"at":1.0,"ev":"end","agent":1,"wait":-0.5}"#,
+                "non-finite or negative wait",
+            ),
+            (
+                r#"{"at":1.0,"ev":"coh","agent":1,"op":"mystery","invalidated":0}"#,
+                "unknown coherence op",
+            ),
+            (
+                r#"{"at":1.0,"ev":"coh","agent":1,"op":"upgrade"}"#,
+                "missing or mistyped `invalidated`",
+            ),
+        ] {
+            let mut bytes = base.clone();
+            let line_start = bytes.len() as u64;
+            bytes.extend_from_slice(line.as_bytes());
+            bytes.push(b'\n');
+            let mut reader = TraceReader::new(&bytes[..]).unwrap();
+            let err = loop {
+                match reader.next_event() {
+                    Ok(Some(_)) => {}
+                    Ok(None) => panic!("corrupt line must error ({fragment})"),
+                    Err(e) => break e,
+                }
+            };
+            assert_eq!(err.offset, line_start, "{fragment}");
+            assert!(err.message.contains(fragment), "{fragment}: {err}");
+        }
     }
 
     #[test]

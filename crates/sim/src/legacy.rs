@@ -19,6 +19,7 @@
 use std::collections::VecDeque;
 
 use busarb_core::{Arbiter, Grant};
+use busarb_mem::CoherenceSystem;
 use busarb_obs::{open_file_sink, MetricsRegistry, TraceHeader, TraceSink, TRACE_SCHEMA};
 use busarb_stats::{BatchMeans, BatchTally, Cdf, Summary};
 use busarb_types::{AgentId, Priority, Time, TraceEvent};
@@ -49,6 +50,9 @@ pub(crate) struct Runner<'c, A: Arbiter, E: DrawEngine> {
     draws: E,
     queue: HeapEventQueue,
     agents: Vec<AgentState>,
+    /// Private MESI caches for closed-loop scenarios (lock-step with the
+    /// plane runner's field of the same name).
+    mem: Option<CoherenceSystem>,
 
     /// Agent currently transferring, if any.
     transferring: Option<AgentId>,
@@ -115,6 +119,10 @@ impl<'c, A: Arbiter, E: DrawEngine> Runner<'c, A, E> {
                 };
                 n as usize
             ],
+            mem: config
+                .scenario
+                .coherence()
+                .map(|c| CoherenceSystem::new(n, *c)),
             transferring: None,
             arb_in_flight: None,
             next_master: None,
@@ -157,7 +165,13 @@ impl<'c, A: Arbiter, E: DrawEngine> Runner<'c, A, E> {
 
     pub(crate) fn run(mut self) -> RunReport {
         for agent in AgentId::all(self.config.scenario.agents()) {
-            let mut first = self.think_time(agent);
+            let mut first = match &mut self.mem {
+                Some(mem) => {
+                    let draws = &mut self.draws;
+                    mem.next_miss(agent, |a| draws.uniform(a))
+                }
+                None => self.think_time(agent),
+            };
             if self.config.initial_stagger {
                 first = first * self.draws.uniform(agent);
             }
@@ -297,7 +311,9 @@ impl<'c, A: Arbiter, E: DrawEngine> Runner<'c, A, E> {
         }
         self.record(t, agent, priority, wait);
 
-        if self.config.max_outstanding == 1 {
+        if self.mem.is_some() {
+            self.complete_coherence(t, agent);
+        } else if self.config.max_outstanding == 1 {
             let next = self.think_time(agent);
             self.queue.schedule(t + next, Event::RequestArrival(agent));
         } else if self.agents[agent.index()].blocked_issue {
@@ -312,6 +328,34 @@ impl<'c, A: Arbiter, E: DrawEngine> Runner<'c, A, E> {
         } else {
             self.try_start_arbitration(t, true);
         }
+    }
+
+    /// Closed-loop epilogue (lock-step with the plane runner's method of
+    /// the same name): commit the MESI transition, attribute coherence
+    /// counters, and schedule the next miss.
+    fn complete_coherence(&mut self, t: Time, agent: AgentId) {
+        let done = {
+            let mem = self.mem.as_mut().expect("checked by the caller");
+            let metrics = &mut self.metrics;
+            mem.complete(agent, |victim| metrics.on_invalidation(victim))
+        };
+        self.metrics.on_coherence(agent, done.op);
+        if self.observing {
+            self.emit(
+                t,
+                TraceKind::Coherence {
+                    agent,
+                    op: done.op,
+                    invalidated: done.invalidated,
+                },
+            );
+        }
+        let gap = {
+            let mem = self.mem.as_mut().expect("checked by the caller");
+            let draws = &mut self.draws;
+            mem.next_miss(agent, |a| draws.uniform(a))
+        };
+        self.queue.schedule(t + gap, Event::RequestArrival(agent));
     }
 
     fn record(&mut self, t: Time, agent: AgentId, priority: Priority, wait: f64) {

@@ -1,6 +1,7 @@
 //! The bus system model.
 
 use busarb_core::{Arbiter, Grant, ProtocolKind};
+use busarb_mem::CoherenceSystem;
 use busarb_obs::{open_file_sink, MetricsRegistry, TraceHeader, TraceSink, TRACE_SCHEMA};
 use busarb_stats::{BatchMeans, BatchTally, Cdf, Summary};
 use busarb_types::{AgentId, AgentMask, Error, Priority, Time, TraceEvent};
@@ -118,8 +119,10 @@ impl Simulation {
     /// # Errors
     ///
     /// Returns [`Error::InvalidScenario`] for an out-of-range urgent
-    /// fraction and [`Error::ZeroOutstandingLimit`] for a zero
-    /// outstanding-request limit.
+    /// fraction or a closed-loop (coherence) scenario configured with
+    /// more than one outstanding request per agent, and
+    /// [`Error::ZeroOutstandingLimit`] for a zero outstanding-request
+    /// limit.
     pub fn new(config: SystemConfig) -> Result<Self, Error> {
         if !(0.0..=1.0).contains(&config.urgent_fraction) {
             return Err(Error::InvalidScenario {
@@ -128,6 +131,18 @@ impl Simulation {
         }
         if config.max_outstanding == 0 {
             return Err(Error::ZeroOutstandingLimit);
+        }
+        if config.scenario.coherence().is_some() && config.max_outstanding != 1 {
+            // A blocked miss stalls the processor until its fill
+            // completes; pipelined request generation has no meaning in
+            // the closed loop.
+            return Err(Error::InvalidScenario {
+                reason: format!(
+                    "closed-loop coherence workloads stall on each miss and require \
+                     max_outstanding = 1, got {}",
+                    config.max_outstanding
+                ),
+            });
         }
         Ok(Simulation { config })
     }
@@ -281,6 +296,10 @@ struct Runner<'c, A: Arbiter, E: DrawEngine, const W: usize> {
     draws: E,
     queue: CalendarQueue<W>,
     planes: AgentPlanes<W>,
+    /// Private MESI caches driving a closed-loop workload, when the
+    /// scenario carries a coherence configuration. `None` runs the
+    /// paper's open-loop interrequest model.
+    mem: Option<CoherenceSystem>,
 
     /// Agent currently transferring, if any.
     transferring: Option<AgentId>,
@@ -351,6 +370,10 @@ impl<'c, A: Arbiter, E: DrawEngine, const W: usize> Runner<'c, A, E, W> {
             draws: E::for_scenario(config.seed, &config.scenario),
             queue: CalendarQueue::new(),
             planes: AgentPlanes::new(n, config.max_outstanding),
+            mem: config
+                .scenario
+                .coherence()
+                .map(|c| CoherenceSystem::new(n, *c)),
             transferring: None,
             arb_in_flight: None,
             next_master: None,
@@ -399,11 +422,19 @@ impl<'c, A: Arbiter, E: DrawEngine, const W: usize> Runner<'c, A, E, W> {
     }
 
     fn run(mut self) -> RunReport {
-        // Seed initial request generations: one think time per agent,
-        // optionally phase-staggered so deterministic workloads do not
-        // start in lockstep.
+        // Seed initial request generations: one think time per agent
+        // (closed loop: the time to the first coherence miss — caches
+        // start cold, so the very first reference misses), optionally
+        // phase-staggered so deterministic workloads do not start in
+        // lockstep.
         for agent in AgentId::all(self.config.scenario.agents()) {
-            let mut first = self.think_time(agent);
+            let mut first = match &mut self.mem {
+                Some(mem) => {
+                    let draws = &mut self.draws;
+                    mem.next_miss(agent, |a| draws.uniform(a))
+                }
+                None => self.think_time(agent),
+            };
             if self.config.initial_stagger {
                 first = first * self.draws.uniform(agent);
             }
@@ -546,8 +577,13 @@ impl<'c, A: Arbiter, E: DrawEngine, const W: usize> Runner<'c, A, E, W> {
         }
         self.record(t, agent, priority, wait);
 
-        // Think-time scheduling after the completion.
-        if self.config.max_outstanding == 1 {
+        // Think-time scheduling after the completion. Closed-loop
+        // workloads apply the MESI transition this transfer performed
+        // and run the reference stream forward to the agent's next
+        // miss; open-loop workloads draw an interrequest think time.
+        if self.mem.is_some() {
+            self.complete_coherence(t, agent);
+        } else if self.config.max_outstanding == 1 {
             let next = self.think_time(agent);
             self.queue.schedule_arrival(t + next, agent);
         } else if self.planes.blocked.remove(agent) {
@@ -562,6 +598,35 @@ impl<'c, A: Arbiter, E: DrawEngine, const W: usize> Runner<'c, A, E, W> {
         } else {
             self.try_start_arbitration(t, true);
         }
+    }
+
+    /// Closed-loop epilogue to a completed transfer: commit the MESI
+    /// transition the bus transaction performed (invalidating or
+    /// downgrading other caches as needed), attribute the coherence
+    /// counters, and schedule the agent's next miss.
+    fn complete_coherence(&mut self, t: Time, agent: AgentId) {
+        let done = {
+            let mem = self.mem.as_mut().expect("checked by the caller");
+            let metrics = &mut self.metrics;
+            mem.complete(agent, |victim| metrics.on_invalidation(victim))
+        };
+        self.metrics.on_coherence(agent, done.op);
+        if self.observing {
+            self.emit(
+                t,
+                TraceKind::Coherence {
+                    agent,
+                    op: done.op,
+                    invalidated: done.invalidated,
+                },
+            );
+        }
+        let gap = {
+            let mem = self.mem.as_mut().expect("checked by the caller");
+            let draws = &mut self.draws;
+            mem.next_miss(agent, |a| draws.uniform(a))
+        };
+        self.queue.schedule_arrival(t + gap, agent);
     }
 
     fn record(&mut self, t: Time, agent: AgentId, priority: Priority, wait: f64) {

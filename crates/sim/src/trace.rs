@@ -111,6 +111,15 @@ impl Trace {
                     "{:>9.3}  agent {agent} completes (waited {wait:.3})",
                     e.at.as_f64()
                 ),
+                TraceKind::Coherence {
+                    agent,
+                    op,
+                    invalidated,
+                } => format!(
+                    "{:>9.3}  agent {agent} {} (invalidated {invalidated})",
+                    e.at.as_f64(),
+                    op.slug()
+                ),
             };
             out.push_str(&line);
             out.push('\n');

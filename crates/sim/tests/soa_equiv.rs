@@ -18,7 +18,7 @@
 use busarb_core::ProtocolKind;
 use busarb_sim::{ArbitrationStartRule, Simulation, SystemConfig};
 use busarb_stats::BatchMeansConfig;
-use busarb_workload::{DrawEngineKind, Scenario};
+use busarb_workload::{CoherenceConfig, DrawEngineKind, Scenario};
 use proptest::prelude::*;
 
 /// One randomized cell: every protocol × both start rules × both draw
@@ -64,6 +64,45 @@ fn check_cell(agents: u32, load: f64, seed: u64, max_outstanding: u32, samples: 
     }
 }
 
+/// One closed-loop MESI cell: the runners must stay bit-for-bit equal
+/// while the cache feedback path (miss → stall → grant → transition →
+/// next miss) drives arrivals instead of open-loop timer draws.
+fn check_mesi_cell(agents: u32, seed: u64, kinds: &[ProtocolKind], samples: usize) {
+    let coherence = CoherenceConfig::default_mix();
+    for &kind in kinds {
+        for rule in [
+            ArbitrationStartRule::Greedy,
+            ArbitrationStartRule::TransactionAligned,
+        ] {
+            for engine in [DrawEngineKind::Reference, DrawEngineKind::Fast] {
+                let scenario = Scenario::closed_loop(agents, coherence).expect("valid scenario");
+                let config = SystemConfig::new(scenario)
+                    .with_batches(BatchMeansConfig::quick(samples))
+                    .with_warmup(samples / 2)
+                    .with_seed(seed)
+                    .with_draw_engine(engine)
+                    .with_start_rule(rule)
+                    .with_cdf();
+                let sim = Simulation::new(config).expect("valid config");
+                let planes = sim.run_mono(kind.build(agents).expect("valid size"));
+                let legacy = sim.run_legacy(kind.build(agents).expect("valid size"));
+                assert_eq!(
+                    format!("{planes:?}"),
+                    format!("{legacy:?}"),
+                    "{kind}/{rule:?}/{engine}: closed-loop plane and legacy runs diverged"
+                );
+                let misses: u64 = planes.metrics.read_misses.iter().sum::<u64>()
+                    + planes.metrics.write_misses.iter().sum::<u64>()
+                    + planes.metrics.upgrades.iter().sum::<u64>();
+                assert_eq!(
+                    misses, planes.metrics.completions,
+                    "{kind}/{rule:?}/{engine}: every completion must be a classified miss"
+                );
+            }
+        }
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(12))]
 
@@ -86,6 +125,28 @@ proptest! {
     ) {
         check_cell(agents, 1.5, seed, 2, 40);
     }
+
+    /// Closed-loop MESI workloads over randomized rosters and seeds, on
+    /// the two protocols the coherence experiment compares.
+    #[test]
+    fn mesi_planes_match_legacy(
+        agents in 2u32..=24,
+        seed in any::<u64>(),
+    ) {
+        check_mesi_cell(
+            agents,
+            seed,
+            &[ProtocolKind::RoundRobin, ProtocolKind::Fcfs1],
+            40,
+        );
+    }
+}
+
+/// Every protocol through one pinned closed-loop cell, so a regression
+/// in any arbiter's interaction with the feedback path names itself.
+#[test]
+fn mesi_planes_match_legacy_for_every_protocol() {
+    check_mesi_cell(8, 0xC0_4E8E, ProtocolKind::all(), 60);
 }
 
 /// The paper-scale default configuration, pinned outside proptest so the

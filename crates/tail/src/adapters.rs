@@ -247,7 +247,9 @@ impl ProtocolAdapter for FcfsLag {
                     }
                 }
             }
-            TraceKind::TransferStart { .. } | TraceKind::TransferEnd { .. } => {}
+            TraceKind::TransferStart { .. }
+            | TraceKind::TransferEnd { .. }
+            | TraceKind::Coherence { .. } => {}
         }
     }
 
@@ -329,7 +331,9 @@ impl ProtocolAdapter for BypassCounts {
                     self.bypassed_total += bypassed_here;
                 }
             }
-            TraceKind::TransferStart { .. } | TraceKind::TransferEnd { .. } => {}
+            TraceKind::TransferStart { .. }
+            | TraceKind::TransferEnd { .. }
+            | TraceKind::Coherence { .. } => {}
         }
     }
 

@@ -167,6 +167,9 @@ impl BusUsage {
                 self.burst_len += 1;
                 self.delay.record(wait);
             }
+            // Coherence events annotate the completion that precedes
+            // them at the same timestamp; they do not change bus state.
+            TraceKind::Coherence { .. } => {}
         }
     }
 

@@ -46,6 +46,26 @@ impl AgentId {
         NonZeroU32::new(id).map(AgentId).ok_or(Error::ZeroAgentId)
     }
 
+    /// Creates an identity from a raw integer read from *external*
+    /// input (CLI arguments, config files, trace or counterexample
+    /// readers), checking it against the roster of `agents` agents.
+    ///
+    /// Unlike the internal `from_raw_saturating` (which every caller
+    /// reaches with `raw >= 1` by construction and which would silently
+    /// alias zero to agent 1 in release builds), this path is *total*:
+    /// every out-of-roster identity is a structured error.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::ZeroAgentId`] for `raw == 0` and
+    /// [`Error::AgentOutOfRange`] for `raw > agents`.
+    pub fn try_from_raw(raw: u32, agents: u32) -> Result<Self, Error> {
+        if raw > agents {
+            return Err(Error::AgentOutOfRange { id: raw, agents });
+        }
+        AgentId::new(raw)
+    }
+
     /// Identity `raw`, saturating the unrepresentable zero to [`MIN`].
     ///
     /// Every caller passes `raw >= 1` by construction (bit scans add one
@@ -377,6 +397,29 @@ mod tests {
     #[test]
     fn zero_identity_is_rejected() {
         assert!(matches!(AgentId::new(0), Err(Error::ZeroAgentId)));
+    }
+
+    #[test]
+    fn try_from_raw_rejects_both_roster_boundaries() {
+        // Identity 0: must be a structured error, never an alias to
+        // agent 1 (the release-mode from_raw_saturating failure mode).
+        assert!(matches!(
+            AgentId::try_from_raw(0, 8),
+            Err(Error::ZeroAgentId)
+        ));
+        // Identity above the roster width.
+        assert!(matches!(
+            AgentId::try_from_raw(9, 8),
+            Err(Error::AgentOutOfRange { id: 9, agents: 8 })
+        ));
+        // Both boundaries inclusive.
+        assert_eq!(AgentId::try_from_raw(1, 8).unwrap().get(), 1);
+        assert_eq!(AgentId::try_from_raw(8, 8).unwrap().get(), 8);
+        // Degenerate roster: every nonzero identity is out of range.
+        assert!(matches!(
+            AgentId::try_from_raw(1, 0),
+            Err(Error::AgentOutOfRange { id: 1, agents: 0 })
+        ));
     }
 
     #[test]

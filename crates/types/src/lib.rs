@@ -51,7 +51,7 @@ pub use error::Error;
 pub use plane::{AgentMask, MaskIter};
 pub use request::{Priority, Request, RequestTag};
 pub use time::Time;
-pub use trace::{TraceEvent, TraceKind};
+pub use trace::{CoherenceOp, TraceEvent, TraceKind};
 
 /// Convenient result alias for fallible `busarb` operations.
 pub type Result<T, E = Error> = core::result::Result<T, E>;

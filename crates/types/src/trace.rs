@@ -10,6 +10,38 @@
 
 use crate::{AgentId, Time};
 
+/// The bus operation a coherence miss performed once granted.
+///
+/// Closed-loop MESI workloads (`busarb-mem`) classify every bus
+/// transaction by what it did to the granted agent's cache line:
+/// a read miss fills an invalid line, a write miss fills *and* claims
+/// ownership, and an upgrade promotes an already-shared line to
+/// Modified without a data transfer.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum CoherenceOp {
+    /// A read of an Invalid line (BusRd): the line is filled Shared or
+    /// Exclusive depending on whether other caches hold it.
+    ReadMiss,
+    /// A write of an Invalid line (BusRdX): the line is filled Modified
+    /// and every other copy is invalidated.
+    WriteMiss,
+    /// A write of a Shared line (BusUpgr): ownership is claimed and
+    /// other sharers invalidated, without re-reading the data.
+    Upgrade,
+}
+
+impl CoherenceOp {
+    /// Stable lowercase slug (trace exports, reports).
+    #[must_use]
+    pub fn slug(self) -> &'static str {
+        match self {
+            CoherenceOp::ReadMiss => "read-miss",
+            CoherenceOp::WriteMiss => "write-miss",
+            CoherenceOp::Upgrade => "upgrade",
+        }
+    }
+}
+
 /// One traced occurrence.
 #[derive(Clone, Copy, PartialEq, Debug)]
 pub enum TraceKind {
@@ -37,6 +69,17 @@ pub enum TraceKind {
         agent: AgentId,
         /// The completed request's waiting time.
         wait: f64,
+    },
+    /// A coherence miss completed on the bus (closed-loop MESI
+    /// workloads only; emitted at the same instant as the matching
+    /// [`TraceKind::TransferEnd`]).
+    Coherence {
+        /// The agent whose miss completed.
+        agent: AgentId,
+        /// What the bus transaction did to the agent's cache line.
+        op: CoherenceOp,
+        /// How many other caches lost their copy of the line.
+        invalidated: u32,
     },
 }
 

@@ -38,6 +38,7 @@ pub mod load;
 mod scenario;
 pub mod trace;
 
+pub use busarb_mem::CoherenceConfig;
 pub use distribution::InterrequestTime;
 pub use engine::{DrawEngine, DrawEngineKind, FastEngine, ReferenceEngine, BATCH};
 pub use scenario::{AgentWorkload, Scenario};

@@ -1,17 +1,20 @@
 //! `cargo xtask lint` — workspace static analysis.
 //!
-//! Since PR 9 the primary analysis is the [`busarb_lint`] engine
-//! (lexer → items → call graph → checks → baseline → report); the
-//! string-level heuristics in this crate's library are kept for one
-//! release as a cross-check and run after the engine. Exit status: 0
+//! The analysis is the [`busarb_lint`] engine (lexer → items → call
+//! graph → checks → baseline → report). The pre-engine string-count
+//! heuristics that used to run here as a cross-check are retired: every
+//! property they covered is now an engine check (`dispatch-token`,
+//! `hot-alloc`, `hot-slow-math`, `unwrap-policy`, `forbid-unsafe`), and
+//! the clean-workspace snapshot test in `crates/lint/tests/workspace.rs`
+//! is the source of truth for what this command asserts. Exit status: 0
 //! when the workspace is clean, 1 when any finding is open, 2 on usage
 //! or configuration errors.
 //!
 //! ```text
-//! cargo xtask lint                 # engine + legacy cross-check, text report
+//! cargo xtask lint                 # engine run, text report
 //! cargo xtask lint --json OUT.json # also write the busarb-lint/1 JSON report
 //! cargo xtask lint --strict        # ignore the committed baseline (nightly CI)
-//! cargo xtask lint --list          # enumerate every registered check
+//! cargo xtask lint --list         # enumerate every registered check
 //! ```
 
 use std::fs;
@@ -19,328 +22,9 @@ use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
 use busarb_core::ProtocolKind;
-use xtask::{
-    has_forbid_unsafe, hot_fn_allocations, missing_tokens, slow_log_calls, unwrap_violations,
-    Finding,
-};
-
-/// Dispatch surfaces that must mention every `ProtocolKind` variant by
-/// path, with the number of times each variant must occur there.
-const VARIANT_SITES: [(&str, usize); 6] = [
-    // Enum-adjacent: `build`, `all`, and the `Display` impl.
-    ("crates/core/src/arbiter.rs", 3),
-    // The monomorphized event loop (`Simulation::run_kind`).
-    ("crates/sim/src/system.rs", 1),
-    // The verifier's lockstep model groups and invariant specs.
-    ("crates/verify/src/model.rs", 1),
-    ("crates/verify/src/spec.rs", 1),
-    // The experiment layer's slug table.
-    ("crates/experiments/src/common.rs", 1),
-    // The benchmark roster.
-    ("crates/bench/src/bin/bench_run.rs", 1),
-];
-
-/// Surfaces that must mention every protocol by its CLI slug.
-const SLUG_SITES: [(&str, usize); 2] = [
-    ("crates/experiments/src/bin/simulate.rs", 1),
-    // The streaming analyzers' protocol-family dispatch: every slug must
-    // map to an adapter (the wildcard arm is a fallback for *future*
-    // protocols, not an excuse to skip present ones).
-    ("crates/tail/src/adapters.rs", 1),
-];
-
-/// Literal tokens that must appear in specific files (roster commands and
-/// exhaustive iteration points that do not name variants individually).
-const TOKEN_SITES: [(&str, &str); 4] = [
-    ("crates/experiments/src/bin/repro.rs", "\"protocols\""),
-    ("crates/experiments/src/bin/repro.rs", "ProtocolKind::all()"),
-    // The analytics CLI must keep both subcommands wired.
-    ("src/bin/busarb.rs", "\"analyze\""),
-    ("src/bin/busarb.rs", "\"serve\""),
-];
-
-/// Fast-draw-engine hot paths that must route every logarithm through
-/// the table-based `fast_ln` instead of libm `f64::ln` (the whole point
-/// of the fast engine's sampling path).
-const LN_FREE_SITES: [(&str, &[&str]); 1] = [(
-    "crates/workload/src/engine.rs",
-    &["refill", "next_normal", "next_u64", "fast_ln", "think_time", "uniform"],
-)];
-
-/// Per-arbitration hot paths that must not allocate.
-const HOT_SITES: [(&str, &[&str]); 19] = [
-    (
-        "crates/bus/src/contention.rs",
-        &["settle", "resolve_inner", "apply_rule"],
-    ),
-    // The slot-calendar event queue (and the legacy heap oracle sharing
-    // these names) runs once per event in the steady state; scheduling
-    // and popping must stay pure word operations. `schedule_arrival` /
-    // `insert_arrival` are the fused self-rearming fast path.
-    (
-        "crates/sim/src/event.rs",
-        &["schedule", "schedule_arrival", "insert_arrival", "pop", "pick", "peek_time"],
-    ),
-    // The fast draw engine's refill and raw-stream paths run once per
-    // BATCH think times / once per uniform; `Arc::clone` of the
-    // empirical sample table is the only permitted non-token operation.
-    (
-        "crates/workload/src/engine.rs",
-        &["refill", "next_u64", "next_normal", "think_time", "uniform", "fast_ln"],
-    ),
-    // Plane-based arbiters: request intake, the word-parallel winner
-    // scans, and the signature fingerprints all operate on fixed-size
-    // masks and per-agent slot arrays allocated at construction.
-    (
-        "crates/core/src/fcfs.rs",
-        &["arbitrate", "on_request", "verify_signature"],
-    ),
-    (
-        "crates/core/src/hybrid.rs",
-        &["arbitrate", "on_request", "verify_signature"],
-    ),
-    (
-        "crates/core/src/adaptive.rs",
-        &["arbitrate", "on_request", "verify_signature"],
-    ),
-    (
-        "crates/core/src/central.rs",
-        &["arbitrate", "on_request", "scan", "verify_signature"],
-    ),
-    (
-        "crates/core/src/ticket.rs",
-        &["arbitrate", "on_request", "verify_signature"],
-    ),
-    ("crates/bus/src/signal/rr1.rs", &["arbitrate"]),
-    ("crates/bus/src/signal/rr2.rs", &["arbitrate"]),
-    ("crates/bus/src/signal/rr3.rs", &["arbitrate", "arbitrate_below"]),
-    ("crates/bus/src/signal/fcfs1.rs", &["arbitrate"]),
-    ("crates/bus/src/signal/fcfs2.rs", &["arbitrate"]),
-    ("crates/bus/src/signal/aap.rs", &["arbitrate"]),
-    // The always-on metrics registry is called from the event loop on
-    // every transition; its update methods must stay allocation-free
-    // (construction in `MetricsRegistry::new` is the only allowed
-    // allocation, and `snapshot` runs once per run).
-    (
-        "crates/obs/src/registry.rs",
-        &[
-            "on_event",
-            "on_request",
-            "on_grant",
-            "on_transfer_start",
-            "on_completion",
-        ],
-    ),
-    ("crates/obs/src/metrics.rs", &["record"]),
-    // Streaming analyzers run once per trace event; a 10M-event pass
-    // must not allocate per event (constructors and `report` snapshots
-    // are the only allowed allocation sites in `busarb-tail`).
-    ("crates/tail/src/usage.rs", &["push", "account"]),
-    ("crates/tail/src/fairness.rs", &["on_grant"]),
-    ("crates/tail/src/adapters.rs", &["on_event"]),
-];
-
-/// Legacy heuristics enumerated by `--list` alongside the engine checks.
-const LEGACY_CHECKS: [(&str, &str); 5] = [
-    (
-        "legacy-dispatch-tokens",
-        "every variant/slug/roster token occurs at each dispatch surface (string count)",
-    ),
-    (
-        "legacy-hot-alloc",
-        "no allocation token in named hot fns (per-fn body scan)",
-    ),
-    (
-        "legacy-slow-ln",
-        "no `.ln(` in the fast draw engine's named fns",
-    ),
-    (
-        "legacy-unwrap-policy",
-        "no bare `.unwrap()` in non-test library code",
-    ),
-    (
-        "legacy-forbid-unsafe",
-        "every crate root carries `#![forbid(unsafe_code)]`",
-    ),
-];
 
 fn workspace_root() -> PathBuf {
     Path::new(env!("CARGO_MANIFEST_DIR")).join("../..")
-}
-
-fn read(root: &Path, rel: &str) -> Result<String, Finding> {
-    fs::read_to_string(root.join(rel)).map_err(|e| Finding {
-        file: rel.to_string(),
-        message: format!("cannot read: {e}"),
-    })
-}
-
-/// Every `.rs` file under `dir`, recursively, workspace-relative.
-fn rust_files(root: &Path, dir: &str, out: &mut Vec<String>) {
-    let Ok(entries) = fs::read_dir(root.join(dir)) else {
-        return;
-    };
-    for entry in entries.flatten() {
-        let name = entry.file_name();
-        let name = name.to_string_lossy();
-        let rel = format!("{dir}/{name}");
-        let path = entry.path();
-        if path.is_dir() {
-            rust_files(root, &rel, out);
-        } else if name.ends_with(".rs") {
-            out.push(rel);
-        }
-    }
-}
-
-/// Crate source roots holding *library* code (panic policy applies).
-fn library_sources(root: &Path) -> Vec<String> {
-    let mut files = Vec::new();
-    for crates_dir in ["crates", "shims"] {
-        let Ok(entries) = fs::read_dir(root.join(crates_dir)) else {
-            continue;
-        };
-        for entry in entries.flatten() {
-            if entry.path().is_dir() {
-                let rel = format!("{crates_dir}/{}", entry.file_name().to_string_lossy());
-                rust_files(root, &format!("{rel}/src"), &mut files);
-            }
-        }
-    }
-    rust_files(root, "src", &mut files);
-    files.sort();
-    // Binaries may panic on bad input; the policy covers libraries.
-    files.retain(|f| !f.contains("/bin/") && !f.ends_with("/main.rs"));
-    files
-}
-
-/// Crate roots that must carry `#![forbid(unsafe_code)]`.
-fn crate_roots(root: &Path) -> Vec<String> {
-    let mut roots = vec!["src/lib.rs".to_string()];
-    for crates_dir in ["crates", "shims"] {
-        let Ok(entries) = fs::read_dir(root.join(crates_dir)) else {
-            continue;
-        };
-        for entry in entries.flatten() {
-            let rel = format!(
-                "{crates_dir}/{}/src/lib.rs",
-                entry.file_name().to_string_lossy()
-            );
-            if root.join(&rel).is_file() {
-                roots.push(rel);
-            }
-        }
-    }
-    roots.sort();
-    roots
-}
-
-/// The pre-engine heuristic pass, kept as a cross-check for one release.
-fn legacy_lint(root: &Path) -> Vec<Finding> {
-    let mut findings = Vec::new();
-    let variants: Vec<String> = ProtocolKind::all()
-        .iter()
-        .map(|k| format!("ProtocolKind::{k:?}"))
-        .collect();
-    let slugs: Vec<String> = ProtocolKind::all()
-        .iter()
-        .map(ToString::to_string)
-        .collect();
-
-    for (site, tokens, what) in [
-        (&VARIANT_SITES[..], &variants, "variant"),
-        (&SLUG_SITES[..], &slugs, "protocol slug"),
-    ]
-    .into_iter()
-    .flat_map(|(sites, tokens, what)| sites.iter().map(move |s| (s, tokens, what)))
-    {
-        let &(rel, min_count) = site;
-        match read(root, rel) {
-            Ok(content) => {
-                for token in missing_tokens(&content, tokens, min_count) {
-                    findings.push(Finding {
-                        file: rel.to_string(),
-                        message: format!(
-                            "{what} `{token}` missing (or fewer than {min_count} occurrences) — every protocol must be wired into this dispatch surface"
-                        ),
-                    });
-                }
-            }
-            Err(f) => findings.push(f),
-        }
-    }
-
-    for (rel, token) in TOKEN_SITES {
-        match read(root, rel) {
-            Ok(content) => {
-                if !content.contains(token) {
-                    findings.push(Finding {
-                        file: rel.to_string(),
-                        message: format!("expected token `{token}` not found"),
-                    });
-                }
-            }
-            Err(f) => findings.push(f),
-        }
-    }
-
-    for (rel, fns) in HOT_SITES {
-        match read(root, rel) {
-            Ok(content) => {
-                for message in hot_fn_allocations(&content, fns) {
-                    findings.push(Finding {
-                        file: rel.to_string(),
-                        message,
-                    });
-                }
-            }
-            Err(f) => findings.push(f),
-        }
-    }
-
-    for (rel, fns) in LN_FREE_SITES {
-        match read(root, rel) {
-            Ok(content) => {
-                for message in slow_log_calls(&content, fns) {
-                    findings.push(Finding {
-                        file: rel.to_string(),
-                        message,
-                    });
-                }
-            }
-            Err(f) => findings.push(f),
-        }
-    }
-
-    for rel in library_sources(root) {
-        match read(root, &rel) {
-            Ok(content) => {
-                for line in unwrap_violations(&content) {
-                    findings.push(Finding {
-                        file: format!("{rel}:{line}"),
-                        message: "bare `.unwrap()` in library code — use `.expect(\"why this cannot fail\")`".to_string(),
-                    });
-                }
-            }
-            Err(f) => findings.push(f),
-        }
-    }
-
-    for rel in crate_roots(root) {
-        match read(root, &rel) {
-            Ok(content) => {
-                if !has_forbid_unsafe(&content) {
-                    findings.push(Finding {
-                        file: rel,
-                        message: "missing `#![forbid(unsafe_code)]`".to_string(),
-                    });
-                }
-            }
-            Err(f) => findings.push(f),
-        }
-    }
-
-    findings
 }
 
 /// Parsed `lint` subcommand flags.
@@ -376,10 +60,6 @@ fn list_checks() {
     for c in busarb_lint::CHECKS {
         println!("  {:<18} [{}] {}", c.id, c.family, c.description);
     }
-    println!("legacy cross-checks (retained for one release):");
-    for (id, description) in LEGACY_CHECKS {
-        println!("  {id:<24} {description}");
-    }
 }
 
 fn run_lint(opts: &Options) -> Result<bool, String> {
@@ -412,21 +92,7 @@ fn run_lint(opts: &Options) -> Result<bool, String> {
     }
     print!("{}", report.to_text());
 
-    // Legacy heuristics, retained for one release as a cross-check: any
-    // violation they still catch should also be caught (more precisely)
-    // by the engine above, so a firing here with a clean engine report
-    // points at an engine-config gap worth closing.
-    let legacy = legacy_lint(&root);
-    for finding in &legacy {
-        eprintln!("xtask lint (legacy cross-check): {finding}");
-    }
-    println!(
-        "xtask lint: legacy cross-check {} ({} finding(s))",
-        if legacy.is_empty() { "clean" } else { "FAILED" },
-        legacy.len(),
-    );
-
-    Ok(report.is_clean() && legacy.is_empty())
+    Ok(report.is_clean())
 }
 
 fn main() -> ExitCode {

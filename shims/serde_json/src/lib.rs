@@ -248,6 +248,12 @@ impl Parser<'_> {
             if let Ok(u) = text.parse::<u64>() {
                 return Ok(Value::UInt(u));
             }
+            // `-0` is the one integer-looking literal i64 cannot hold
+            // faithfully: upstream serde_json yields the float -0.0 so
+            // the sign bit survives the round trip, and so do we.
+            if text.starts_with('-') && text.bytes().skip(1).all(|b| b == b'0') {
+                return Ok(Value::Float(-0.0));
+            }
             if let Ok(i) = text.parse::<i64>() {
                 return Ok(Value::Int(i));
             }
@@ -443,6 +449,47 @@ mod tests {
         assert_eq!(from_str(&json).unwrap().as_f64(), Some(x));
         assert_eq!(to_string(&3.977_439_750_067_086e-14).unwrap(), "3.977439750067086e-14");
         assert_eq!(from_str("3.977439750067086e-14").unwrap().as_f64(), Some(3.977_439_750_067_086e-14));
+    }
+
+    /// Boundary floats must survive serialize → parse **bit-exactly**
+    /// (`to_bits`, not `==`, which cannot see the sign of zero): the
+    /// negative-zero integer form, subnormals down to the smallest
+    /// positive double, and values whose ryu-style shortest form needs
+    /// all 17 significant digits or scientific notation.
+    #[test]
+    fn boundary_floats_round_trip_bit_exactly() {
+        for x in [
+            -0.0,
+            0.0,
+            f64::MIN_POSITIVE,            // smallest normal
+            f64::MIN_POSITIVE / 2.0,      // subnormal
+            5e-324,                       // smallest subnormal
+            -5e-324,
+            f64::MAX,
+            f64::MIN,
+            0.1,                          // classic shortest-form case
+            1.0 / 3.0,                    // needs 17 digits
+            3.977_439_750_067_086e-14,    // scientific shortest form
+            f64::EPSILON,
+        ] {
+            let json = to_string(&x).expect("floats serialize");
+            let back = from_str(&json)
+                .expect("serialized floats parse")
+                .as_f64()
+                .expect("parses as a number");
+            assert_eq!(
+                back.to_bits(),
+                x.to_bits(),
+                "{x:?} -> {json} -> {back:?} is not bit-identical"
+            );
+        }
+        // The integer spelling `-0` (what `Display` emits for -0.0, and
+        // what upstream serde_json yields -0.0 for) keeps its sign bit.
+        let v = from_str("{\"w\":-0}").expect("parses");
+        let w = v.get("w").and_then(Value::as_f64).expect("a number");
+        assert_eq!(w.to_bits(), (-0.0f64).to_bits(), "-0 lost its sign");
+        // Plain zero stays an integer.
+        assert_eq!(from_str("0").expect("parses"), Value::UInt(0));
     }
 
     #[test]
